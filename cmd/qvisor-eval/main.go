@@ -1,0 +1,278 @@
+// Command qvisor-eval regenerates the paper's evaluation artifacts:
+//
+//	-experiment fig4a     Figure 4a: mean FCT, pFabric flows in (0,100KB)
+//	-experiment fig4b     Figure 4b: mean FCT, pFabric flows in [1MB,∞)
+//	-experiment fig3      Figure 3: exact rank transformations and PIFO order
+//	-experiment quant     Ablation A1: quantization granularity sweep
+//	-experiment queues    Ablation A2: strict-priority queue-count sweep
+//	-experiment runtime   Ablation A3: static vs runtime-adaptive synthesis
+//	-experiment shift     Figure-2 traffic-shift scenario
+//
+// fig4a/fig4b sweep all six schemes over loads 0.2–0.8 on the scaled
+// topology (12 hosts, 1% flow sizes; see DESIGN.md) and print one table row
+// per scheme. Pass -paper for the paper-scale topology (slow: hours).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qvisor"
+	"qvisor/internal/experiments"
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qvisor-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qvisor-eval", flag.ContinueOnError)
+	exp := fs.String("experiment", "fig4a", "fig4a, fig4b, fig3, quant, queues, backends, runtime, shift, multi, inversions")
+	horizon := fs.Duration("horizon", 100*time.Millisecond, "traffic window per run")
+	paper := fs.Bool("paper", false, "paper-scale topology (slow)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	loadsFlag := fs.String("loads", "0.2,0.3,0.4,0.5,0.6,0.7,0.8", "comma-separated loads")
+	csvPath := fs.String("csv", "", "also write the raw series to a CSV file (fig4a/fig4b)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.ScaledConfig()
+	if *paper {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Horizon = sim.Time(*horizon)
+	cfg.Seed = *seed
+
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+
+	switch *exp {
+	case "fig4a", "fig4b":
+		bin := experiments.BinSmall
+		if *exp == "fig4b" {
+			bin = experiments.BinLarge
+		}
+		results, err := experiments.Sweep(cfg, experiments.Schemes, loads)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable(os.Stdout, results, bin, loads)
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		return nil
+	case "fig3":
+		return runFig3()
+	case "quant":
+		results, err := experiments.AblationQuantization(cfg,
+			[]int64{2, 4, 16, 64, 1 << 10, 1 << 20}, 0.6)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A1: quantization levels (QVISOR pfabric + edf, load 0.6)")
+		for _, r := range results {
+			fmt.Printf("  small-flow mean FCT %v  (n=%d)\n", r.Small.Mean, r.Small.Count)
+		}
+		return nil
+	case "queues":
+		queues := []int{2, 4, 8, 16, 32}
+		results, err := experiments.AblationQueues(cfg, queues, 0.6)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A2: strict-priority queues (QVISOR pfabric >> edf, load 0.6)")
+		for i, r := range results {
+			fmt.Printf("  %2d queues: small-flow mean FCT %v  (n=%d)\n",
+				queues[i], r.Small.Mean, r.Small.Count)
+		}
+		return nil
+	case "backends":
+		results, err := experiments.AblationBackends(cfg, 0.6)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A4: deployment backends (QVISOR pfabric >> edf, load 0.6)")
+		for _, br := range results {
+			fmt.Printf("  %-10s small-flow mean FCT %v  large %v  drops %d\n",
+				br.Backend, br.Result.Small.Mean, br.Result.Large.Mean, br.Result.Counters.Dropped)
+		}
+		return nil
+	case "inversions":
+		results, err := experiments.InversionStudy(100_000, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Inversion study: rank-order fidelity per scheduler (QVISOR a + b policy)")
+		for _, r := range results {
+			fmt.Printf("  %-12s %7d inversions / %7d dequeues (%5.1f%%)  drops %d\n",
+				r.Scheduler, r.Inversions, r.Dequeues, 100*r.Rate, r.Drops)
+		}
+		return nil
+	case "multi":
+		results, err := experiments.MultiObjective(cfg, 0.85)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A5: multi-objective scheduling (single tenant, load 0.85)")
+		for _, r := range results {
+			fmt.Printf("  %-10s small-flow mean FCT %v  large-flow %v\n",
+				r.Name, r.Small.Mean, r.Large.Mean)
+		}
+		return nil
+	case "runtime":
+		res, err := experiments.AblationRuntime(cfg, 0.6)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation A3: static vs runtime-adaptive synthesis (mis-declared bounds)")
+		fmt.Printf("  static:   %v\n", res.Static)
+		fmt.Printf("  adaptive: %v  (resyntheses: %d)\n", res.Adaptive, res.Resyntheses)
+		return nil
+	case "shift":
+		res, err := experiments.TrafficShift(cfg, 0.4)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure-2 traffic shift: interactive + deadline >> background")
+		fmt.Printf("  interactive small flows (background active): %v\n", res.InteractiveFCT)
+		fmt.Printf("  background bulk flows:                       %v\n", res.BackgroundFCT)
+		fmt.Printf("  deadline packets on time:                    %.1f%%\n", 100*res.DeadlineMet)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+// runFig3 prints the paper's Figure-3 walkthrough: the synthesized
+// transformations and the resulting PIFO output order.
+func runFig3() error {
+	hv, err := qvisor.New([]*qvisor.Tenant{
+		{ID: 1, Name: "T1", Bounds: qvisor.Bounds{Lo: 7, Hi: 9}, Levels: 3},
+		{ID: 2, Name: "T2", Bounds: qvisor.Bounds{Lo: 1, Hi: 3}, Levels: 2},
+		{ID: 3, Name: "T3", Bounds: qvisor.Bounds{Lo: 3, Hi: 5}, Levels: 2},
+	}, "T1 >> T2 + T3", qvisor.Options{Synth: qvisor.SynthOptions{Base: 1}})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3: T1 (pFabric) {7,8,9}, T2 (EDF) {1,3}, T3 (FQ) {3,5}")
+	fmt.Print(hv.Policy.Describe())
+	fmt.Println("transformations:")
+	for _, tc := range []struct {
+		id    pkt.TenantID
+		name  string
+		ranks []int64
+	}{
+		{1, "T1", []int64{7, 8, 9}},
+		{2, "T2", []int64{1, 3}},
+		{3, "T3", []int64{3, 5}},
+	} {
+		tr, _ := hv.Policy.TransformOf(tc.name)
+		var in, out []string
+		for _, r := range tc.ranks {
+			in = append(in, strconv.FormatInt(r, 10))
+			out = append(out, strconv.FormatInt(tr.Apply(r), 10))
+		}
+		fmt.Printf("  %s: {%s} -> {%s}\n", tc.name, strings.Join(in, ","), strings.Join(out, ","))
+	}
+	// Enqueue the example arrival sequence, drain the PIFO.
+	arrivals := []struct {
+		tenant pkt.TenantID
+		rank   int64
+	}{
+		{2, 3}, {3, 5}, {1, 9}, {1, 7}, {2, 1}, {3, 3}, {1, 8},
+	}
+	pifo := sched.NewPIFO(sched.Config{})
+	for i, a := range arrivals {
+		p := &pkt.Packet{ID: uint64(i), Tenant: a.tenant, Rank: a.rank, Size: 100}
+		hv.Process(p)
+		pifo.Enqueue(p)
+	}
+	fmt.Print("PIFO output (tenant:joint-rank): ")
+	var outs []string
+	for p := pifo.Dequeue(); p != nil; p = pifo.Dequeue() {
+		outs = append(outs, fmt.Sprintf("T%d:%d", p.Tenant, p.Rank))
+	}
+	fmt.Println(strings.Join(outs, " "))
+	return nil
+}
+
+// writeCSV dumps every (scheme, load) cell with both bins and full
+// percentile detail, for external plotting.
+func writeCSV(path string, results []experiments.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"scheme", "load", "bin", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	ms := func(t sim.Time) string {
+		return strconv.FormatFloat(float64(t)/float64(sim.Millisecond), 'f', 6, 64)
+	}
+	for _, r := range results {
+		for _, row := range []struct {
+			bin string
+			sum stats.Summary
+		}{
+			{"small", r.Small},
+			{"large", r.Large},
+			{"all", r.All},
+		} {
+			rec := []string{
+				r.Scheme.String(),
+				strconv.FormatFloat(r.Load, 'f', 2, 64),
+				row.bin,
+				strconv.Itoa(row.sum.Count),
+				ms(row.sum.Mean),
+				ms(row.sum.P50),
+				ms(row.sum.P95),
+				ms(row.sum.P99),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var loads []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		l, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q", part)
+		}
+		loads = append(loads, l)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("no loads given")
+	}
+	return loads, nil
+}

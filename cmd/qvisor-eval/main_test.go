@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseLoads(t *testing.T) {
+	loads, err := parseLoads("0.2, 0.5,0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 3 || loads[0] != 0.2 || loads[2] != 0.8 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if _, err := parseLoads(""); err == nil {
+		t.Fatal("empty loads accepted")
+	}
+	if _, err := parseLoads("x"); err == nil {
+		t.Fatal("bad load accepted")
+	}
+	// Trailing commas tolerated.
+	if loads, err := parseLoads("0.5,"); err != nil || len(loads) != 1 {
+		t.Fatalf("trailing comma: %v, %v", loads, err)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	// The fig3 experiment is deterministic and fast; exercising it from
+	// the CLI entry point covers the wiring.
+	if err := run([]string{"-experiment", "fig3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

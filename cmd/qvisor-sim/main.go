@@ -1,0 +1,112 @@
+// Command qvisor-sim runs a single packet-level simulation of one
+// Figure-4 scheme at one load and prints the flow-completion-time
+// statistics and packet counters.
+//
+// Example:
+//
+//	qvisor-sim -scheme qvisor-share -load 0.6 -horizon 100ms
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qvisor/internal/core"
+	"qvisor/internal/experiments"
+	"qvisor/internal/sim"
+	"qvisor/internal/trace"
+)
+
+var schemeNames = map[string]experiments.Scheme{
+	"fifo":           experiments.FIFOBoth,
+	"pifo-naive":     experiments.PIFONaive,
+	"pifo-ideal":     experiments.PIFOIdeal,
+	"qvisor-edf":     experiments.QvisorEDFFirst,
+	"qvisor-share":   experiments.QvisorShare,
+	"qvisor-pfabric": experiments.QvisorPFabricFirst,
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qvisor-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qvisor-sim", flag.ContinueOnError)
+	scheme := fs.String("scheme", "qvisor-share",
+		"scheme: fifo, pifo-naive, pifo-ideal, qvisor-edf, qvisor-share, qvisor-pfabric")
+	load := fs.Float64("load", 0.6, "pFabric tenant load (0,1]")
+	horizon := fs.Duration("horizon", 100*time.Millisecond, "traffic generation window")
+	paper := fs.Bool("paper", false, "paper-scale topology (144 hosts, unscaled flow sizes; slow)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	workloadName := fs.String("workload", "datamining", "pFabric tenant workload: datamining or websearch")
+	queues := fs.Int("queues", 0, "queues for multi-queue backends")
+	backendSP := fs.Bool("sp-queues", false, "deploy QVISOR schemes on strict-priority queues instead of a PIFO")
+	ports := fs.Bool("ports", false, "print the busiest ports' telemetry")
+	flowsCSV := fs.String("flows", "", "replace the generated pFabric workload with this CSV flow trace")
+	tracePath := fs.String("trace", "", "write a JSON-lines packet trace to this file")
+	traceSample := fs.Uint64("trace-sample", 1, "record only flows with ID %% N == 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, ok := schemeNames[*scheme]
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	cfg := experiments.ScaledConfig()
+	if *paper {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Horizon = sim.Time(*horizon)
+	cfg.Seed = *seed
+	cfg.Workload = *workloadName
+	cfg.FlowsCSV = *flowsCSV
+	if *backendSP {
+		cfg.Backend = core.BackendSPQueues
+		cfg.Queues = *queues
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		cfg.Trace = trace.NewRecorder(w, trace.Options{FlowSample: *traceSample})
+		defer func() {
+			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", cfg.Trace.Count(), *tracePath)
+		}()
+	}
+
+	r, err := experiments.Run(cfg, s, *load)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme:   %v\n", r.Scheme)
+	fmt.Printf("load:     %.2f\n", r.Load)
+	fmt.Printf("flows:    %d completed (pFabric tenant)\n", r.Flows)
+	fmt.Printf("small:    %v\n", r.Small)
+	fmt.Printf("large:    %v\n", r.Large)
+	fmt.Printf("all:      %v\n", r.All)
+	if r.Counters.CBRSent > 0 {
+		fmt.Printf("deadline: %.1f%% of %d CBR packets on time\n",
+			100*r.DeadlineMet, r.Counters.CBRDelivered)
+	}
+	c := r.Counters
+	fmt.Printf("packets:  data=%d retx=%d acks=%d cbr=%d delivered=%d dropped=%d\n",
+		c.DataSent, c.Retransmits, c.AcksSent, c.CBRSent, c.Delivered, c.Dropped)
+	if *ports {
+		fmt.Println("busiest ports:")
+		for _, ps := range r.TopPorts {
+			fmt.Printf("  %-16s util=%5.1f%%  tx=%d pkts / %d bytes  maxq=%dB\n",
+				ps.Name, 100*ps.Utilization, ps.TxPackets, ps.TxBytes, ps.MaxQueuedBytes)
+		}
+	}
+	return nil
+}

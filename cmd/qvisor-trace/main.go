@@ -1,0 +1,41 @@
+// Command qvisor-trace analyzes a JSON-lines packet trace produced by
+// qvisor-sim -trace: per-tenant end-to-end latency, drops, and in-flight
+// losses.
+//
+// Example:
+//
+//	qvisor-sim -scheme qvisor-share -load 0.6 -trace run.jsonl
+//	qvisor-trace run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qvisor/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qvisor-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	in := os.Stdin
+	if len(args) >= 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	an, err := trace.Analyze(in)
+	if err != nil {
+		return err
+	}
+	an.WriteReport(os.Stdout)
+	return nil
+}

@@ -1,0 +1,203 @@
+// Command qvisor compiles tenant scheduling policies and an operator
+// composition policy into QVISOR's joint scheduling function, and shows the
+// synthesized rank transformations and (optionally) the queue allocation on
+// a hardware backend.
+//
+// Example:
+//
+//	qvisor -policy "web >> batch + backup" \
+//	       -tenant web=pfabric:1 -tenant batch=edf:2 -tenant backup=fq:3 \
+//	       -backend sp-queues -queues 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qvisor"
+)
+
+type tenantFlags []string
+
+func (t *tenantFlags) String() string { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qvisor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("qvisor", flag.ContinueOnError)
+	var tenants tenantFlags
+	policy := fs.String("policy", "", `operator policy, e.g. "T1 >> T2 + T3"`)
+	fs.Var(&tenants, "tenant", "tenant spec name=algorithm:id[:lo-hi[:levels]] (repeatable)")
+	backend := fs.String("backend", "", "also deploy to a backend: pifo, sp-queues, sp-pifo, aifo, calendar, fifo")
+	queues := fs.Int("queues", 8, "hardware queues for multi-queue backends")
+	base := fs.Int64("base", 0, "lowest output rank")
+	save := fs.String("save", "", "write the joint policy as JSON to this file")
+	analyze := fs.Bool("analyze", false, "print the worst-case interference analysis")
+	target := fs.String("target", "", "also compile for a target: queues:N[:rewrite][:admission] or pifo")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *policy == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -policy")
+	}
+	if len(tenants) == 0 {
+		return fmt.Errorf("missing -tenant definitions")
+	}
+
+	defs := make([]*qvisor.Tenant, 0, len(tenants))
+	for _, spec := range tenants {
+		t, err := parseTenant(spec)
+		if err != nil {
+			return err
+		}
+		defs = append(defs, t)
+	}
+
+	spec, err := qvisor.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	jp, err := qvisor.Synthesize(defs, spec, qvisor.SynthOptions{Base: *base})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, jp.Describe())
+
+	if *analyze {
+		fmt.Fprint(out, jp.Analyze().Describe())
+	}
+	if *backend != "" {
+		b, err := backendByName(*backend)
+		if err != nil {
+			return err
+		}
+		dep, err := jp.Deploy(b, qvisor.DeployOptions{Queues: *queues})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, dep.Describe())
+	}
+	if *target != "" {
+		tgt, err := parseTarget(*target)
+		if err != nil {
+			return err
+		}
+		plan, err := jp.CompileTo(tgt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, plan.Describe())
+	}
+	if *save != "" {
+		data, err := json.MarshalIndent(jp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved joint policy to %s\n", *save)
+	}
+	return nil
+}
+
+// parseTarget parses "pifo" or "queues:N[:rewrite][:admission]".
+func parseTarget(s string) (qvisor.Target, error) {
+	if s == "pifo" {
+		return qvisor.Target{Name: "pifo", Sorted: true, RankRewrite: true}, nil
+	}
+	parts := strings.Split(s, ":")
+	if parts[0] != "queues" || len(parts) < 2 {
+		return qvisor.Target{}, fmt.Errorf("bad target %q (want pifo or queues:N[:rewrite][:admission])", s)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return qvisor.Target{}, fmt.Errorf("bad queue count %q", parts[1])
+	}
+	t := qvisor.Target{Name: s, Queues: n}
+	for _, opt := range parts[2:] {
+		switch opt {
+		case "rewrite":
+			t.RankRewrite = true
+		case "admission":
+			t.Admission = true
+		default:
+			return qvisor.Target{}, fmt.Errorf("unknown target option %q", opt)
+		}
+	}
+	return t, nil
+}
+
+// parseTenant parses name=algorithm:id[:lo-hi[:levels]].
+func parseTenant(s string) (*qvisor.Tenant, error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return nil, fmt.Errorf("tenant %q: want name=algorithm:id[:lo-hi[:levels]]", s)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("tenant %q: missing id", s)
+	}
+	ranker, err := qvisor.RankerByName(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", s, err)
+	}
+	id, err := strconv.ParseUint(parts[1], 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: bad id %q", s, parts[1])
+	}
+	t := &qvisor.Tenant{ID: qvisor.TenantID(id), Name: name, Algorithm: ranker}
+	if len(parts) >= 3 && parts[2] != "" {
+		lo, hi, ok := strings.Cut(parts[2], "-")
+		if !ok {
+			return nil, fmt.Errorf("tenant %q: bounds %q want lo-hi", s, parts[2])
+		}
+		l, err1 := strconv.ParseInt(lo, 10, 64)
+		h, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("tenant %q: bad bounds %q", s, parts[2])
+		}
+		t.Bounds = qvisor.Bounds{Lo: l, Hi: h}
+	}
+	if len(parts) >= 4 {
+		lv, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: bad levels %q", s, parts[3])
+		}
+		t.Levels = lv
+	}
+	return t, nil
+}
+
+func backendByName(s string) (qvisor.Backend, error) {
+	switch s {
+	case "pifo":
+		return qvisor.BackendPIFO, nil
+	case "sp-queues":
+		return qvisor.BackendSPQueues, nil
+	case "sp-pifo":
+		return qvisor.BackendSPPIFO, nil
+	case "aifo":
+		return qvisor.BackendAIFO, nil
+	case "calendar":
+		return qvisor.BackendCalendar, nil
+	case "fifo":
+		return qvisor.BackendFIFO, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q", s)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"qvisor"
+)
+
+func TestParseTenant(t *testing.T) {
+	tn, err := parseTenant("web=pfabric:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Name != "web" || tn.ID != 1 || tn.Algorithm.Name() != "pfabric" {
+		t.Fatalf("parsed %+v", tn)
+	}
+	// With bounds and levels.
+	tn, err = parseTenant("b=edf:2:0-5000:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Bounds != (qvisor.Bounds{Lo: 0, Hi: 5000}) || tn.Levels != 16 {
+		t.Fatalf("parsed %+v", tn)
+	}
+}
+
+func TestParseTenantErrors(t *testing.T) {
+	for _, in := range []string{
+		"noequals",
+		"x=pfabric",         // missing id
+		"x=bogus:1",         // unknown algorithm
+		"x=pfabric:banana",  // bad id
+		"x=pfabric:1:5000",  // bounds without dash
+		"x=pfabric:1:a-b",   // non-numeric bounds
+		"x=pfabric:1:0-5:z", // bad levels
+	} {
+		if _, err := parseTenant(in); err == nil {
+			t.Errorf("parseTenant(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestBackendByName(t *testing.T) {
+	for name, want := range map[string]qvisor.Backend{
+		"pifo": qvisor.BackendPIFO, "sp-queues": qvisor.BackendSPQueues,
+		"sp-pifo": qvisor.BackendSPPIFO, "aifo": qvisor.BackendAIFO,
+		"calendar": qvisor.BackendCalendar, "fifo": qvisor.BackendFIFO,
+	} {
+		got, err := backendByName(name)
+		if err != nil || got != want {
+			t.Errorf("backendByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := backendByName("bogus"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	tgt, err := parseTarget("pifo")
+	if err != nil || !tgt.Sorted {
+		t.Fatalf("pifo target: %+v, %v", tgt, err)
+	}
+	tgt, err = parseTarget("queues:8:rewrite:admission")
+	if err != nil || tgt.Queues != 8 || !tgt.RankRewrite || !tgt.Admission {
+		t.Fatalf("queues target: %+v, %v", tgt, err)
+	}
+	for _, in := range []string{"queues", "queues:x", "queues:0", "queues:4:bogus", "junk"} {
+		if _, err := parseTarget(in); err == nil {
+			t.Errorf("parseTarget(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	tmp := t.TempDir()
+	err := run([]string{
+		"-policy", "a >> b",
+		"-tenant", "a=pfabric:1",
+		"-tenant", "b=edf:2",
+		"-backend", "sp-queues",
+		"-target", "queues:4:rewrite",
+		"-save", tmp + "/p.json",
+	}, devnull(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // missing policy
+		{"-policy", "a"},                       // missing tenants
+		{"-policy", ">>", "-tenant", "a=fq:1"}, // bad policy
+		{"-policy", "a", "-tenant", "a=fq:1", "-backend", "bogus"},
+		{"-policy", "a", "-tenant", "a=fq:1", "-target", "junk"},
+	}
+	for i, args := range cases {
+		if err := run(args, devnull(t)); err == nil {
+			t.Errorf("case %d: run(%v) succeeded, want error", i, args)
+		}
+	}
+}
+
+func devnull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

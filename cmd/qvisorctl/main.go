@@ -1,0 +1,257 @@
+// Command qvisorctl is the command-line client for qvisord's configuration
+// API.
+//
+// Usage:
+//
+//	qvisorctl [-server URL] policy
+//	qvisorctl [-server URL] spec [new-spec]
+//	qvisorctl [-server URL] tenants
+//	qvisorctl [-server URL] join  <name> <id> <algorithm|lo-hi> <spec>
+//	qvisorctl [-server URL] leave <name> <spec>
+//	qvisorctl [-server URL] monitor <name>
+//	qvisorctl [-server URL] check
+//	qvisorctl [-server URL] compile <queues> [sorted|rewrite|admission ...]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qvisor/internal/api"
+	"qvisor/internal/pkt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qvisorctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qvisorctl", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:7474", "qvisord base URL")
+	timeout := fs.Duration("timeout", 5*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := api.NewClient(*server, nil)
+
+	switch rest[0] {
+	case "policy":
+		p, err := c.Policy(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spec:    %s\nversion: %d\noutput:  [%d,%d]\n", p.Spec, p.Version, p.OutputLo, p.OutputHi)
+		for _, tr := range p.Transforms {
+			fmt.Printf("  %-12s [%d,%d] → %d levels ×%d+%d @%d\n",
+				tr.Tenant, tr.Lo, tr.Hi, tr.Levels, tr.Stride, tr.Phase, tr.Offset)
+		}
+		return nil
+	case "spec":
+		if len(rest) >= 2 {
+			if err := c.SetSpec(ctx, strings.Join(rest[1:], " ")); err != nil {
+				return err
+			}
+		}
+		spec, err := c.Spec(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(spec)
+		return nil
+	case "tenants":
+		tenants, err := c.Tenants(ctx)
+		if err != nil {
+			return err
+		}
+		for _, t := range tenants {
+			flags := ""
+			if t.Flagged {
+				flags += " FLAGGED"
+			}
+			if t.Quarantined {
+				flags += " QUARANTINED"
+			}
+			alg := t.Algorithm
+			if alg == "" && t.Bounds != nil {
+				alg = fmt.Sprintf("bounds[%d,%d]", t.Bounds.Lo, t.Bounds.Hi)
+			}
+			fmt.Printf("%-12s id=%-4d %s%s\n", t.Name, t.ID, alg, flags)
+		}
+		return nil
+	case "join":
+		if len(rest) < 5 {
+			return fmt.Errorf("usage: join <name> <id> <algorithm|lo-hi> <spec>")
+		}
+		id, err := strconv.ParseUint(rest[2], 10, 16)
+		if err != nil {
+			return fmt.Errorf("bad id %q", rest[2])
+		}
+		ti := api.TenantInfo{Name: rest[1], ID: pkt.TenantID(id)}
+		if lo, hi, ok := parseBounds(rest[3]); ok {
+			ti.Bounds = &api.BoundsInfo{Lo: lo, Hi: hi}
+		} else {
+			ti.Algorithm = rest[3]
+		}
+		if err := c.Join(ctx, ti, strings.Join(rest[4:], " ")); err != nil {
+			return err
+		}
+		fmt.Printf("joined %s\n", rest[1])
+		return nil
+	case "leave":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: leave <name> <spec>")
+		}
+		if err := c.Leave(ctx, rest[1], strings.Join(rest[2:], " ")); err != nil {
+			return err
+		}
+		fmt.Printf("left %s\n", rest[1])
+		return nil
+	case "monitor":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: monitor <name>")
+		}
+		m, err := c.Monitor(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tenant:   %s\nobserved: %d ranks, window [%d,%d] p50=%d p95=%d\noutside:  %.2f%%\ndrift:    %.3f\n",
+			m.Tenant, m.Count, m.ObservedLo, m.ObservedHi, m.P50, m.P95, 100*m.OutsideFraction, m.Drift)
+		return nil
+	case "check":
+		res, err := c.Check(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("redeployed=%v version=%d\n", res.Redeployed, res.Version)
+		return nil
+	case "compile":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: compile <queues> [sorted|rewrite|admission ...]")
+		}
+		queues, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad queue count %q", rest[1])
+		}
+		req := api.CompileRequest{Name: "cli-target", Queues: queues}
+		for _, opt := range rest[2:] {
+			switch opt {
+			case "sorted":
+				req.Sorted = true
+			case "rewrite":
+				req.RankRewrite = true
+			case "admission":
+				req.Admission = true
+			default:
+				return fmt.Errorf("unknown target capability %q", opt)
+			}
+		}
+		resp, err := c.Compile(ctx, req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("feasible: %v\n", resp.Feasible)
+		for _, r := range resp.Requirements {
+			fmt.Printf("  %-20s %-24s %-12s %s\n", r.Kind, strings.Join(r.Tenants, ","), r.Level, r.Note)
+		}
+		if resp.PartialSpec != "" {
+			fmt.Printf("proposed partial spec: %s\n", resp.PartialSpec)
+			for _, d := range resp.Downgrades {
+				fmt.Printf("  downgrade: %s\n", d)
+			}
+		}
+		return nil
+	case "analyze":
+		ar, err := c.Analyze(ctx)
+		if err != nil {
+			return err
+		}
+		for _, p := range ar.Pairs {
+			fmt.Printf("  %-12s → %-12s %5.1f%%  (%s)\n", p.From, p.To, 100*p.Fraction, p.Relation)
+		}
+		if len(ar.Isolated) > 0 {
+			fmt.Printf("fully isolated: %s\n", strings.Join(ar.Isolated, ", "))
+		}
+		return nil
+	case "fabric":
+		// fabric <name=queues:N[:rewrite]|name=pifo> ...
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: fabric <name=pifo|name=queues:N[:rewrite][:admission]> ...")
+		}
+		var devices []api.DeviceInfo
+		for _, spec := range rest[1:] {
+			name, tgt, ok := strings.Cut(spec, "=")
+			if !ok {
+				return fmt.Errorf("bad device %q (want name=target)", spec)
+			}
+			d := api.DeviceInfo{Name: name}
+			if tgt == "pifo" {
+				d.Target = api.CompileRequest{Name: "pifo", Sorted: true, RankRewrite: true}
+			} else {
+				parts := strings.Split(tgt, ":")
+				if parts[0] != "queues" || len(parts) < 2 {
+					return fmt.Errorf("bad target %q", tgt)
+				}
+				q, err := strconv.Atoi(parts[1])
+				if err != nil {
+					return fmt.Errorf("bad queue count %q", parts[1])
+				}
+				d.Target = api.CompileRequest{Name: tgt, Queues: q}
+				for _, opt := range parts[2:] {
+					switch opt {
+					case "rewrite":
+						d.Target.RankRewrite = true
+					case "admission":
+						d.Target.Admission = true
+					default:
+						return fmt.Errorf("unknown target option %q", opt)
+					}
+				}
+			}
+			devices = append(devices, d)
+		}
+		resp, err := c.Fabric(ctx, devices)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("feasible: %v\n", resp.Feasible)
+		for kind, lvl := range resp.Guarantees {
+			fmt.Printf("  %-20s %-12s (bottleneck: %s)\n", kind, lvl, resp.Bottleneck[kind])
+		}
+		for _, d := range resp.Devices {
+			fmt.Printf("  device %-10s backend=%-10s feasible=%v\n", d.Name, d.Backend, d.Feasible)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+// parseBounds parses "lo-hi" (e.g. "0-100000"), returning ok=false when the
+// argument is an algorithm name instead.
+func parseBounds(s string) (lo, hi int64, ok bool) {
+	l, h, found := strings.Cut(s, "-")
+	if !found {
+		return 0, 0, false
+	}
+	lv, err1 := strconv.ParseInt(l, 10, 64)
+	hv, err2 := strconv.ParseInt(h, 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return lv, hv, true
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseBounds(t *testing.T) {
+	lo, hi, ok := parseBounds("0-100000")
+	if !ok || lo != 0 || hi != 100000 {
+		t.Fatalf("parseBounds = %d,%d,%v", lo, hi, ok)
+	}
+	lo, hi, ok = parseBounds("7-9")
+	if !ok || lo != 7 || hi != 9 {
+		t.Fatalf("parseBounds = %d,%d,%v", lo, hi, ok)
+	}
+	// Algorithm names are not bounds.
+	for _, in := range []string{"pfabric", "edf", "x-y", "5", "-"} {
+		if _, _, ok := parseBounds(in); ok {
+			t.Errorf("parseBounds(%q) accepted", in)
+		}
+	}
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	// Argument validation happens before any network I/O.
+	for _, args := range [][]string{
+		{"join", "a"},                     // too few args
+		{"join", "a", "x", "edf", "spec"}, // bad id
+		{"leave"},                         // too few args
+		{"monitor"},                       // too few args
+		{"compile"},                       // too few args
+		{"compile", "x"},                  // bad queue count
+		{"compile", "4", "bogus"},         // unknown capability
+		{"fabric"},                        // too few args
+		{"fabric", "noequals"},            // bad device
+		{"fabric", "a=junk"},              // bad target
+		{"fabric", "a=queues:x"},          // bad queue count
+		{"fabric", "a=queues:4:bogus"},    // unknown option
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

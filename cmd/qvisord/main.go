@@ -1,0 +1,136 @@
+// Command qvisord serves QVISOR's configuration API (the control-plane
+// interface of the paper's Figure 1): tenants register their scheduling
+// policies, the operator manages the composition policy, and the daemon
+// keeps the synthesized joint policy current.
+//
+// Example:
+//
+//	qvisord -listen 127.0.0.1:7474 \
+//	        -tenant web=pfabric:1 -tenant batch=fq:2 \
+//	        -policy "web >> batch"
+//
+//	curl -s localhost:7474/v1/policy | jq .
+//	curl -s -X POST localhost:7474/v1/tenants -d \
+//	  '{"tenant":{"name":"backup","id":3,"algorithm":"edf"},"spec":"web >> batch + backup"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"qvisor"
+	"qvisor/internal/api"
+	"qvisor/internal/core"
+)
+
+type tenantFlags []string
+
+func (t *tenantFlags) String() string { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qvisord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qvisord", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7474", "address to serve the configuration API on")
+	policyText := fs.String("policy", "", `initial operator policy, e.g. "web >> batch"`)
+	var tenants tenantFlags
+	fs.Var(&tenants, "tenant", "initial tenant name=algorithm:id (repeatable)")
+	quarantine := fs.Bool("quarantine", false, "demote adversarial tenants automatically")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *policyText == "" || len(tenants) == 0 {
+		fs.Usage()
+		return errors.New("missing -policy or -tenant")
+	}
+
+	defs := make([]*qvisor.Tenant, 0, len(tenants))
+	for _, spec := range tenants {
+		t, err := parseTenant(spec)
+		if err != nil {
+			return err
+		}
+		defs = append(defs, t)
+	}
+	spec, err := qvisor.ParsePolicy(*policyText)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "qvisord: ", log.LstdFlags|log.Lmicroseconds)
+	ctl, _, err := core.NewController(defs, spec, core.ControllerOptions{
+		Quarantine: *quarantine,
+		OnEvent: func(e core.Event) {
+			logger.Printf("event %v tenant=%q %s", e.Kind, e.Tenant, e.Detail)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Handler:           api.NewServer(ctl, nil),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving configuration API on http://%s (policy %q, %d tenants)",
+		ln.Addr(), spec, len(defs))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+// parseTenant parses name=algorithm:id.
+func parseTenant(s string) (*qvisor.Tenant, error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return nil, fmt.Errorf("tenant %q: want name=algorithm:id", s)
+	}
+	alg, idText, ok := strings.Cut(rest, ":")
+	if !ok {
+		return nil, fmt.Errorf("tenant %q: missing id", s)
+	}
+	ranker, err := qvisor.RankerByName(alg)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", s, err)
+	}
+	id, err := strconv.ParseUint(idText, 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: bad id %q", s, idText)
+	}
+	return &qvisor.Tenant{ID: qvisor.TenantID(id), Name: name, Algorithm: ranker}, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseTenantDaemon(t *testing.T) {
+	tn, err := parseTenant("web=pfabric:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Name != "web" || tn.ID != 1 || tn.Algorithm.Name() != "pfabric" {
+		t.Fatalf("parsed %+v", tn)
+	}
+	for _, in := range []string{"junk", "x=alg", "x=bogus:1", "x=pfabric:notanum", "x=pfabric:70000"} {
+		if _, err := parseTenant(in); err == nil {
+			t.Errorf("parseTenant(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	// Missing flags fail fast without binding a socket.
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-policy", ">>", "-tenant", "a=fq:1"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run([]string{"-policy", "a", "-tenant", "a=bogus:1"}); err == nil {
+		t.Fatal("bad tenant accepted")
+	}
+	if err := run([]string{"-policy", "a >> ghost", "-tenant", "a=fq:1"}); err == nil {
+		t.Fatal("spec with unknown tenant accepted")
+	}
+	// Unbindable address fails after successful compilation.
+	if err := run([]string{"-policy", "a", "-tenant", "a=fq:1", "-listen", "256.0.0.1:1"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Compile: the §3.4/§5 compilation story — ask QVISOR what guarantees a
+// policy gets on different hardware targets, see it propose a partial
+// specification when a device is too small, and plan a whole heterogeneous
+// fabric with weakest-link guarantee reporting.
+//
+// Run with: go run ./examples/compile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qvisor"
+)
+
+func main() {
+	pf, _ := qvisor.RankerByName("pfabric")
+	edf, _ := qvisor.RankerByName("edf")
+	fq, _ := qvisor.RankerByName("fq")
+
+	hv, err := qvisor.New([]*qvisor.Tenant{
+		{ID: 1, Name: "web", Algorithm: pf},
+		{ID: 2, Name: "deadline", Algorithm: edf},
+		{ID: 3, Name: "backup", Algorithm: fq},
+	}, "web >> deadline >> backup", qvisor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	targets := []qvisor.Target{
+		{Name: "ideal-pifo", Sorted: true, RankRewrite: true},
+		{Name: "commodity-8q", Queues: 8, RankRewrite: true},
+		{Name: "legacy-2q", Queues: 2, RankRewrite: true},
+		{Name: "fixed-function-4q", Queues: 4},
+	}
+	for _, target := range targets {
+		plan, err := hv.Policy.CompileTo(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan.Describe())
+		fmt.Println()
+	}
+
+	// Network-wide: leaves are commodity devices, spines legacy.
+	fmt.Println("=== fabric plan (heterogeneous) ===")
+	fabric, err := qvisor.PlanFabric(hv.Policy, []qvisor.Device{
+		{Name: "leaf0", Role: "leaf", Target: targets[1]},
+		{Name: "leaf1", Role: "leaf", Target: targets[1]},
+		{Name: "spine0", Role: "spine", Target: targets[2]},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fabric.Describe())
+}

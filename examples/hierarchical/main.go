@@ -1,0 +1,93 @@
+// Hierarchical: the §5 "increasing specification expressivity" direction —
+// a tenant whose internal policy is itself hierarchical, expressed as a
+// PIFO tree (HPFQ: fair queuing between traffic classes, fair queuing
+// among flows within each class), running inside the band QVISOR assigned
+// to the tenant.
+//
+// Run with: go run ./examples/hierarchical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qvisor/internal/pifotree"
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+)
+
+func main() {
+	// An HPFQ tree with two classes: "web" and "analytics". The root
+	// shares fairly between the classes; each class shares fairly among
+	// its flows.
+	classOf := func(p *pkt.Packet) string {
+		if p.Tenant == 1 {
+			return "web"
+		}
+		return "analytics"
+	}
+	tree, err := pifotree.NewHPFQ(sched.Config{}, []string{"web", "analytics"}, classOf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Backlog: web has four active flows, analytics a single bulk flow.
+	for i := 0; i < 12; i++ {
+		tree.Enqueue(&pkt.Packet{ID: uint64(100 + i), Tenant: 1, Flow: uint64(1 + i%4), Size: 100})
+	}
+	for i := 0; i < 12; i++ {
+		tree.Enqueue(&pkt.Packet{ID: uint64(200 + i), Tenant: 2, Flow: 9, Size: 100})
+	}
+
+	fmt.Println("HPFQ dequeue order (class:flow) — classes alternate, web's flows round-robin:")
+	for i := 0; i < 16; i++ {
+		p := tree.Dequeue()
+		fmt.Printf("  %2d: %s:%d\n", i+1, classOf(p), p.Flow)
+	}
+
+	// A three-level hierarchy: production strictly above development,
+	// fair sharing inside production.
+	fmt.Println("\nthree-level tree: prod (web+db, fair) >> dev (ci):")
+	classify := func(p *pkt.Packet) string {
+		switch p.Tenant {
+		case 1:
+			return "prodweb"
+		case 2:
+			return "proddb"
+		default:
+			return "ci"
+		}
+	}
+	prodFirst := func(p *pkt.Packet) int64 {
+		if p.Tenant <= 2 {
+			return 0
+		}
+		return 1
+	}
+	t2 := pifotree.NewTree(sched.Config{}, prodFirst, classify)
+	fairTx, fairHook := pifotree.FairTx(func(p *pkt.Packet) uint64 { return uint64(p.Tenant) }, nil)
+	must(t2.AddInterior("root", "prod", fairTx))
+	must(t2.SetPopHook("prod", fairHook))
+	must(t2.AddInterior("root", "dev", pifotree.FIFOTransaction))
+	must(t2.AddLeaf("prod", "prodweb", pifotree.FIFOTransaction))
+	must(t2.AddLeaf("prod", "proddb", pifotree.FIFOTransaction))
+	must(t2.AddLeaf("dev", "ci", pifotree.FIFOTransaction))
+
+	for i := 0; i < 4; i++ {
+		t2.Enqueue(&pkt.Packet{Tenant: 3, Flow: 30, Size: 100}) // ci first into the queue
+	}
+	for i := 0; i < 4; i++ {
+		t2.Enqueue(&pkt.Packet{Tenant: 1, Flow: 10, Size: 100})
+		t2.Enqueue(&pkt.Packet{Tenant: 2, Flow: 20, Size: 100})
+	}
+	for i := 0; t2.Len() > 0; i++ {
+		p := t2.Dequeue()
+		fmt.Printf("  %2d: %s\n", i+1, classify(p))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module qvisor
+
+go 1.22

@@ -1,0 +1,209 @@
+// Package api implements QVISOR's configuration API — the control-plane
+// interface of Figure 1 through which tenants register their scheduling
+// policies and the operator manages the composition policy.
+//
+// The API is plain HTTP+JSON on the standard library:
+//
+//	GET    /v1/policy               the deployed joint policy
+//	GET    /v1/spec                 the operator specification
+//	PUT    /v1/spec                 replace the specification (re-synthesize)
+//	GET    /v1/tenants              registered tenants
+//	POST   /v1/tenants              register a tenant (join + new spec)
+//	DELETE /v1/tenants/{name}       deregister a tenant (leave + new spec)
+//	GET    /v1/tenants/{name}/monitor   observed rank distribution
+//	POST   /v1/check                run one control-loop iteration
+//	POST   /v1/compile              guarantee analysis for a target device
+//	POST   /v1/fabric               network-wide plan over heterogeneous devices
+//	GET    /v1/healthz              liveness
+package api
+
+import (
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+)
+
+// TenantInfo is the wire representation of a tenant registration.
+type TenantInfo struct {
+	// Name is the tenant's identifier in operator specs.
+	Name string `json:"name"`
+	// ID is the packet label value.
+	ID pkt.TenantID `json:"id"`
+	// Algorithm is a rank-function name (pfabric, edf, fq, ...). May be
+	// empty when Bounds are declared directly.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Bounds overrides the algorithm's declared rank bounds.
+	Bounds *BoundsInfo `json:"bounds,omitempty"`
+	// Levels overrides the quantization granularity (0 = auto).
+	Levels int64 `json:"levels,omitempty"`
+	// Flagged reports adversarial flagging (responses only).
+	Flagged bool `json:"flagged,omitempty"`
+	// Quarantined reports demotion to the bottom tier (responses only).
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// BoundsInfo is the wire form of a rank interval.
+type BoundsInfo struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// JoinRequest registers a tenant. Spec is the full operator specification
+// that includes the new tenant.
+type JoinRequest struct {
+	Tenant TenantInfo `json:"tenant"`
+	Spec   string     `json:"spec"`
+}
+
+// SpecRequest replaces the operator specification.
+type SpecRequest struct {
+	Spec string `json:"spec"`
+}
+
+// LeaveRequest carries the post-departure specification as a query
+// parameter (`spec`); no body.
+
+// TransformInfo is the wire form of one rank transformation.
+type TransformInfo struct {
+	Tenant string `json:"tenant"`
+	Lo     int64  `json:"lo"`
+	Hi     int64  `json:"hi"`
+	Levels int64  `json:"levels"`
+	Stride int64  `json:"stride"`
+	Phase  int64  `json:"phase"`
+	Offset int64  `json:"offset"`
+}
+
+// PolicyResponse describes the deployed joint policy.
+type PolicyResponse struct {
+	Spec       string          `json:"spec"`
+	Version    uint64          `json:"version"`
+	OutputLo   int64           `json:"output_lo"`
+	OutputHi   int64           `json:"output_hi"`
+	Transforms []TransformInfo `json:"transforms"`
+}
+
+// MonitorResponse is a tenant monitor snapshot.
+type MonitorResponse struct {
+	Tenant          string  `json:"tenant"`
+	Count           uint64  `json:"count"`
+	WindowCount     int     `json:"window_count"`
+	ObservedLo      int64   `json:"observed_lo"`
+	ObservedHi      int64   `json:"observed_hi"`
+	P50             int64   `json:"p50"`
+	P95             int64   `json:"p95"`
+	OutsideFraction float64 `json:"outside_fraction"`
+	Drift           float64 `json:"drift"`
+}
+
+// CheckResponse reports a control-loop iteration.
+type CheckResponse struct {
+	Redeployed bool   `json:"redeployed"`
+	Version    uint64 `json:"version"`
+}
+
+// CompileRequest asks for a guarantee analysis against a target device.
+type CompileRequest struct {
+	Name        string `json:"name"`
+	Sorted      bool   `json:"sorted"`
+	Queues      int    `json:"queues"`
+	RankRewrite bool   `json:"rank_rewrite"`
+	Admission   bool   `json:"admission"`
+}
+
+// RequirementInfo grades one obligation of the spec on the target.
+type RequirementInfo struct {
+	Kind    string   `json:"kind"`
+	Tenants []string `json:"tenants"`
+	Level   string   `json:"level"`
+	Note    string   `json:"note"`
+}
+
+// CompileResponse is the guarantee report.
+type CompileResponse struct {
+	Feasible     bool              `json:"feasible"`
+	Requirements []RequirementInfo `json:"requirements"`
+	PartialSpec  string            `json:"partial_spec,omitempty"`
+	Downgrades   []string          `json:"downgrades,omitempty"`
+}
+
+// DeviceInfo describes one fabric device for network-wide planning.
+type DeviceInfo struct {
+	Name   string         `json:"name"`
+	Role   string         `json:"role,omitempty"`
+	Target CompileRequest `json:"target"`
+}
+
+// FabricRequest asks for a network-wide plan over heterogeneous devices.
+type FabricRequest struct {
+	Devices []DeviceInfo `json:"devices"`
+}
+
+// FabricDevicePlan reports one device's outcome.
+type FabricDevicePlan struct {
+	Name     string `json:"name"`
+	Role     string `json:"role,omitempty"`
+	Backend  string `json:"backend"`
+	Feasible bool   `json:"feasible"`
+}
+
+// FabricResponse is the network-wide guarantee report.
+type FabricResponse struct {
+	Feasible   bool               `json:"feasible"`
+	Guarantees map[string]string  `json:"guarantees"`
+	Bottleneck map[string]string  `json:"bottleneck"`
+	Devices    []FabricDevicePlan `json:"devices"`
+}
+
+// InterferenceInfo is one pair of the worst-case interference matrix.
+type InterferenceInfo struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Fraction float64 `json:"fraction"`
+	Relation string  `json:"relation"`
+}
+
+// AnalyzeResponse is the offline worst-case analysis of the deployed
+// policy (§2, Idea 2).
+type AnalyzeResponse struct {
+	Pairs    []InterferenceInfo `json:"pairs"`
+	Isolated []string           `json:"isolated,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toTenant converts a wire registration to a core tenant.
+func (ti TenantInfo) toTenant() (*core.Tenant, error) {
+	t := &core.Tenant{ID: ti.ID, Name: ti.Name, Levels: ti.Levels}
+	if ti.Algorithm != "" {
+		r, err := rank.ByName(ti.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		t.Algorithm = r
+	}
+	if ti.Bounds != nil {
+		t.Bounds = rank.Bounds{Lo: ti.Bounds.Lo, Hi: ti.Bounds.Hi}
+	}
+	return t, nil
+}
+
+func tenantInfo(t *core.Tenant, flagged, quarantined bool) TenantInfo {
+	ti := TenantInfo{
+		Name:        t.Name,
+		ID:          t.ID,
+		Levels:      t.Levels,
+		Flagged:     flagged,
+		Quarantined: quarantined,
+	}
+	if t.Algorithm != nil {
+		ti.Algorithm = t.Algorithm.Name()
+	}
+	if t.Bounds != (rank.Bounds{}) {
+		ti.Bounds = &BoundsInfo{Lo: t.Bounds.Lo, Hi: t.Bounds.Hi}
+	}
+	return ti
+}

@@ -1,0 +1,151 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is a typed client for QVISOR's configuration API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:7474"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx reply.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Policy fetches the deployed joint policy.
+func (c *Client) Policy(ctx context.Context) (PolicyResponse, error) {
+	var out PolicyResponse
+	err := c.do(ctx, http.MethodGet, "/v1/policy", nil, &out)
+	return out, err
+}
+
+// Spec fetches the operator specification.
+func (c *Client) Spec(ctx context.Context) (string, error) {
+	var out SpecRequest
+	err := c.do(ctx, http.MethodGet, "/v1/spec", nil, &out)
+	return out.Spec, err
+}
+
+// SetSpec replaces the operator specification.
+func (c *Client) SetSpec(ctx context.Context, spec string) error {
+	return c.do(ctx, http.MethodPut, "/v1/spec", SpecRequest{Spec: spec}, nil)
+}
+
+// Tenants lists the registered tenants.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var out []TenantInfo
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// Join registers a tenant under a new operator specification.
+func (c *Client) Join(ctx context.Context, t TenantInfo, spec string) error {
+	return c.do(ctx, http.MethodPost, "/v1/tenants", JoinRequest{Tenant: t, Spec: spec}, nil)
+}
+
+// Leave deregisters a tenant; spec is the specification after departure.
+func (c *Client) Leave(ctx context.Context, name, spec string) error {
+	path := "/v1/tenants/" + url.PathEscape(name) + "?spec=" + url.QueryEscape(spec)
+	return c.do(ctx, http.MethodDelete, path, nil, nil)
+}
+
+// Monitor fetches a tenant's observed rank distribution.
+func (c *Client) Monitor(ctx context.Context, name string) (MonitorResponse, error) {
+	var out MonitorResponse
+	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name)+"/monitor", nil, &out)
+	return out, err
+}
+
+// Check runs one control-loop iteration.
+func (c *Client) Check(ctx context.Context) (CheckResponse, error) {
+	var out CheckResponse
+	err := c.do(ctx, http.MethodPost, "/v1/check", nil, &out)
+	return out, err
+}
+
+// Compile asks for the guarantee analysis against a target device.
+func (c *Client) Compile(ctx context.Context, target CompileRequest) (CompileResponse, error) {
+	var out CompileResponse
+	err := c.do(ctx, http.MethodPost, "/v1/compile", target, &out)
+	return out, err
+}
+
+// Analyze fetches the worst-case interference analysis of the deployed
+// policy.
+func (c *Client) Analyze(ctx context.Context) (AnalyzeResponse, error) {
+	var out AnalyzeResponse
+	err := c.do(ctx, http.MethodGet, "/v1/analyze", nil, &out)
+	return out, err
+}
+
+// Fabric asks for the network-wide plan over a heterogeneous device set.
+func (c *Client) Fabric(ctx context.Context, devices []DeviceInfo) (FabricResponse, error) {
+	var out FabricResponse
+	err := c.do(ctx, http.MethodPost, "/v1/fabric", FabricRequest{Devices: devices}, &out)
+	return out, err
+}

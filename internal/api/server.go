@@ -1,0 +1,317 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"qvisor/internal/core"
+	"qvisor/internal/orchestrator"
+	"qvisor/internal/policy"
+	"qvisor/internal/sim"
+)
+
+// Server exposes a core.Controller over HTTP. The controller is not safe
+// for concurrent use, so the server serializes all access behind a mutex —
+// configuration operations are control-plane rate, not data-plane rate.
+type Server struct {
+	mu    sync.Mutex
+	ctl   *core.Controller
+	start time.Time
+	clock func() sim.Time
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a controller. The controller's simulated-time arguments
+// are driven by wall-clock time since server start; pass clock to override
+// (tests).
+func NewServer(ctl *core.Controller, clock func() sim.Time) *Server {
+	s := &Server{ctl: ctl, start: time.Now(), clock: clock}
+	if s.clock == nil {
+		s.clock = func() sim.Time { return sim.Time(time.Since(s.start)) }
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
+	mux.HandleFunc("GET /v1/spec", s.handleGetSpec)
+	mux.HandleFunc("PUT /v1/spec", s.handlePutSpec)
+	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	mux.HandleFunc("POST /v1/tenants", s.handleJoin)
+	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleLeave)
+	mux.HandleFunc("GET /v1/tenants/{name}/monitor", s.handleMonitor)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/fabric", s.handleFabric)
+	mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jp := s.ctl.Policy()
+	resp := PolicyResponse{
+		Spec:     jp.Spec.String(),
+		Version:  jp.Version,
+		OutputLo: jp.Output.Lo,
+		OutputHi: jp.Output.Hi,
+	}
+	for _, name := range jp.Spec.Tenants() {
+		tr, ok := jp.TransformOf(name)
+		if !ok {
+			continue
+		}
+		resp.Transforms = append(resp.Transforms, TransformInfo{
+			Tenant: name, Lo: tr.Lo, Hi: tr.Hi, Levels: tr.Levels,
+			Stride: tr.Stride, Phase: tr.Phase, Offset: tr.Offset,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetSpec(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, SpecRequest{Spec: s.ctl.Spec().String()})
+}
+
+func (s *Server) handlePutSpec(w http.ResponseWriter, r *http.Request) {
+	var req SpecRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := policy.Parse(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ctl.UpdateSpec(s.clock(), spec); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SpecRequest{Spec: s.ctl.Spec().String()})
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TenantInfo
+	for _, t := range s.ctl.Tenants() {
+		out = append(out, tenantInfo(t, s.ctl.Flagged(t.Name), s.ctl.Quarantined(t.Name)))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := req.Tenant.toTenant()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := policy.Parse(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ctl.Join(s.clock(), t, spec); err != nil {
+		status := http.StatusConflict
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, tenantInfo(t, false, false))
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	specText := r.URL.Query().Get("spec")
+	if specText == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("api: missing spec query parameter"))
+		return
+	}
+	spec, err := policy.Parse(specText)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ctl.Leave(s.clock(), name, spec); err != nil {
+		status := http.StatusConflict
+		if strings.Contains(err.Error(), "not present") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.ctl.Monitor(name)
+	if m == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: no monitor for tenant %q", name))
+		return
+	}
+	resp := MonitorResponse{
+		Tenant:          name,
+		Count:           m.Count(),
+		OutsideFraction: m.OutsideFraction(),
+		Drift:           m.Drift(),
+	}
+	if snap, ok := m.Snapshot(); ok {
+		resp.WindowCount = snap.Count
+		resp.ObservedLo = snap.Observed.Lo
+		resp.ObservedHi = snap.Observed.Hi
+		resp.P50 = snap.P50
+		resp.P95 = snap.P95
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed, err := s.ctl.Check(s.clock())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckResponse{Redeployed: changed, Version: s.ctl.Version()})
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	plan, err := s.ctl.Policy().CompileTo(core.Target{
+		Name:        req.Name,
+		Sorted:      req.Sorted,
+		Queues:      req.Queues,
+		RankRewrite: req.RankRewrite,
+		Admission:   req.Admission,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := CompileResponse{Feasible: plan.Feasible, Downgrades: plan.Downgrades}
+	for _, rq := range plan.Requirements {
+		resp.Requirements = append(resp.Requirements, RequirementInfo{
+			Kind:    rq.Kind.String(),
+			Tenants: rq.Tenants,
+			Level:   rq.Level.String(),
+			Note:    rq.Note,
+		})
+	}
+	if plan.Partial != nil {
+		resp.PartialSpec = plan.Partial.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	report := s.ctl.Policy().Analyze()
+	resp := AnalyzeResponse{Isolated: report.Isolated}
+	for _, p := range report.Pairs {
+		resp.Pairs = append(resp.Pairs, InterferenceInfo{
+			From: p.From, To: p.To, Fraction: p.Fraction, Relation: p.Relation,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
+	var req FabricRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	devices := make([]orchestrator.Device, len(req.Devices))
+	for i, d := range req.Devices {
+		devices[i] = orchestrator.Device{
+			Name: d.Name,
+			Role: d.Role,
+			Target: core.Target{
+				Name:        d.Target.Name,
+				Sorted:      d.Target.Sorted,
+				Queues:      d.Target.Queues,
+				RankRewrite: d.Target.RankRewrite,
+				Admission:   d.Target.Admission,
+			},
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp, err := orchestrator.Plan(s.ctl.Policy(), devices)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := FabricResponse{
+		Feasible:   fp.Feasible,
+		Guarantees: make(map[string]string, len(fp.Guarantees)),
+		Bottleneck: make(map[string]string, len(fp.Bottleneck)),
+	}
+	for kind, lvl := range fp.Guarantees {
+		resp.Guarantees[kind.String()] = lvl.String()
+	}
+	for kind, dev := range fp.Bottleneck {
+		resp.Bottleneck[kind.String()] = dev
+	}
+	for _, dp := range fp.Devices {
+		resp.Devices = append(resp.Devices, FabricDevicePlan{
+			Name:     dp.Device.Name,
+			Role:     dp.Device.Role,
+			Backend:  dp.Backend.String(),
+			Feasible: dp.Plan.Feasible,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

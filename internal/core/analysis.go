@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interference quantifies how one tenant's rank band can affect another's
+// under the joint policy — the offline, worst-case flavor of §2's Idea 2:
+// "we can develop analysis techniques to evaluate how different scheduling
+// policies may work together ... theoretically, offline (e.g., based on
+// worst-case analysis from the given specification)".
+type Interference struct {
+	// From can preempt To: a From packet can be scheduled ahead of a
+	// queued To packet.
+	From, To string
+	// Fraction is the fraction of To's output band that From's band
+	// overlaps or precedes — 1.0 means From can always preempt To
+	// (strict priority), 0 means never.
+	Fraction float64
+	// Relation names the policy relation that produced this exposure.
+	Relation string
+}
+
+// AnalysisReport is the full pairwise interference matrix plus derived
+// worst-case facts.
+type AnalysisReport struct {
+	// Pairs holds every ordered tenant pair with nonzero interference.
+	Pairs []Interference
+	// Isolated lists tenants that no other tenant can preempt (top
+	// strict tier members with no sharing partners).
+	Isolated []string
+}
+
+// Describe renders the report.
+func (r *AnalysisReport) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "worst-case interference (fraction of victim band preemptable):\n")
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&b, "  %-12s → %-12s %5.1f%%  (%s)\n", p.From, p.To, 100*p.Fraction, p.Relation)
+	}
+	if len(r.Isolated) > 0 {
+		fmt.Fprintf(&b, "fully isolated: %s\n", strings.Join(r.Isolated, ", "))
+	}
+	return b.String()
+}
+
+// Analyze computes the pairwise worst-case interference of a joint policy
+// from the synthesized bands alone — no traffic needed.
+func (jp *JointPolicy) Analyze() *AnalysisReport {
+	report := &AnalysisReport{}
+	names := jp.Spec.Tenants()
+	preempted := make(map[string]bool)
+	for _, from := range names {
+		for _, to := range names {
+			if from == to {
+				continue
+			}
+			frac := preemptFraction(jp, from, to)
+			if frac <= 0 {
+				continue
+			}
+			rel, _ := jp.Spec.Relate(from, to)
+			report.Pairs = append(report.Pairs, Interference{
+				From:     from,
+				To:       to,
+				Fraction: frac,
+				Relation: rel.String(),
+			})
+			preempted[to] = true
+		}
+	}
+	sort.Slice(report.Pairs, func(i, j int) bool {
+		if report.Pairs[i].Fraction != report.Pairs[j].Fraction {
+			return report.Pairs[i].Fraction > report.Pairs[j].Fraction
+		}
+		if report.Pairs[i].From != report.Pairs[j].From {
+			return report.Pairs[i].From < report.Pairs[j].From
+		}
+		return report.Pairs[i].To < report.Pairs[j].To
+	})
+	for _, name := range names {
+		if !preempted[name] {
+			report.Isolated = append(report.Isolated, name)
+		}
+	}
+	return report
+}
+
+// preemptFraction returns the fraction of to's output band at or after
+// from's best (lowest) output rank — the share of to's packets a queued
+// from packet can beat in the worst case.
+func preemptFraction(jp *JointPolicy, from, to string) float64 {
+	tf, ok1 := jp.TransformOf(from)
+	tt, ok2 := jp.TransformOf(to)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	bf, bt := tf.OutputBounds(), tt.OutputBounds()
+	if bf.Lo > bt.Hi {
+		return 0 // from's best never beats to's worst
+	}
+	span := bt.Span() + 1
+	exposed := bt.Hi - max64(bf.Lo, bt.Lo) + 1
+	if exposed > span {
+		exposed = span
+	}
+	return float64(exposed) / float64(span)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func analysisPolicy(t *testing.T, spec string) *JointPolicy {
+	t.Helper()
+	tenants := []*Tenant{
+		tenant(1, "A", 0, 100),
+		tenant(2, "B", 0, 100),
+		tenant(3, "C", 0, 100),
+	}
+	names := map[string]bool{}
+	for _, n := range tenants {
+		names[n.Name] = true
+	}
+	return mustSynth(t, tenants, spec, SynthOptions{DefaultLevels: 16})
+}
+
+func pair(r *AnalysisReport, from, to string) (Interference, bool) {
+	for _, p := range r.Pairs {
+		if p.From == from && p.To == to {
+			return p, true
+		}
+	}
+	return Interference{}, false
+}
+
+func TestAnalyzeStrictIsolation(t *testing.T) {
+	r := analysisPolicy(t, "A >> B >> C").Analyze()
+	// A preempts 100% of B and C; nothing preempts A.
+	for _, victim := range []string{"B", "C"} {
+		p, ok := pair(r, "A", victim)
+		if !ok || p.Fraction != 1.0 {
+			t.Fatalf("A→%s interference = %+v, want 100%%", victim, p)
+		}
+	}
+	if _, ok := pair(r, "B", "A"); ok {
+		t.Fatal("B must not preempt A under strict priority")
+	}
+	if len(r.Isolated) != 1 || r.Isolated[0] != "A" {
+		t.Fatalf("isolated = %v, want [A]", r.Isolated)
+	}
+}
+
+func TestAnalyzeSharing(t *testing.T) {
+	r := analysisPolicy(t, "A + B >> C").Analyze()
+	// Sharing tenants fully interfere both ways (by design: they split
+	// capacity), and both dominate C.
+	ab, ok1 := pair(r, "A", "B")
+	ba, ok2 := pair(r, "B", "A")
+	if !ok1 || !ok2 {
+		t.Fatal("sharing pair missing")
+	}
+	if ab.Fraction < 0.9 || ba.Fraction < 0.9 {
+		t.Fatalf("sharing fractions: %v / %v, want ~1.0", ab.Fraction, ba.Fraction)
+	}
+	if ab.Relation != "shares" {
+		t.Fatalf("relation = %q", ab.Relation)
+	}
+	if len(r.Isolated) != 0 {
+		t.Fatalf("isolated = %v, want none (A and B preempt each other)", r.Isolated)
+	}
+}
+
+func TestAnalyzePreferenceAsymmetric(t *testing.T) {
+	r := analysisPolicy(t, "A > B >> C").Analyze()
+	ab, ok1 := pair(r, "A", "B")
+	ba, ok2 := pair(r, "B", "A")
+	if !ok1 || !ok2 {
+		t.Fatal("preference pairs missing")
+	}
+	// A can preempt all of B; B can only reach A's upper half (default
+	// bias 0.5).
+	if ab.Fraction != 1.0 {
+		t.Fatalf("A→B = %v, want 1.0", ab.Fraction)
+	}
+	if ba.Fraction <= 0 || ba.Fraction >= 1 {
+		t.Fatalf("B→A = %v, want partial", ba.Fraction)
+	}
+	if ab.Relation != "prefers" || ba.Relation != "preferred-by" {
+		t.Fatalf("relations: %q / %q", ab.Relation, ba.Relation)
+	}
+}
+
+func TestAnalyzeDescribe(t *testing.T) {
+	r := analysisPolicy(t, "A >> B + C").Analyze()
+	d := r.Describe()
+	for _, want := range []string{"A", "B", "C", "isolated", "%"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qvisor/internal/policy"
+)
+
+// Target describes the capabilities of an existing scheduler, the "design
+// space" §3.4 and §5 say QVISOR must receive to compile policies onto real
+// hardware: "in order for QVISOR to run on existing schedulers, it should
+// know what packet-processing operations they support and what guarantees
+// they provide".
+type Target struct {
+	// Name identifies the device model.
+	Name string
+	// Sorted reports a true PIFO: perfect rank ordering.
+	Sorted bool
+	// Queues is the number of strict-priority FIFO queues (ignored when
+	// Sorted).
+	Queues int
+	// RankRewrite reports whether the device can run QVISOR's
+	// pre-processor (match-action stages that rewrite the rank field).
+	RankRewrite bool
+	// Admission reports rank-aware admission control (AIFO-style),
+	// which recovers some ordering on shallow queue counts by dropping
+	// what a PIFO would have dropped.
+	Admission bool
+}
+
+// Common targets.
+var (
+	// TargetPIFO is the ideal device the paper's evaluation assumes.
+	TargetPIFO = Target{Name: "ideal-pifo", Sorted: true, RankRewrite: true}
+	// TargetCommodity8Q models a commodity switch: 8 strict-priority
+	// queues and programmable stages for the rank rewrite.
+	TargetCommodity8Q = Target{Name: "commodity-8q", Queues: 8, RankRewrite: true}
+	// TargetLegacy4Q models a fixed-function switch: 4 priority queues,
+	// no programmable rank rewrite.
+	TargetLegacy4Q = Target{Name: "legacy-4q", Queues: 4}
+)
+
+// GuaranteeLevel grades how faithfully a requirement is realized.
+type GuaranteeLevel int
+
+const (
+	// GuaranteeNone: the requirement is not realized at all.
+	GuaranteeNone GuaranteeLevel = iota
+	// GuaranteeApprox: realized approximately (bounded inversions,
+	// coarse fairness, or best-effort preference).
+	GuaranteeApprox
+	// GuaranteeExact: realized exactly, including worst cases.
+	GuaranteeExact
+)
+
+// String implements fmt.Stringer.
+func (g GuaranteeLevel) String() string {
+	switch g {
+	case GuaranteeExact:
+		return "exact"
+	case GuaranteeApprox:
+		return "approximate"
+	default:
+		return "none"
+	}
+}
+
+// ReqKind classifies the requirements a joint policy imposes.
+type ReqKind int
+
+const (
+	// ReqIsolation: a ">>" boundary (strict priority).
+	ReqIsolation ReqKind = iota
+	// ReqPreference: a ">" relation (best-effort priority).
+	ReqPreference
+	// ReqSharing: a "+" group (fair sharing with interleaving).
+	ReqSharing
+	// ReqIntraOrder: a tenant's own rank order must be preserved.
+	ReqIntraOrder
+)
+
+// String implements fmt.Stringer.
+func (k ReqKind) String() string {
+	switch k {
+	case ReqIsolation:
+		return "isolation"
+	case ReqPreference:
+		return "preference"
+	case ReqSharing:
+		return "sharing"
+	case ReqIntraOrder:
+		return "intra-tenant order"
+	default:
+		return fmt.Sprintf("req(%d)", int(k))
+	}
+}
+
+// Requirement is one obligation the operator's specification imposes,
+// graded with the guarantee level the target can offer.
+type Requirement struct {
+	// Kind classifies the obligation.
+	Kind ReqKind
+	// Tenants are the tenants involved.
+	Tenants []string
+	// Level is the achievable guarantee on the target.
+	Level GuaranteeLevel
+	// Note explains the grade.
+	Note string
+}
+
+// Plan is the result of compiling a joint policy onto a target: the
+// achievable guarantees, and — when the full specification does not fit —
+// a proposed partial specification that does (§5: "QVISOR would not just
+// fail if the desired policy could not be compiled, but would propose
+// partial specifications implementable on the available resources").
+type Plan struct {
+	// Target is the device compiled for.
+	Target Target
+	// Feasible reports whether the full specification is realizable with
+	// at least approximate guarantees everywhere.
+	Feasible bool
+	// Requirements grades every obligation.
+	Requirements []Requirement
+	// QueuesPerTier is the dedicated-queue allocation (nil when Sorted).
+	QueuesPerTier []int
+	// Partial, when not nil, is a downgraded specification that fits the
+	// target (strict boundaries relaxed to best-effort preferences).
+	Partial *policy.Spec
+	// Downgrades lists the relaxations applied to produce Partial.
+	Downgrades []string
+}
+
+// Describe renders the plan as a human-readable report.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target: %s (sorted=%v queues=%d rank-rewrite=%v admission=%v)\n",
+		p.Target.Name, p.Target.Sorted, p.Target.Queues, p.Target.RankRewrite, p.Target.Admission)
+	fmt.Fprintf(&b, "feasible: %v\n", p.Feasible)
+	for _, r := range p.Requirements {
+		fmt.Fprintf(&b, "  %-20s %-24s %s  (%s)\n",
+			r.Kind, strings.Join(r.Tenants, ","), r.Level, r.Note)
+	}
+	if p.Partial != nil {
+		fmt.Fprintf(&b, "proposed partial spec: %s\n", p.Partial)
+		for _, d := range p.Downgrades {
+			fmt.Fprintf(&b, "  downgrade: %s\n", d)
+		}
+	}
+	return b.String()
+}
+
+// CompileTo analyzes whether the joint policy's specification can run on
+// the target and with what guarantees. It never modifies the policy; when
+// the target cannot realize every strict boundary it proposes a partial
+// specification with the lowest boundaries relaxed.
+func (jp *JointPolicy) CompileTo(t Target) (*Plan, error) {
+	if !t.Sorted && t.Queues < 1 {
+		return nil, fmt.Errorf("core: target %q has no scheduling resources", t.Name)
+	}
+	plan := &Plan{Target: t, Feasible: true}
+	spec := jp.Spec
+	nt := len(spec.Tiers)
+
+	// A device without rank rewriting cannot execute the pre-processor:
+	// only whole-tier isolation via dedicated queues remains; intra-order
+	// and sharing degrade.
+	rewrite := t.Sorted || t.RankRewrite
+
+	// Queue allocation: dedicated queues per tier (as deploySPQueues).
+	if !t.Sorted {
+		if t.Queues >= nt {
+			plan.QueuesPerTier = make([]int, nt)
+			base := t.Queues / nt
+			extra := t.Queues % nt
+			for i := range plan.QueuesPerTier {
+				plan.QueuesPerTier[i] = base
+				if i < extra {
+					plan.QueuesPerTier[i]++
+				}
+			}
+		} else {
+			// Not enough queues to isolate every tier: propose a partial
+			// spec that merges the lowest strict boundaries into
+			// best-effort preferences until it fits.
+			plan.Feasible = false
+			partial := clone(spec)
+			for len(partial.Tiers) > t.Queues {
+				n := len(partial.Tiers)
+				lo, lower := partial.Tiers[n-2], partial.Tiers[n-1]
+				plan.Downgrades = append(plan.Downgrades, fmt.Sprintf(
+					"strict boundary %q >> %q relaxed to best-effort preference",
+					tierName(lo), tierName(lower)))
+				merged := Tier2(lo, lower)
+				partial.Tiers = append(partial.Tiers[:n-2], merged)
+			}
+			plan.Partial = partial
+		}
+	}
+
+	// Grade the requirements.
+	for i := 0; i < nt-1; i++ {
+		upper, lower := spec.Tiers[i], spec.Tiers[i+1]
+		req := Requirement{
+			Kind:    ReqIsolation,
+			Tenants: []string{tierName(upper), tierName(lower)},
+		}
+		switch {
+		case t.Sorted:
+			req.Level = GuaranteeExact
+			req.Note = "disjoint rank bands on a sorting scheduler"
+		case plan.QueuesPerTier != nil:
+			req.Level = GuaranteeExact
+			req.Note = "dedicated strict-priority queues per tier"
+		case i < t.Queues-1:
+			// The partial spec keeps the highest t.Queues-1 boundaries
+			// strict; only the lowest ones are relaxed.
+			req.Level = GuaranteeExact
+			req.Note = "dedicated strict-priority queues per tier"
+		default:
+			req.Level = GuaranteeApprox
+			req.Note = "relaxed to preference in the partial spec"
+		}
+		plan.Requirements = append(plan.Requirements, req)
+	}
+	for _, tier := range spec.Tiers {
+		for li, lvl := range tier.Levels {
+			if li < len(tier.Levels)-1 {
+				plan.Requirements = append(plan.Requirements, Requirement{
+					Kind:    ReqPreference,
+					Tenants: []string{strings.Join(lvl.Tenants, "+"), strings.Join(tier.Levels[li+1].Tenants, "+")},
+					Level:   prefLevel(t, rewrite),
+					Note:    prefNote(t, rewrite),
+				})
+			}
+			if len(lvl.Tenants) > 1 {
+				req := Requirement{Kind: ReqSharing, Tenants: lvl.Tenants}
+				switch {
+				case t.Sorted && rewrite:
+					req.Level = GuaranteeExact
+					req.Note = "slot interleaving on a sorting scheduler"
+				case rewrite:
+					req.Level = GuaranteeApprox
+					req.Note = "interleaved ranks coarsened by shared FIFO queues"
+				default:
+					req.Level = GuaranteeApprox
+					req.Note = "FIFO mixing only; no rank interleaving without rewrite"
+				}
+				plan.Requirements = append(plan.Requirements, req)
+			}
+			for _, tenant := range lvl.Tenants {
+				req := Requirement{Kind: ReqIntraOrder, Tenants: []string{tenant}}
+				switch {
+				case t.Sorted:
+					req.Level = GuaranteeExact
+					req.Note = "perfect rank sorting"
+				case !rewrite:
+					req.Level = GuaranteeNone
+					req.Note = "no rank rewrite: tenant ranks are invisible to the device"
+					plan.Feasible = false
+				case t.Admission:
+					req.Level = GuaranteeApprox
+					req.Note = "rank range split across queues, admission trims inversions"
+				default:
+					req.Level = GuaranteeApprox
+					req.Note = "rank range split across the tier's queues; inversions within a queue"
+				}
+				plan.Requirements = append(plan.Requirements, req)
+			}
+		}
+	}
+	return plan, nil
+}
+
+func prefLevel(t Target, rewrite bool) GuaranteeLevel {
+	if t.Sorted && rewrite {
+		return GuaranteeExact
+	}
+	if rewrite {
+		return GuaranteeApprox
+	}
+	return GuaranteeNone
+}
+
+func prefNote(t Target, rewrite bool) string {
+	if t.Sorted && rewrite {
+		return "synthesized band overlap realized exactly"
+	}
+	if rewrite {
+		return "band overlap coarsened by queue granularity"
+	}
+	return "preference needs the rank rewrite"
+}
+
+func tierName(t policy.Tier) string {
+	var names []string
+	for _, lvl := range t.Levels {
+		names = append(names, lvl.Tenants...)
+	}
+	return strings.Join(names, "+")
+}
+
+// Tier2 merges two tiers into one, preserving each tier's internal
+// preference order and relating the two by best-effort preference (the
+// upper tier's levels come first).
+func Tier2(upper, lower policy.Tier) policy.Tier {
+	var out policy.Tier
+	out.Levels = append(out.Levels, upper.Levels...)
+	out.Levels = append(out.Levels, lower.Levels...)
+	return out
+}
+
+func clone(s *policy.Spec) *policy.Spec {
+	out := &policy.Spec{Tiers: make([]policy.Tier, len(s.Tiers))}
+	for i, tier := range s.Tiers {
+		out.Tiers[i].Levels = make([]policy.Level, len(tier.Levels))
+		for j, lvl := range tier.Levels {
+			out.Tiers[i].Levels[j].Tenants = append([]string(nil), lvl.Tenants...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+)
+
+func compilePolicy(t *testing.T, spec string) *JointPolicy {
+	t.Helper()
+	names := policy.MustParse(spec).Tenants()
+	tenants := make([]*Tenant, len(names))
+	for i, n := range names {
+		tenants[i] = tenant(pkt.TenantID(i+1), n, 0, 1000)
+	}
+	return mustSynth(t, tenants, spec, SynthOptions{DefaultLevels: 16})
+}
+
+func find(plan *Plan, kind ReqKind) []Requirement {
+	var out []Requirement
+	for _, r := range plan.Requirements {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestCompileToPIFOAllExact(t *testing.T) {
+	jp := compilePolicy(t, "T1 >> T2 > T3 + T4 >> T5")
+	plan, err := jp.CompileTo(TargetPIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("ideal PIFO must be feasible")
+	}
+	for _, r := range plan.Requirements {
+		if r.Level != GuaranteeExact {
+			t.Errorf("%v %v: level %v, want exact", r.Kind, r.Tenants, r.Level)
+		}
+	}
+	if plan.Partial != nil {
+		t.Fatal("no partial spec needed on an ideal PIFO")
+	}
+}
+
+func TestCompileToCommodityEnoughQueues(t *testing.T) {
+	jp := compilePolicy(t, "T1 >> T2 + T3")
+	plan, err := jp.CompileTo(TargetCommodity8Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("8 queues for 2 tiers must be feasible")
+	}
+	iso := find(plan, ReqIsolation)
+	if len(iso) != 1 || iso[0].Level != GuaranteeExact {
+		t.Fatalf("isolation reqs: %+v", iso)
+	}
+	// Intra-tenant order only approximate on FIFO queue banks.
+	for _, r := range find(plan, ReqIntraOrder) {
+		if r.Level != GuaranteeApprox {
+			t.Errorf("intra-order %v: %v, want approximate", r.Tenants, r.Level)
+		}
+	}
+	// Queue allocation covers both tiers.
+	if len(plan.QueuesPerTier) != 2 || plan.QueuesPerTier[0]+plan.QueuesPerTier[1] != 8 {
+		t.Fatalf("queue allocation %v", plan.QueuesPerTier)
+	}
+}
+
+func TestCompileToTooFewQueuesProposesPartial(t *testing.T) {
+	// Five strict tiers on a 4-queue device: the lowest boundary must be
+	// relaxed.
+	jp := compilePolicy(t, "T1 >> T2 >> T3 >> T4 >> T5")
+	plan, err := jp.CompileTo(TargetLegacy4Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("5 tiers on 4 queues must be infeasible as specified")
+	}
+	if plan.Partial == nil {
+		t.Fatal("must propose a partial spec")
+	}
+	if got := len(plan.Partial.Tiers); got != 4 {
+		t.Fatalf("partial spec has %d tiers, want 4", got)
+	}
+	if err := plan.Partial.Validate(); err != nil {
+		t.Fatalf("partial spec invalid: %v", err)
+	}
+	// The merged tiers keep all tenants, related by preference.
+	if got, want := plan.Partial.String(), "T1 >> T2 >> T3 >> T4 > T5"; got != want {
+		t.Fatalf("partial = %q, want %q", got, want)
+	}
+	if len(plan.Downgrades) != 1 {
+		t.Fatalf("downgrades = %v", plan.Downgrades)
+	}
+}
+
+func TestCompileNoRewriteLosesIntraOrder(t *testing.T) {
+	jp := compilePolicy(t, "T1 >> T2")
+	plan, err := jp.CompileTo(Target{Name: "fixed", Queues: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("no rank rewrite: intra-tenant order unachievable, must be infeasible")
+	}
+	for _, r := range find(plan, ReqIntraOrder) {
+		if r.Level != GuaranteeNone {
+			t.Errorf("intra-order %v without rewrite: %v, want none", r.Tenants, r.Level)
+		}
+	}
+	// Isolation still works via dedicated queues.
+	for _, r := range find(plan, ReqIsolation) {
+		if r.Level != GuaranteeExact {
+			t.Errorf("isolation %v: %v, want exact", r.Tenants, r.Level)
+		}
+	}
+}
+
+func TestCompileAdmissionImprovesNote(t *testing.T) {
+	jp := compilePolicy(t, "T1")
+	plan, err := jp.CompileTo(Target{Name: "aifo-like", Queues: 1, RankRewrite: true, Admission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := find(plan, ReqIntraOrder)
+	if len(intra) != 1 || !strings.Contains(intra[0].Note, "admission") {
+		t.Fatalf("admission note missing: %+v", intra)
+	}
+}
+
+func TestCompilePreferenceGrades(t *testing.T) {
+	jp := compilePolicy(t, "T1 > T2")
+	sorted, _ := jp.CompileTo(TargetPIFO)
+	if p := find(sorted, ReqPreference); len(p) != 1 || p[0].Level != GuaranteeExact {
+		t.Fatalf("preference on PIFO: %+v", p)
+	}
+	queues, _ := jp.CompileTo(TargetCommodity8Q)
+	if p := find(queues, ReqPreference); len(p) != 1 || p[0].Level != GuaranteeApprox {
+		t.Fatalf("preference on queues: %+v", p)
+	}
+	fixed, _ := jp.CompileTo(Target{Name: "f", Queues: 2})
+	if p := find(fixed, ReqPreference); len(p) != 1 || p[0].Level != GuaranteeNone {
+		t.Fatalf("preference without rewrite: %+v", p)
+	}
+}
+
+func TestCompileBadTarget(t *testing.T) {
+	jp := compilePolicy(t, "T1")
+	if _, err := jp.CompileTo(Target{Name: "broken"}); err == nil {
+		t.Fatal("target with no resources should error")
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	jp := compilePolicy(t, "T1 >> T2 >> T3")
+	plan, err := jp.CompileTo(Target{Name: "2q", Queues: 2, RankRewrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := plan.Describe()
+	for _, want := range []string{"2q", "feasible: false", "partial spec", "downgrade"} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestGuaranteeAndReqStrings(t *testing.T) {
+	if GuaranteeExact.String() != "exact" || GuaranteeApprox.String() != "approximate" ||
+		GuaranteeNone.String() != "none" {
+		t.Fatal("guarantee strings")
+	}
+	for k, want := range map[ReqKind]string{
+		ReqIsolation: "isolation", ReqPreference: "preference",
+		ReqSharing: "sharing", ReqIntraOrder: "intra-tenant order",
+		ReqKind(9): "req(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q != %q", int(k), k.String(), want)
+		}
+	}
+}

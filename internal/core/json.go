@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+// jointPolicyJSON is the serialized form of a JointPolicy: the artifact a
+// control plane ships to pre-processors (the paper's Fig. 1 arrow from the
+// synthesizer to the data plane). Everything needed to execute the policy
+// is value data — no rank-function code crosses the wire, only the
+// synthesized transformations.
+type jointPolicyJSON struct {
+	Spec       string            `json:"spec"`
+	Version    uint64            `json:"version"`
+	Output     [2]int64          `json:"output"`
+	Transforms []transformJSON   `json:"transforms"`
+	Tiers      []tierPlanJSON    `json:"tiers"`
+	Names      map[string]uint16 `json:"names"`
+}
+
+type transformJSON struct {
+	Tenant uint16 `json:"tenant"`
+	Lo     int64  `json:"lo"`
+	Hi     int64  `json:"hi"`
+	Levels int64  `json:"levels"`
+	Stride int64  `json:"stride"`
+	Phase  int64  `json:"phase"`
+	Weight int64  `json:"weight,omitempty"`
+	Offset int64  `json:"offset"`
+}
+
+type tierPlanJSON struct {
+	Lo      int64    `json:"lo"`
+	Hi      int64    `json:"hi"`
+	Tenants []string `json:"tenants"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (jp *JointPolicy) MarshalJSON() ([]byte, error) {
+	out := jointPolicyJSON{
+		Spec:    jp.Spec.String(),
+		Version: jp.Version,
+		Output:  [2]int64{jp.Output.Lo, jp.Output.Hi},
+		Names:   make(map[string]uint16, len(jp.ByName)),
+	}
+	// Deterministic order: spec order.
+	for _, name := range jp.Spec.Tenants() {
+		id, ok := jp.ByName[name]
+		if !ok {
+			continue
+		}
+		tr := jp.Transforms[id]
+		out.Transforms = append(out.Transforms, transformJSON{
+			Tenant: uint16(id), Lo: tr.Lo, Hi: tr.Hi, Levels: tr.Levels,
+			Stride: tr.Stride, Phase: tr.Phase, Weight: tr.Weight, Offset: tr.Offset,
+		})
+		out.Names[name] = uint16(id)
+	}
+	for _, tp := range jp.Tiers {
+		out.Tiers = append(out.Tiers, tierPlanJSON{
+			Lo: tp.Bounds.Lo, Hi: tp.Bounds.Hi, Tenants: tp.Tenants,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (jp *JointPolicy) UnmarshalJSON(data []byte) error {
+	var in jointPolicyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	spec, err := policy.Parse(in.Spec)
+	if err != nil {
+		return fmt.Errorf("core: joint policy spec: %w", err)
+	}
+	jp.Spec = spec
+	jp.Version = in.Version
+	jp.Output = rank.Bounds{Lo: in.Output[0], Hi: in.Output[1]}
+	jp.Transforms = make(map[pkt.TenantID]Transform, len(in.Transforms))
+	jp.ByName = make(map[string]pkt.TenantID, len(in.Names))
+	for _, tr := range in.Transforms {
+		jp.Transforms[pkt.TenantID(tr.Tenant)] = Transform{
+			Lo: tr.Lo, Hi: tr.Hi, Levels: tr.Levels,
+			Stride: tr.Stride, Phase: tr.Phase, Weight: tr.Weight, Offset: tr.Offset,
+		}
+	}
+	for name, id := range in.Names {
+		jp.ByName[name] = pkt.TenantID(id)
+	}
+	jp.Tiers = jp.Tiers[:0]
+	for _, tp := range in.Tiers {
+		jp.Tiers = append(jp.Tiers, TierPlan{
+			Bounds:  rank.Bounds{Lo: tp.Lo, Hi: tp.Hi},
+			Tenants: tp.Tenants,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+)
+
+// UnknownTenantAction selects what the pre-processor does with packets
+// whose tenant label has no transformation.
+type UnknownTenantAction int
+
+const (
+	// UnknownWorst re-ranks unknown traffic to one past the joint
+	// policy's worst rank, so it only uses leftover capacity (default).
+	UnknownWorst UnknownTenantAction = iota
+	// UnknownPass forwards the packet with its rank unchanged.
+	UnknownPass
+	// UnknownDrop rejects the packet.
+	UnknownDrop
+)
+
+// String implements fmt.Stringer.
+func (a UnknownTenantAction) String() string {
+	switch a {
+	case UnknownWorst:
+		return "worst"
+	case UnknownPass:
+		return "pass"
+	case UnknownDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("unknown-action(%d)", int(a))
+	}
+}
+
+// ErrUnknownTenant is reported by Process when a packet's tenant has no
+// transformation and the action is UnknownDrop.
+type ErrUnknownTenant struct {
+	Tenant pkt.TenantID
+}
+
+// Error implements error.
+func (e *ErrUnknownTenant) Error() string {
+	return fmt.Sprintf("core: no transformation for tenant %d", e.Tenant)
+}
+
+// PreprocStats counts pre-processor activity.
+type PreprocStats struct {
+	// Processed counts packets whose rank was rewritten.
+	Processed uint64
+	// Unknown counts packets with an unrecognized tenant label.
+	Unknown uint64
+	// Clamped counts packets whose incoming rank fell outside the
+	// tenant's declared bounds (a signal the monitor uses for
+	// adversarial-workload detection, §2).
+	Clamped uint64
+}
+
+// Preprocessor is QVISOR's data-plane component (§3.3): for each incoming
+// packet it extracts the tenant identifier and packet rank, looks up the
+// tenant's transformation functions, rewrites the rank, and forwards the
+// packet to the hardware scheduler.
+//
+// The transform table is swapped atomically (from the simulator's
+// perspective) by Update when the runtime controller re-synthesizes the
+// joint policy.
+type Preprocessor struct {
+	jp     *JointPolicy
+	action UnknownTenantAction
+	stats  PreprocStats
+}
+
+// NewPreprocessor returns a pre-processor executing the given joint policy.
+func NewPreprocessor(jp *JointPolicy, action UnknownTenantAction) *Preprocessor {
+	return &Preprocessor{jp: jp, action: action}
+}
+
+// Policy returns the joint policy currently deployed.
+func (pp *Preprocessor) Policy() *JointPolicy { return pp.jp }
+
+// Update deploys a new joint policy. Packets processed afterwards use the
+// new transformations — the event-driven reconfiguration of §2 (Idea 2).
+func (pp *Preprocessor) Update(jp *JointPolicy) { pp.jp = jp }
+
+// Stats returns a snapshot of the counters.
+func (pp *Preprocessor) Stats() PreprocStats { return pp.stats }
+
+// Process rewrites p.Rank according to the joint policy. It returns false
+// if the packet must be dropped (unknown tenant under UnknownDrop).
+func (pp *Preprocessor) Process(p *pkt.Packet) bool {
+	tr, ok := pp.jp.Transforms[p.Tenant]
+	if !ok {
+		pp.stats.Unknown++
+		switch pp.action {
+		case UnknownPass:
+			return true
+		case UnknownDrop:
+			return false
+		default: // UnknownWorst
+			p.Rank = pp.jp.Output.Hi + 1
+			return true
+		}
+	}
+	if p.Rank < tr.Lo || p.Rank > tr.Hi {
+		pp.stats.Clamped++
+	}
+	p.Rank = tr.Apply(p.Rank)
+	pp.stats.Processed++
+	return true
+}
+
+// ProcessFrame parses a wire-format QVISOR label at the start of frame,
+// applies the transformation, and writes the updated label back in place.
+// This is the path a hardware deployment would take; the simulator uses
+// Process directly on packet structs.
+func (pp *Preprocessor) ProcessFrame(frame []byte) error {
+	var l pkt.Label
+	if err := l.UnmarshalBinary(frame); err != nil {
+		return err
+	}
+	p := pkt.Packet{Tenant: l.Tenant, Rank: l.Rank}
+	if !pp.Process(&p) {
+		return &ErrUnknownTenant{Tenant: l.Tenant}
+	}
+	l.Rank = p.Rank
+	return l.Encode(frame)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+)
+
+func fig3Policy(t *testing.T) *JointPolicy {
+	t.Helper()
+	tenants := []*Tenant{
+		{ID: 1, Name: "T1", Bounds: rank.Bounds{Lo: 7, Hi: 9}, Levels: 3},
+		{ID: 2, Name: "T2", Bounds: rank.Bounds{Lo: 1, Hi: 3}, Levels: 2},
+		{ID: 3, Name: "T3", Bounds: rank.Bounds{Lo: 3, Hi: 5}, Levels: 2},
+	}
+	return mustSynth(t, tenants, "T1 >> T2 + T3", SynthOptions{Base: 1})
+}
+
+// TestFigure3PIFOOrder drives the paper's Figure 3 end to end: the
+// pre-processor transforms the arriving packets, the PIFO sorts them, and
+// the output sequence satisfies the spec — all T1 packets first, then T2
+// and T3 alternating.
+func TestFigure3PIFOOrder(t *testing.T) {
+	pp := NewPreprocessor(fig3Policy(t), UnknownWorst)
+	pifo := sched.NewPIFO(sched.Config{})
+
+	arrivals := []struct {
+		tenant pkt.TenantID
+		rank   int64
+	}{
+		{2, 3}, {3, 5}, {1, 9}, {1, 7}, {2, 1}, {3, 3}, {1, 8},
+	}
+	for i, a := range arrivals {
+		p := &pkt.Packet{ID: uint64(i), Tenant: a.tenant, Rank: a.rank, Size: 100}
+		if !pp.Process(p) {
+			t.Fatalf("packet %d dropped", i)
+		}
+		pifo.Enqueue(p)
+	}
+
+	type out struct {
+		tenant pkt.TenantID
+		rank   int64
+	}
+	var got []out
+	for p := pifo.Dequeue(); p != nil; p = pifo.Dequeue() {
+		got = append(got, out{p.Tenant, p.Rank})
+	}
+	want := []out{
+		{1, 1}, {1, 2}, {1, 3}, // all of T1, in pFabric order
+		{2, 4}, {3, 5}, {2, 6}, {3, 7}, // T2 and T3 interleaved
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dequeued %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %+v, want %+v (full: %+v)", i, got[i], want[i], got)
+		}
+	}
+	if st := pp.Stats(); st.Processed != 7 || st.Unknown != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnknownTenantWorst(t *testing.T) {
+	jp := fig3Policy(t)
+	pp := NewPreprocessor(jp, UnknownWorst)
+	p := &pkt.Packet{Tenant: 99, Rank: 0}
+	if !pp.Process(p) {
+		t.Fatal("UnknownWorst must not drop")
+	}
+	if p.Rank != jp.Output.Hi+1 {
+		t.Fatalf("unknown rank = %d, want %d", p.Rank, jp.Output.Hi+1)
+	}
+	if pp.Stats().Unknown != 1 {
+		t.Fatalf("unknown count = %d", pp.Stats().Unknown)
+	}
+}
+
+func TestUnknownTenantPass(t *testing.T) {
+	pp := NewPreprocessor(fig3Policy(t), UnknownPass)
+	p := &pkt.Packet{Tenant: 99, Rank: 1234}
+	if !pp.Process(p) || p.Rank != 1234 {
+		t.Fatalf("UnknownPass changed the packet: %+v", p)
+	}
+}
+
+func TestUnknownTenantDrop(t *testing.T) {
+	pp := NewPreprocessor(fig3Policy(t), UnknownDrop)
+	if pp.Process(&pkt.Packet{Tenant: 99}) {
+		t.Fatal("UnknownDrop must drop")
+	}
+}
+
+func TestClampedCounting(t *testing.T) {
+	pp := NewPreprocessor(fig3Policy(t), UnknownWorst)
+	// T1 declared [7,9]: rank 100 is out of bounds.
+	p := &pkt.Packet{Tenant: 1, Rank: 100}
+	pp.Process(p)
+	if pp.Stats().Clamped != 1 {
+		t.Fatalf("clamped = %d, want 1", pp.Stats().Clamped)
+	}
+	// The transformed rank stays inside T1's band (isolation holds even
+	// against out-of-contract ranks).
+	tr := pp.Policy().Transforms[1]
+	if !tr.OutputBounds().Contains(p.Rank) {
+		t.Fatalf("clamped output %d outside band %v", p.Rank, tr.OutputBounds())
+	}
+}
+
+func TestUpdateSwapsPolicy(t *testing.T) {
+	jp1 := fig3Policy(t)
+	pp := NewPreprocessor(jp1, UnknownWorst)
+	tenants := []*Tenant{{ID: 1, Name: "T1", Bounds: rank.Bounds{Lo: 7, Hi: 9}}}
+	jp2, err := Synthesize(tenants, policy.MustParse("T1"), SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Update(jp2)
+	if pp.Policy() != jp2 {
+		t.Fatal("Update did not swap the policy")
+	}
+	p := &pkt.Packet{Tenant: 2, Rank: 1}
+	pp.Process(p)
+	if p.Rank != jp2.Output.Hi+1 {
+		t.Fatalf("tenant 2 should now be unknown; rank = %d", p.Rank)
+	}
+}
+
+func TestProcessFrame(t *testing.T) {
+	pp := NewPreprocessor(fig3Policy(t), UnknownDrop)
+	l := pkt.Label{Version: pkt.LabelVersion, Tenant: 2, Rank: 3}
+	frame := make([]byte, pkt.LabelSize+100) // label + payload
+	if err := l.Encode(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.ProcessFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	var out pkt.Label
+	if err := out.UnmarshalBinary(frame); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rank != 6 { // T2: 3 → 6 per Figure 3
+		t.Fatalf("frame rank = %d, want 6", out.Rank)
+	}
+	if out.Tenant != 2 {
+		t.Fatalf("tenant changed: %d", out.Tenant)
+	}
+}
+
+func TestProcessFrameErrors(t *testing.T) {
+	pp := NewPreprocessor(fig3Policy(t), UnknownDrop)
+	if err := pp.ProcessFrame(make([]byte, 3)); err == nil {
+		t.Fatal("short frame should error")
+	}
+	l := pkt.Label{Version: pkt.LabelVersion, Tenant: 99, Rank: 1}
+	frame := make([]byte, pkt.LabelSize)
+	l.Encode(frame)
+	err := pp.ProcessFrame(frame)
+	var ut *ErrUnknownTenant
+	if !errors.As(err, &ut) || ut.Tenant != 99 {
+		t.Fatalf("err = %v, want ErrUnknownTenant{99}", err)
+	}
+	if ut.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestUnknownTenantActionString(t *testing.T) {
+	for a, want := range map[UnknownTenantAction]string{
+		UnknownWorst: "worst", UnknownPass: "pass", UnknownDrop: "drop",
+		UnknownTenantAction(9): "unknown-action(9)",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func BenchmarkPreprocessorProcess(b *testing.B) {
+	tenants := []*Tenant{
+		{ID: 1, Name: "T1", Bounds: rank.Bounds{Lo: 0, Hi: 1 << 20}},
+		{ID: 2, Name: "T2", Bounds: rank.Bounds{Lo: 0, Hi: 10000}},
+		{ID: 3, Name: "T3", Bounds: rank.Bounds{Lo: 0, Hi: 1 << 16}},
+	}
+	jp, err := Synthesize(tenants, policy.MustParse("T1 >> T2 + T3"), SynthOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp := NewPreprocessor(jp, UnknownWorst)
+	p := &pkt.Packet{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Tenant = pkt.TenantID(1 + i%3)
+		p.Rank = int64(i & 8191)
+		pp.Process(p)
+	}
+}
+
+func BenchmarkPreprocessorFrame(b *testing.B) {
+	pp := NewPreprocessor(fig3Benchmark(b), UnknownWorst)
+	l := pkt.Label{Version: pkt.LabelVersion, Tenant: 2, Rank: 2}
+	frame := make([]byte, pkt.LabelSize)
+	l.Encode(frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame[0] = pkt.LabelVersion // reset version (Encode rewrites it anyway)
+		if err := pp.ProcessFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fig3Benchmark(b *testing.B) *JointPolicy {
+	b.Helper()
+	tenants := []*Tenant{
+		{ID: 1, Name: "T1", Bounds: rank.Bounds{Lo: 7, Hi: 9}, Levels: 3},
+		{ID: 2, Name: "T2", Bounds: rank.Bounds{Lo: 1, Hi: 3}, Levels: 2},
+		{ID: 3, Name: "T3", Bounds: rank.Bounds{Lo: 3, Hi: 5}, Levels: 2},
+	}
+	jp, err := Synthesize(tenants, policy.MustParse("T1 >> T2 + T3"), SynthOptions{Base: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jp
+}

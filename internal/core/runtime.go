@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/sim"
+)
+
+// EventKind classifies controller events.
+type EventKind int
+
+const (
+	// EventResynthesized: the joint policy was recompiled.
+	EventResynthesized EventKind = iota
+	// EventTenantJoined: a tenant was added at runtime.
+	EventTenantJoined
+	// EventTenantLeft: a tenant was removed at runtime.
+	EventTenantLeft
+	// EventAdversarial: a tenant exceeded the out-of-bounds tolerance.
+	EventAdversarial
+	// EventQuarantined: an adversarial tenant was demoted to a dedicated
+	// lowest-priority tier.
+	EventQuarantined
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventResynthesized:
+		return "resynthesized"
+	case EventTenantJoined:
+		return "tenant-joined"
+	case EventTenantLeft:
+		return "tenant-left"
+	case EventAdversarial:
+		return "adversarial"
+	case EventQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is a controller notification.
+type Event struct {
+	Kind   EventKind
+	Tenant string
+	At     sim.Time
+	Detail string
+}
+
+// ControllerOptions tune the runtime controller.
+type ControllerOptions struct {
+	// Synth are the synthesis options used at every (re)compilation.
+	Synth SynthOptions
+	// DriftThreshold triggers re-synthesis when any tenant's Monitor
+	// drift exceeds it. Zero means 0.25.
+	DriftThreshold float64
+	// AdversarialFraction flags a tenant whose out-of-bounds fraction
+	// exceeds it. Zero means 0.05.
+	AdversarialFraction float64
+	// MinObservations gates drift checks until a tenant has emitted this
+	// many ranks. Zero means 256.
+	MinObservations uint64
+	// WindowSize is each tenant monitor's sliding window. Zero means
+	// 1024.
+	WindowSize int
+	// Quarantine, when true, demotes tenants flagged as adversarial: the
+	// joint policy is re-synthesized with the offender moved into a
+	// strictly lowest-priority tier of its own, so out-of-contract ranks
+	// can no longer displace compliant tenants (§2: monitoring
+	// techniques to "identify such adversarial workloads ... and
+	// automatically stop them").
+	Quarantine bool
+	// OnEvent, if non-nil, observes controller events.
+	OnEvent func(Event)
+}
+
+func (o ControllerOptions) defaults() ControllerOptions {
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = 0.25
+	}
+	if o.AdversarialFraction == 0 {
+		o.AdversarialFraction = 0.05
+	}
+	if o.MinObservations == 0 {
+		o.MinObservations = 256
+	}
+	if o.WindowSize == 0 {
+		o.WindowSize = 1024
+	}
+	return o
+}
+
+// Controller is QVISOR's event-driven control loop (§2, Idea 2): it holds
+// the current tenant set and operator spec, watches per-tenant rank
+// monitors, and re-synthesizes the joint policy when tenants join or leave
+// or when observed rank distributions drift from the declared bounds —
+// "similarly to how we deploy forwarding rules when a packet from a new
+// flow arrives to a software-defined-networking switch".
+type Controller struct {
+	opts        ControllerOptions
+	spec        *policy.Spec
+	tenants     map[string]*Tenant
+	monitors    map[string]*Monitor
+	flagged     map[string]bool
+	quarantined map[string]bool
+	// lastCount is each monitor's observation count at the previous
+	// Check, for idle-tenant detection (§5 queue reallocation).
+	lastCount map[string]uint64
+	active    map[string]bool
+	pp        *Preprocessor
+	version   uint64
+}
+
+// NewController compiles the initial joint policy and returns the
+// controller together with the pre-processor executing it.
+func NewController(tenants []*Tenant, spec *policy.Spec, opts ControllerOptions) (*Controller, *Preprocessor, error) {
+	opts = opts.defaults()
+	c := &Controller{
+		opts:        opts,
+		spec:        spec,
+		tenants:     make(map[string]*Tenant),
+		monitors:    make(map[string]*Monitor),
+		flagged:     make(map[string]bool),
+		quarantined: make(map[string]bool),
+		lastCount:   make(map[string]uint64),
+		active:      make(map[string]bool),
+	}
+	for _, t := range tenants {
+		c.tenants[t.Name] = t
+	}
+	jp, err := c.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.pp = NewPreprocessor(jp, UnknownWorst)
+	c.resetMonitors()
+	return c, c.pp, nil
+}
+
+// Policy returns the currently deployed joint policy.
+func (c *Controller) Policy() *JointPolicy { return c.pp.Policy() }
+
+// Version returns the number of compilations performed.
+func (c *Controller) Version() uint64 { return c.version }
+
+// Monitor returns the rank monitor for a tenant name, or nil.
+func (c *Controller) Monitor(name string) *Monitor { return c.monitors[name] }
+
+// Observe records a rank emitted by a tenant (before transformation). The
+// simulator calls this from the pre-processor path.
+func (c *Controller) Observe(tenant pkt.TenantID, r int64) {
+	for name, t := range c.tenants {
+		if t.ID == tenant {
+			if m := c.monitors[name]; m != nil {
+				m.Observe(r)
+			}
+			return
+		}
+	}
+}
+
+func (c *Controller) compile() (*JointPolicy, error) {
+	names := c.spec.Tenants()
+	inSpec := make(map[string]bool, len(names))
+	list := make([]*Tenant, 0, len(c.tenants))
+	for _, name := range names {
+		t, ok := c.tenants[name]
+		if !ok {
+			return nil, fmt.Errorf("core: spec tenant %q not registered", name)
+		}
+		inSpec[name] = true
+		list = append(list, t)
+	}
+	for name := range c.tenants {
+		if !inSpec[name] {
+			return nil, fmt.Errorf("core: tenant %q missing from operator spec %q", name, c.spec)
+		}
+	}
+	jp, err := Synthesize(list, c.spec, c.opts.Synth)
+	if err != nil {
+		return nil, err
+	}
+	c.version++
+	jp.Version = c.version
+	return jp, nil
+}
+
+func (c *Controller) recompile(now sim.Time, reason string) error {
+	jp, err := c.compile()
+	if err != nil {
+		return err
+	}
+	c.pp.Update(jp)
+	c.emit(Event{Kind: EventResynthesized, At: now, Detail: reason})
+	return nil
+}
+
+func (c *Controller) resetMonitors() {
+	for name, t := range c.tenants {
+		b, err := t.EffectiveBounds()
+		if err != nil {
+			continue
+		}
+		c.monitors[name] = NewMonitor(b, c.opts.WindowSize)
+	}
+}
+
+func (c *Controller) emit(e Event) {
+	if c.opts.OnEvent != nil {
+		c.opts.OnEvent(e)
+	}
+}
+
+// Join adds a tenant at runtime, updates the operator spec, and
+// re-synthesizes.
+func (c *Controller) Join(now sim.Time, t *Tenant, spec *policy.Spec) error {
+	if _, dup := c.tenants[t.Name]; dup {
+		return fmt.Errorf("core: tenant %q already present", t.Name)
+	}
+	c.tenants[t.Name] = t
+	c.spec = spec
+	if err := c.recompile(now, "tenant "+t.Name+" joined"); err != nil {
+		delete(c.tenants, t.Name)
+		return err
+	}
+	b, err := t.EffectiveBounds()
+	if err == nil {
+		c.monitors[t.Name] = NewMonitor(b, c.opts.WindowSize)
+	}
+	c.emit(Event{Kind: EventTenantJoined, Tenant: t.Name, At: now})
+	return nil
+}
+
+// Leave removes a tenant at runtime, updates the operator spec, and
+// re-synthesizes.
+func (c *Controller) Leave(now sim.Time, name string, spec *policy.Spec) error {
+	t, ok := c.tenants[name]
+	if !ok {
+		return fmt.Errorf("core: tenant %q not present", name)
+	}
+	delete(c.tenants, name)
+	delete(c.monitors, name)
+	delete(c.flagged, name)
+	delete(c.quarantined, name)
+	c.spec = spec
+	if err := c.recompile(now, "tenant "+name+" left"); err != nil {
+		c.tenants[name] = t
+		return err
+	}
+	c.emit(Event{Kind: EventTenantLeft, Tenant: name, At: now})
+	return nil
+}
+
+// Check runs one control-loop iteration: flags (and optionally
+// quarantines) adversarial tenants, and re-synthesizes with learned bounds
+// when a tenant's rank distribution has drifted. It returns true when a
+// new joint policy was deployed.
+func (c *Controller) Check(now sim.Time) (bool, error) {
+	drifted := false
+	var quarantine []string
+	for name, m := range c.monitors {
+		// Activity between checks drives the §5 queue-reallocation
+		// decision: a tenant that emitted nothing since the last check
+		// is considered idle.
+		c.active[name] = m.Count() > c.lastCount[name]
+		c.lastCount[name] = m.Count()
+		if m.Count() < c.opts.MinObservations {
+			continue
+		}
+		if f := m.OutsideFraction(); f > c.opts.AdversarialFraction && !c.flagged[name] {
+			c.flagged[name] = true
+			c.emit(Event{
+				Kind:   EventAdversarial,
+				Tenant: name,
+				At:     now,
+				Detail: fmt.Sprintf("%.1f%% of ranks outside declared %v", 100*f, m.Declared()),
+			})
+			if c.opts.Quarantine {
+				quarantine = append(quarantine, name)
+			}
+		}
+		// Quarantined tenants keep their declared bounds: learning from
+		// an adversary would let it steer the policy.
+		if c.quarantined[name] || (c.opts.Quarantine && c.flagged[name]) {
+			continue
+		}
+		if m.Drift() > c.opts.DriftThreshold {
+			if lb, ok := m.LearnedBounds(); ok {
+				c.tenants[name].Bounds = lb
+				c.monitors[name] = NewMonitor(lb, c.opts.WindowSize)
+				drifted = true
+			}
+		}
+	}
+	for _, name := range quarantine {
+		if c.quarantined[name] {
+			continue
+		}
+		c.spec = c.spec.Demote(name)
+		c.quarantined[name] = true
+		drifted = true
+		c.emit(Event{
+			Kind:   EventQuarantined,
+			Tenant: name,
+			At:     now,
+			Detail: fmt.Sprintf("demoted to dedicated bottom tier: %s", c.spec),
+		})
+	}
+	if !drifted {
+		return false, nil
+	}
+	if err := c.recompile(now, "rank distribution drift"); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Quarantined reports whether a tenant has been demoted to the bottom
+// tier.
+func (c *Controller) Quarantined(name string) bool { return c.quarantined[name] }
+
+// ActiveTenants returns the tenants that emitted at least one rank between
+// the two most recent Check calls, in spec order. Before the first Check
+// every tenant is considered active. Feed the result to
+// JointPolicy.DeploySPActive to reallocate hardware queues away from idle
+// tenants (§5).
+func (c *Controller) ActiveTenants() []string {
+	var out []string
+	for _, name := range c.spec.Tenants() {
+		if len(c.active) == 0 || c.active[name] {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		// Nothing transmitted at all: treat everyone as active rather
+		// than deploying an empty allocation.
+		return c.spec.Tenants()
+	}
+	return out
+}
+
+// Flagged reports whether a tenant has been flagged as adversarial.
+func (c *Controller) Flagged(name string) bool { return c.flagged[name] }
+
+// Spec returns the operator specification currently in force.
+func (c *Controller) Spec() *policy.Spec { return c.spec }
+
+// Tenants returns the registered tenants in spec order.
+func (c *Controller) Tenants() []*Tenant {
+	out := make([]*Tenant, 0, len(c.tenants))
+	for _, name := range c.spec.Tenants() {
+		if t, ok := c.tenants[name]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// UpdateSpec replaces the operator specification over the existing tenant
+// set and re-synthesizes. The previous spec is restored on failure.
+func (c *Controller) UpdateSpec(now sim.Time, spec *policy.Spec) error {
+	old := c.spec
+	c.spec = spec
+	if err := c.recompile(now, "operator spec updated"); err != nil {
+		c.spec = old
+		return err
+	}
+	return nil
+}

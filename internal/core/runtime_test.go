@@ -1,0 +1,402 @@
+package core
+
+import (
+	"testing"
+
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sim"
+)
+
+func TestMonitorBasics(t *testing.T) {
+	m := NewMonitor(rank.Bounds{Lo: 0, Hi: 100}, 8)
+	for i := int64(0); i < 10; i++ {
+		m.Observe(i * 10)
+	}
+	if m.Count() != 10 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	s, ok := m.Snapshot()
+	if !ok {
+		t.Fatal("snapshot on non-empty monitor failed")
+	}
+	if s.Count != 8 { // window size caps the snapshot
+		t.Fatalf("snapshot count = %d, want 8", s.Count)
+	}
+	if s.Observed.Lo != 20 || s.Observed.Hi != 90 { // window holds last 8
+		t.Fatalf("observed = %v, want [20,90]", s.Observed)
+	}
+	if s.P50 < s.P5 || s.P95 < s.P50 {
+		t.Fatalf("percentiles unordered: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty snapshot string")
+	}
+}
+
+func TestMonitorEmptySnapshot(t *testing.T) {
+	m := NewMonitor(rank.Bounds{}, 4)
+	if _, ok := m.Snapshot(); ok {
+		t.Fatal("snapshot on empty monitor should report false")
+	}
+	if m.Drift() != 0 || m.OutsideFraction() != 0 {
+		t.Fatal("empty monitor should report zero drift and outside fraction")
+	}
+	if _, ok := m.LearnedBounds(); ok {
+		t.Fatal("LearnedBounds on empty monitor should fail")
+	}
+}
+
+func TestMonitorOutsideFraction(t *testing.T) {
+	m := NewMonitor(rank.Bounds{Lo: 0, Hi: 10}, 16)
+	for i := 0; i < 8; i++ {
+		m.Observe(5)
+	}
+	for i := 0; i < 2; i++ {
+		m.Observe(100)
+	}
+	if got := m.OutsideFraction(); got != 0.2 {
+		t.Fatalf("OutsideFraction = %v, want 0.2", got)
+	}
+	if m.Declared() != (rank.Bounds{Lo: 0, Hi: 10}) {
+		t.Fatal("Declared wrong")
+	}
+}
+
+func TestMonitorDrift(t *testing.T) {
+	m := NewMonitor(rank.Bounds{Lo: 0, Hi: 100}, 64)
+	for i := 0; i < 64; i++ {
+		m.Observe(50)
+	}
+	if d := m.Drift(); d != 0 {
+		t.Fatalf("in-bounds drift = %v, want 0", d)
+	}
+	// Shift the whole distribution to ~300: drift grows past 1.
+	for i := 0; i < 64; i++ {
+		m.Observe(300)
+	}
+	if d := m.Drift(); d < 1 {
+		t.Fatalf("shifted drift = %v, want >= 1", d)
+	}
+}
+
+func TestMonitorLearnedBounds(t *testing.T) {
+	m := NewMonitor(rank.Bounds{Lo: 0, Hi: 10}, 32)
+	for i := int64(0); i < 32; i++ {
+		m.Observe(200 + i) // observed [200, 231]
+	}
+	lb, ok := m.LearnedBounds()
+	if !ok {
+		t.Fatal("LearnedBounds failed")
+	}
+	if lb.Lo > 200 || lb.Hi < 231 {
+		t.Fatalf("learned %v must cover observed [200,231]", lb)
+	}
+	if lb.Lo < 0 {
+		t.Fatalf("learned lower bound went negative: %v", lb)
+	}
+}
+
+func ctlTenants() []*Tenant {
+	return []*Tenant{
+		{ID: 1, Name: "A", Bounds: rank.Bounds{Lo: 0, Hi: 100}},
+		{ID: 2, Name: "B", Bounds: rank.Bounds{Lo: 0, Hi: 100}},
+	}
+}
+
+func TestControllerInitialCompile(t *testing.T) {
+	c, pp, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Policy() == nil || c.Version() != 1 {
+		t.Fatalf("initial compile missing: version=%d", c.Version())
+	}
+	if c.Policy() != pp.Policy() {
+		t.Fatal("controller and preprocessor disagree on policy")
+	}
+}
+
+func TestControllerJoinLeave(t *testing.T) {
+	var events []Event
+	c, pp, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{
+		OnEvent: func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := &Tenant{ID: 3, Name: "C", Bounds: rank.Bounds{Lo: 0, Hi: 50}}
+	if err := c.Join(1000, nc, policy.MustParse("A >> B + C")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pp.Policy().Transforms[3]; !ok {
+		t.Fatal("joined tenant missing from deployed policy")
+	}
+	if c.Version() != 2 {
+		t.Fatalf("version = %d, want 2", c.Version())
+	}
+	if err := c.Leave(2000, "C", policy.MustParse("A >> B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pp.Policy().Transforms[3]; ok {
+		t.Fatal("left tenant still in deployed policy")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[EventTenantJoined] != 1 || kinds[EventTenantLeft] != 1 || kinds[EventResynthesized] != 2 {
+		t.Fatalf("event mix wrong: %+v", kinds)
+	}
+}
+
+func TestControllerJoinErrors(t *testing.T) {
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := &Tenant{ID: 9, Name: "A", Bounds: rank.Bounds{Lo: 0, Hi: 1}}
+	if err := c.Join(0, dup, policy.MustParse("A >> B")); err == nil {
+		t.Fatal("duplicate join should fail")
+	}
+	if err := c.Leave(0, "ghost", policy.MustParse("A")); err == nil {
+		t.Fatal("leaving unknown tenant should fail")
+	}
+	// Join with a spec that omits the new tenant: compile fails, tenant
+	// rolled back.
+	nc := &Tenant{ID: 3, Name: "C", Bounds: rank.Bounds{Lo: 0, Hi: 1}}
+	if err := c.Join(0, nc, policy.MustParse("A >> B")); err == nil {
+		t.Fatal("join without spec entry should fail")
+	}
+	if c.Monitor("C") != nil {
+		t.Fatal("failed join left a monitor behind")
+	}
+}
+
+func TestControllerDriftTriggersResynthesis(t *testing.T) {
+	var events []Event
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{
+		MinObservations: 10,
+		WindowSize:      32,
+		DriftThreshold:  0.25,
+		OnEvent:         func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant A emits ranks far above its declared [0,100].
+	for i := 0; i < 64; i++ {
+		c.Observe(1, 5000+int64(i))
+	}
+	changed, err := c.Check(sim.Time(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("drift should trigger re-synthesis")
+	}
+	tr, ok := c.Policy().TransformOf("A")
+	if !ok {
+		t.Fatal("A missing after re-synthesis")
+	}
+	if tr.Hi < 5000 {
+		t.Fatalf("re-synthesized bounds %v do not cover the observed ranks", tr)
+	}
+	// Second check with no new evidence: stable.
+	changed, err = c.Check(sim.Time(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("no new drift; policy should be stable")
+	}
+}
+
+func TestControllerAdversarialFlag(t *testing.T) {
+	var events []Event
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{
+		MinObservations:     10,
+		AdversarialFraction: 0.05,
+		OnEvent:             func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(2, 10) // in bounds
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(2, 100000) // way out of bounds
+	}
+	if _, err := c.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Flagged("B") {
+		t.Fatal("B should be flagged adversarial")
+	}
+	if c.Flagged("A") {
+		t.Fatal("A should not be flagged")
+	}
+	found := false
+	for _, e := range events {
+		if e.Kind == EventAdversarial && e.Tenant == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no adversarial event emitted")
+	}
+}
+
+func TestControllerObserveUnknownTenant(t *testing.T) {
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(99, 5) // silently ignored
+	if _, err := c.Check(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerMinObservationsGate(t *testing.T) {
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{
+		MinObservations: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(1, 99999)
+	}
+	changed, err := c.Check(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("below MinObservations, no re-synthesis should happen")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventResynthesized: "resynthesized",
+		EventTenantJoined:  "tenant-joined",
+		EventTenantLeft:    "tenant-left",
+		EventAdversarial:   "adversarial",
+		EventKind(7):       "event(7)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestControllerQuarantine(t *testing.T) {
+	var events []Event
+	c, pp, err := NewController(ctlTenants(), policy.MustParse("A + B"), ControllerOptions{
+		MinObservations:     10,
+		AdversarialFraction: 0.05,
+		Quarantine:          true,
+		OnEvent:             func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant B floods out-of-contract ranks (declared [0,100]).
+	for i := 0; i < 100; i++ {
+		c.Observe(2, 1_000_000)
+	}
+	changed, err := c.Check(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("quarantine should redeploy the policy")
+	}
+	if !c.Quarantined("B") || c.Quarantined("A") {
+		t.Fatal("B should be quarantined, A not")
+	}
+	// B now sits in a strictly lower tier: even its best rank is worse
+	// than A's worst in-bounds rank.
+	ta, _ := pp.Policy().TransformOf("A")
+	tb, _ := pp.Policy().TransformOf("B")
+	if ta.OutputBounds().Hi >= tb.OutputBounds().Lo {
+		t.Fatalf("quarantined band %v not strictly below %v", tb.OutputBounds(), ta.OutputBounds())
+	}
+	// Quarantine is sticky: another check does not re-demote or learn
+	// bounds from the adversary.
+	changed, err = c.Check(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("second check should be a no-op")
+	}
+	seen := map[EventKind]int{}
+	for _, e := range events {
+		seen[e.Kind]++
+	}
+	if seen[EventQuarantined] != 1 || seen[EventAdversarial] != 1 {
+		t.Fatalf("event mix: %v", seen)
+	}
+}
+
+func TestControllerNoQuarantineWithoutOption(t *testing.T) {
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A + B"), ControllerOptions{
+		MinObservations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(2, 1_000_000)
+	}
+	if _, err := c.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Quarantined("B") {
+		t.Fatal("quarantine disabled; B must not be demoted")
+	}
+	if !c.Flagged("B") {
+		t.Fatal("B should still be flagged")
+	}
+}
+
+func TestActiveTenantsTracking(t *testing.T) {
+	c, _, err := NewController(ctlTenants(), policy.MustParse("A >> B"), ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any check: everyone active.
+	if got := c.ActiveTenants(); len(got) != 2 {
+		t.Fatalf("initial active = %v", got)
+	}
+	// A transmits, B stays silent.
+	for i := 0; i < 10; i++ {
+		c.Observe(1, 5)
+	}
+	if _, err := c.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	got := c.ActiveTenants()
+	if len(got) != 1 || got[0] != "A" {
+		t.Fatalf("active after check = %v, want [A]", got)
+	}
+	// Next interval: nobody transmits — fall back to everyone.
+	if _, err := c.Check(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveTenants(); len(got) != 2 {
+		t.Fatalf("all-idle fallback = %v", got)
+	}
+	// B wakes up.
+	c.Observe(2, 7)
+	if _, err := c.Check(2); err != nil {
+		t.Fatal(err)
+	}
+	got = c.ActiveTenants()
+	if len(got) != 1 || got[0] != "B" {
+		t.Fatalf("active = %v, want [B]", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package core implements QVISOR itself: the control-plane synthesizer that
+// turns per-tenant scheduling policies plus an operator composition policy
+// into a joint scheduling function (§3.2), the data-plane pre-processor
+// that applies it to packets at line rate (§3.3), deployment onto existing
+// schedulers (§3.4), and the runtime monitoring/adaptation loop sketched in
+// §2 (Idea 2) and §5.
+package core
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+)
+
+// Tenant is one per-tenant scheduling policy (§3.1): a traffic subset plus
+// the scheduling algorithm that should schedule it, written
+// T = {P, algorithm}. The traffic subset is identified by the tenant label
+// carried on packets; the algorithm is the rank function that computed the
+// incoming ranks.
+//
+// A tenant is a traffic segment (e.g., one application), not necessarily a
+// physical tenant.
+type Tenant struct {
+	// ID is the label value carried in packets.
+	ID pkt.TenantID
+	// Name is the identifier used in the operator's specification string.
+	Name string
+	// Algorithm is the rank function the tenant uses. Its declared bounds
+	// feed the synthesizer's static worst-case analysis. Optional if
+	// Bounds is set explicitly.
+	Algorithm rank.Ranker
+	// Bounds overrides the algorithm's declared rank bounds; used when
+	// the tenant knows a tighter distribution (or the runtime monitor
+	// has learned one). Zero value means "use Algorithm.Bounds()".
+	Bounds rank.Bounds
+	// Levels is the number of quantization levels the synthesizer uses
+	// for this tenant's rank normalization. Zero selects automatically:
+	// min(DefaultLevels, declared span+1).
+	Levels int64
+}
+
+// EffectiveBounds returns the rank bounds the synthesizer analyzes: the
+// explicit override when set, otherwise the algorithm's declaration.
+func (t *Tenant) EffectiveBounds() (rank.Bounds, error) {
+	b := t.Bounds
+	if b == (rank.Bounds{}) {
+		if t.Algorithm == nil {
+			return b, fmt.Errorf("core: tenant %q has neither bounds nor algorithm", t.Name)
+		}
+		b = t.Algorithm.Bounds()
+	}
+	if b.Hi < b.Lo {
+		return b, fmt.Errorf("core: tenant %q has inverted bounds %v", t.Name, b)
+	}
+	return b, nil
+}
+
+// AlgorithmName returns the tenant's algorithm name, or "-" when only
+// bounds were declared.
+func (t *Tenant) AlgorithmName() string {
+	if t.Algorithm == nil {
+		return "-"
+	}
+	return t.Algorithm.Name()
+}
+
+// String implements fmt.Stringer.
+func (t *Tenant) String() string {
+	return fmt.Sprintf("tenant{%s id=%d alg=%s}", t.Name, t.ID, t.AlgorithmName())
+}

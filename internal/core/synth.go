@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+// SynthOptions tune the synthesizer.
+type SynthOptions struct {
+	// DefaultLevels is the quantization granularity used for tenants that
+	// do not set Tenant.Levels. Zero means 64. Tenants whose declared
+	// rank span is narrower than this use span+1 levels (finer makes no
+	// difference).
+	DefaultLevels int64
+	// PreferenceBias is the fraction of a preference level's output band
+	// that the next (less preferred) level in the same tier is shifted
+	// by. 0 < bias ≤ 1. At 1.0, ">" behaves like ">>" (disjoint bands);
+	// small values approach pure sharing. Zero means 0.5: the preferred
+	// level's lower half always beats the dominated level, its upper half
+	// competes — "priority applied in a best-effort manner" (§3.1).
+	PreferenceBias float64
+	// Base is the smallest output rank the joint policy emits. The
+	// paper's Figure 3 uses 1; the default is 0.
+	Base int64
+}
+
+func (o SynthOptions) defaults() SynthOptions {
+	if o.DefaultLevels <= 0 {
+		o.DefaultLevels = 64
+	}
+	if o.PreferenceBias == 0 {
+		o.PreferenceBias = 0.5
+	}
+	return o
+}
+
+func (o SynthOptions) validate() error {
+	if o.PreferenceBias < 0 || o.PreferenceBias > 1 {
+		return fmt.Errorf("core: PreferenceBias %v outside (0,1]", o.PreferenceBias)
+	}
+	if o.DefaultLevels < 0 {
+		return fmt.Errorf("core: negative DefaultLevels %d", o.DefaultLevels)
+	}
+	return nil
+}
+
+// TierPlan records the output rank band of one strict-priority tier, for
+// deployment (§3.4: strict tiers map to dedicated queues).
+type TierPlan struct {
+	// Bounds is the closed output rank interval the tier occupies.
+	Bounds rank.Bounds
+	// Tenants are the tenant names in this tier, preference order.
+	Tenants []string
+}
+
+// JointPolicy is the synthesizer's output: the joint scheduling function,
+// expressed as one rank transformation per tenant (§3.2), plus the layout
+// information deployment needs.
+type JointPolicy struct {
+	// Spec is the operator policy the joint function realizes.
+	Spec *policy.Spec
+	// Transforms maps each tenant label to its transformation function.
+	Transforms map[pkt.TenantID]Transform
+	// ByName maps tenant names to labels, for inspection tools.
+	ByName map[string]pkt.TenantID
+	// Tiers records the rank band of each strict tier, highest first.
+	Tiers []TierPlan
+	// Output is the closed interval of all output ranks.
+	Output rank.Bounds
+	// Version is set by the runtime controller on re-synthesis.
+	Version uint64
+}
+
+// TransformOf returns the transformation for a tenant name.
+func (jp *JointPolicy) TransformOf(name string) (Transform, bool) {
+	id, ok := jp.ByName[name]
+	if !ok {
+		return Transform{}, false
+	}
+	tr, ok := jp.Transforms[id]
+	return tr, ok
+}
+
+// Describe renders a human-readable summary of the joint policy, one
+// tenant per line, in spec order.
+func (jp *JointPolicy) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy: %s\noutput ranks: %v\n", jp.Spec, jp.Output)
+	for ti, tier := range jp.Tiers {
+		fmt.Fprintf(&b, "tier %d: %v\n", ti, tier.Bounds)
+		for _, name := range tier.Tenants {
+			tr, _ := jp.TransformOf(name)
+			fmt.Fprintf(&b, "  %-12s %s\n", name, tr)
+		}
+	}
+	return b.String()
+}
+
+// Synthesize compiles the tenants' scheduling policies and the operator's
+// composition policy into a joint scheduling function (§3.2).
+//
+// The construction follows the paper's two primitives:
+//
+//   - Tenants in the same sharing level ("+") are normalized to a common
+//     number of levels and interleaved: tenant i of k gets output slots
+//     offset + level*k + i, so a PIFO round-robins among them at equal
+//     normalized priority (this reproduces Figure 3 exactly).
+//   - Preference levels (">") within a tier are shifted by
+//     PreferenceBias × the preceding level's band, overlapping bands so the
+//     preferred tenants usually, but not always, win.
+//   - Tiers (">>") are shifted past the entire band of every higher tier,
+//     so no lower-tier packet can ever beat a higher-tier one: isolation by
+//     worst-case analysis ("we can shift all the priorities from T3's
+//     scheduling policy such that, even in the worst case, it does not
+//     impact the performance of the other tenants", §2).
+func Synthesize(tenants []*Tenant, spec *policy.Spec, opts SynthOptions) (*JointPolicy, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.defaults()
+	if spec == nil {
+		return nil, fmt.Errorf("core: nil operator spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*Tenant, len(tenants))
+	for _, t := range tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("core: tenant with label %d has empty name", t.ID)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate tenant name %q", t.Name)
+		}
+		byName[t.Name] = t
+	}
+	ids := make(map[pkt.TenantID]string, len(tenants))
+	for _, t := range tenants {
+		if prev, dup := ids[t.ID]; dup {
+			return nil, fmt.Errorf("core: tenants %q and %q share label %d", prev, t.Name, t.ID)
+		}
+		ids[t.ID] = t.Name
+	}
+	for _, name := range spec.Tenants() {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("core: spec references undefined tenant %q", name)
+		}
+	}
+
+	jp := &JointPolicy{
+		Spec:       spec,
+		Transforms: make(map[pkt.TenantID]Transform),
+		ByName:     make(map[string]pkt.TenantID),
+	}
+
+	base := opts.Base
+	for _, tier := range spec.Tiers {
+		plan := TierPlan{Bounds: rank.Bounds{Lo: base, Hi: base}}
+		levelOffset := base
+		tierEnd := base // exclusive
+		for li, lvl := range tier.Levels {
+			// The interleave cycle width is the level's total share
+			// weight ("T1*2 + T2" → cycle of 3 slots, two owned by T1).
+			W := lvl.TotalWeight()
+			// All tenants of a sharing level use a common level count:
+			// the maximum of their individual choices, so no tenant
+			// loses resolution to a coarser neighbour.
+			L := int64(1)
+			for _, name := range lvl.Tenants {
+				t := byName[name]
+				lt, err := tenantLevels(t, opts.DefaultLevels)
+				if err != nil {
+					return nil, err
+				}
+				if lt > L {
+					L = lt
+				}
+			}
+			var width int64 // slots occupied by this sharing group
+			phase := int64(0)
+			for i, name := range lvl.Tenants {
+				t := byName[name]
+				b, err := t.EffectiveBounds()
+				if err != nil {
+					return nil, err
+				}
+				w := lvl.WeightOf(i)
+				tr := Transform{
+					Lo:     b.Lo,
+					Hi:     b.Hi,
+					Levels: L,
+					Stride: W,
+					Phase:  phase,
+					Weight: w,
+					Offset: levelOffset,
+				}
+				phase += w
+				if end := tr.OutputBounds().Hi - levelOffset + 1; end > width {
+					width = end
+				}
+				jp.Transforms[t.ID] = tr
+				jp.ByName[name] = t.ID
+				plan.Tenants = append(plan.Tenants, name)
+			}
+			if end := levelOffset + width; end > tierEnd {
+				tierEnd = end
+			}
+			if li < len(tier.Levels)-1 {
+				// Best-effort preference: the next level starts part-way
+				// into this one's band.
+				shift := int64(float64(width) * opts.PreferenceBias)
+				if shift < 1 {
+					shift = 1
+				}
+				levelOffset += shift
+			}
+		}
+		plan.Bounds = rank.Bounds{Lo: base, Hi: tierEnd - 1}
+		jp.Tiers = append(jp.Tiers, plan)
+		base = tierEnd // strict isolation: next tier starts past this one
+	}
+	jp.Output = rank.Bounds{Lo: opts.Base, Hi: base - 1}
+	return jp, nil
+}
+
+func tenantLevels(t *Tenant, def int64) (int64, error) {
+	if t.Levels < 0 {
+		return 0, fmt.Errorf("core: tenant %q has negative Levels", t.Name)
+	}
+	if t.Levels > 0 {
+		return t.Levels, nil
+	}
+	b, err := t.EffectiveBounds()
+	if err != nil {
+		return 0, err
+	}
+	if s := b.Span() + 1; s < def {
+		return s, nil
+	}
+	return def, nil
+}

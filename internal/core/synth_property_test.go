@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+// randomScenario builds a random tenant set and operator spec.
+func randomScenario(rng *rand.Rand) ([]*Tenant, *policy.Spec) {
+	var tenants []*Tenant
+	spec := &policy.Spec{}
+	id := pkt.TenantID(1)
+	tiers := 1 + rng.Intn(3)
+	for i := 0; i < tiers; i++ {
+		var tier policy.Tier
+		levels := 1 + rng.Intn(2)
+		for j := 0; j < levels; j++ {
+			var lvl policy.Level
+			share := 1 + rng.Intn(3)
+			weighted := rng.Intn(2) == 0
+			for k := 0; k < share; k++ {
+				name := fmt.Sprintf("t%d", id)
+				lo := int64(rng.Intn(1000))
+				hi := lo + 1 + int64(rng.Intn(1_000_000))
+				tenants = append(tenants, &Tenant{
+					ID:     id,
+					Name:   name,
+					Bounds: rank.Bounds{Lo: lo, Hi: hi},
+					Levels: int64(rng.Intn(100)), // 0 = auto
+				})
+				lvl.Tenants = append(lvl.Tenants, name)
+				if weighted {
+					lvl.Weights = append(lvl.Weights, 1+int64(rng.Intn(4)))
+				}
+				id++
+			}
+			tier.Levels = append(tier.Levels, lvl)
+		}
+		spec.Tiers = append(spec.Tiers, tier)
+	}
+	return tenants, spec
+}
+
+// TestSynthesizeRandomScenarios checks the synthesizer's core invariants on
+// hundreds of random tenant sets and specs:
+//
+//  1. every transformed rank lies inside the policy's output interval;
+//  2. strict tiers occupy disjoint, ordered bands (worst-case isolation);
+//  3. transforms are monotone within each tenant;
+//  4. tenants sharing a level have identical offsets and level counts, and
+//     distinct phases under a common stride.
+func TestSynthesizeRandomScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for iter := 0; iter < 300; iter++ {
+		tenants, spec := randomScenario(rng)
+		jp, err := Synthesize(tenants, spec, SynthOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: %v (spec %s)", iter, err, spec)
+		}
+		byName := make(map[string]*Tenant)
+		for _, tn := range tenants {
+			byName[tn.Name] = tn
+		}
+
+		// (1) and (3): sample ranks across and beyond the declared bounds.
+		for _, tn := range tenants {
+			tr := jp.Transforms[tn.ID]
+			b, _ := tn.EffectiveBounds()
+			prevOut := int64(-1 << 62)
+			for _, r := range []int64{b.Lo - 10, b.Lo, (b.Lo + b.Hi) / 2, b.Hi, b.Hi + 10} {
+				out := tr.Apply(r)
+				if !jp.Output.Contains(out) {
+					t.Fatalf("iter %d: tenant %s Apply(%d)=%d outside %v",
+						iter, tn.Name, r, out, jp.Output)
+				}
+				if out < prevOut {
+					t.Fatalf("iter %d: tenant %s transform not monotone", iter, tn.Name)
+				}
+				prevOut = out
+			}
+		}
+
+		// (2): tier bands disjoint and ordered.
+		for i := 0; i < len(jp.Tiers)-1; i++ {
+			if jp.Tiers[i].Bounds.Hi >= jp.Tiers[i+1].Bounds.Lo {
+				t.Fatalf("iter %d: tier %d band %v overlaps tier %d band %v (spec %s)",
+					iter, i, jp.Tiers[i].Bounds, i+1, jp.Tiers[i+1].Bounds, spec)
+			}
+		}
+		// Strict isolation at the packet level: worst rank of any tenant
+		// in tier i beats best rank of any tenant in tier i+1.
+		for ti := 0; ti < len(spec.Tiers)-1; ti++ {
+			worstUpper := int64(-1 << 62)
+			bestLower := int64(1 << 62)
+			for _, lvl := range spec.Tiers[ti].Levels {
+				for _, name := range lvl.Tenants {
+					tr := jp.Transforms[byName[name].ID]
+					if hi := tr.OutputBounds().Hi; hi > worstUpper {
+						worstUpper = hi
+					}
+				}
+			}
+			for _, lvl := range spec.Tiers[ti+1].Levels {
+				for _, name := range lvl.Tenants {
+					tr := jp.Transforms[byName[name].ID]
+					if lo := tr.OutputBounds().Lo; lo < bestLower {
+						bestLower = lo
+					}
+				}
+			}
+			if worstUpper >= bestLower {
+				t.Fatalf("iter %d: isolation broken between tiers %d and %d (%d >= %d)",
+					iter, ti, ti+1, worstUpper, bestLower)
+			}
+		}
+
+		// (4): sharing-group shape.
+		for _, tier := range spec.Tiers {
+			for _, lvl := range tier.Levels {
+				if len(lvl.Tenants) < 2 {
+					continue
+				}
+				first := jp.Transforms[byName[lvl.Tenants[0]].ID]
+				phases := map[int64]bool{}
+				for i, name := range lvl.Tenants {
+					tr := jp.Transforms[byName[name].ID]
+					if tr.Offset != first.Offset || tr.Levels != first.Levels ||
+						tr.Stride != lvl.TotalWeight() {
+						t.Fatalf("iter %d: sharing group shape mismatch: %v vs %v",
+							iter, tr, first)
+					}
+					if phases[tr.Phase] {
+						t.Fatalf("iter %d: duplicate phase %d in sharing group", iter, tr.Phase)
+					}
+					phases[tr.Phase] = true
+					if w := lvl.WeightOf(i); tr.Weight != w && !(w == 1 && tr.Weight <= 1) {
+						t.Fatalf("iter %d: weight mismatch: %d vs %d", iter, tr.Weight, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSynthesizeDeterministic: identical inputs produce identical policies.
+func TestSynthesizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tenants, spec := randomScenario(rng)
+	a, err := Synthesize(tenants, spec, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(tenants, spec, SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, tra := range a.Transforms {
+		if trb := b.Transforms[id]; tra != trb {
+			t.Fatalf("tenant %d transform differs: %v vs %v", id, tra, trb)
+		}
+	}
+	if a.Output != b.Output {
+		t.Fatalf("outputs differ: %v vs %v", a.Output, b.Output)
+	}
+}

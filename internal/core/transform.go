@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"qvisor/internal/rank"
+)
+
+// Transform is one rank-transformation function of the joint scheduling
+// policy (§3.2). It composes the paper's two primitives:
+//
+//   - rank normalization: the tenant's declared rank interval [Lo, Hi] is
+//     bounded (clamped) and quantized into Levels discrete levels, so
+//     heterogeneous policies become comparable on a common scale;
+//   - rank shift: the quantized level is placed into the joint rank space
+//     at Offset, optionally interleaved with the other tenants of a
+//     sharing group (stride Stride, phase Phase).
+//
+// The output rank is
+//
+//	Offset + quantize(clamp(r)) * Stride + Phase
+//
+// which reproduces the paper's Figure 3 exactly (see TestFigure3): sharing
+// tenants map to interleaved rank slots, so a PIFO alternates between them,
+// while shifted groups sit in disjoint rank bands.
+type Transform struct {
+	// Lo and Hi bound the input ranks; out-of-range ranks clamp.
+	Lo, Hi int64
+	// Levels is the number of quantization levels (≥ 1).
+	Levels int64
+	// Stride is the sharing group's interleave cycle width: the total
+	// share weight of the group (k for k equal tenants).
+	Stride int64
+	// Phase is the first slot this tenant owns within each cycle
+	// (0 ≤ Phase < Stride).
+	Phase int64
+	// Weight is the number of consecutive slots the tenant owns per
+	// cycle (weighted sharing, "T1*2 + T2"). Zero means 1.
+	Weight int64
+	// Offset is the base of the group's output band.
+	Offset int64
+}
+
+// IdentityTransform passes ranks through unchanged over the given bounds.
+func IdentityTransform(b rank.Bounds) Transform {
+	return Transform{Lo: b.Lo, Hi: b.Hi, Levels: b.Span() + 1, Stride: 1, Phase: 0, Offset: b.Lo}
+}
+
+// Quantize maps an input rank to its level in [0, Levels): the affine
+// stretch of [Lo, Hi] onto [0, Levels-1]. Stretching (rather than fixed-
+// width bucketing) is what makes heterogeneous rank distributions "fairly
+// compared" (§3.2): a tenant whose ranks span [0, 10^4] and one spanning
+// [0, 10^8] both occupy the full normalized scale.
+func (t Transform) Quantize(r int64) int64 {
+	if r < t.Lo {
+		r = t.Lo
+	}
+	if r > t.Hi {
+		r = t.Hi
+	}
+	span := t.Hi - t.Lo
+	if span <= 0 || t.Levels <= 1 {
+		return 0
+	}
+	d, m := r-t.Lo, t.Levels-1
+	// Integer math while d*m fits; monotone float fallback for extreme
+	// spans (the map stays monotone either way).
+	if m <= (1<<62)/(span+1) {
+		return d * m / span
+	}
+	return int64(float64(d) / float64(span) * float64(m))
+}
+
+func (t Transform) weight() int64 {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// Apply returns the transformed (output) rank for input rank r. A tenant
+// with weight w owns w consecutive slots per cycle of Stride, so across a
+// backlog it receives w of every Stride dequeue slots.
+func (t Transform) Apply(r int64) int64 {
+	lvl := t.Quantize(r)
+	if max := t.Levels - 1; lvl > max {
+		lvl = max
+	}
+	w := t.weight()
+	return t.Offset + (lvl/w)*t.Stride + t.Phase + lvl%w
+}
+
+// OutputBounds returns the closed interval of possible output ranks.
+func (t Transform) OutputBounds() rank.Bounds {
+	w := t.weight()
+	last := t.Levels - 1
+	return rank.Bounds{
+		Lo: t.Offset + t.Phase,
+		Hi: t.Offset + (last/w)*t.Stride + t.Phase + last%w,
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Transform) String() string {
+	if t.weight() > 1 {
+		return fmt.Sprintf("[%d,%d]→%d levels ×%d+%d(w%d) @%d ⇒ %v",
+			t.Lo, t.Hi, t.Levels, t.Stride, t.Phase, t.Weight, t.Offset, t.OutputBounds())
+	}
+	return fmt.Sprintf("[%d,%d]→%d levels ×%d+%d @%d ⇒ %v",
+		t.Lo, t.Hi, t.Levels, t.Stride, t.Phase, t.Offset, t.OutputBounds())
+}

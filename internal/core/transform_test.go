@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qvisor/internal/rank"
+)
+
+func TestIdentityTransform(t *testing.T) {
+	tr := IdentityTransform(rank.Bounds{Lo: 5, Hi: 15})
+	for r := int64(5); r <= 15; r++ {
+		if got := tr.Apply(r); got != r {
+			t.Fatalf("identity Apply(%d) = %d", r, got)
+		}
+	}
+	if got := tr.Apply(0); got != 5 {
+		t.Fatalf("below-range Apply(0) = %d, want clamp to 5", got)
+	}
+	if got := tr.Apply(99); got != 15 {
+		t.Fatalf("above-range Apply(99) = %d, want clamp to 15", got)
+	}
+}
+
+func TestQuantizeAffineStretch(t *testing.T) {
+	tr := Transform{Lo: 0, Hi: 9, Levels: 5, Stride: 1}
+	// Affine stretch of [0,9] onto [0,4]: level = r*4/9.
+	wants := []int64{0, 0, 0, 1, 1, 2, 2, 3, 3, 4}
+	for r, want := range wants {
+		if got := tr.Quantize(int64(r)); got != want {
+			t.Fatalf("Quantize(%d) = %d, want %d", r, got, want)
+		}
+	}
+	// Lo maps to 0 and Hi maps exactly to Levels-1.
+	if tr.Quantize(0) != 0 || tr.Quantize(9) != 4 {
+		t.Fatal("edges must map to the extreme levels")
+	}
+}
+
+func TestQuantizeStretchesNarrowOntoWide(t *testing.T) {
+	// A narrow distribution occupies the full normalized scale — the
+	// property that lets heterogeneous tenants be "fairly compared".
+	narrow := Transform{Lo: 0, Hi: 10, Levels: 1000, Stride: 1}
+	if got := narrow.Quantize(10); got != 999 {
+		t.Fatalf("narrow Hi → %d, want 999", got)
+	}
+	if got := narrow.Quantize(5); got < 450 || got > 550 {
+		t.Fatalf("narrow midpoint → %d, want ~500", got)
+	}
+}
+
+func TestQuantizeExtremeSpansNoOverflow(t *testing.T) {
+	tr := Transform{Lo: 0, Hi: 1 << 50, Levels: 1 << 40, Stride: 1}
+	if got := tr.Quantize(1 << 50); got != (1<<40)-1 {
+		t.Fatalf("extreme Hi → %d, want %d", got, int64(1<<40)-1)
+	}
+	mid := tr.Quantize(1 << 49)
+	if mid < (1<<39)-(1<<20) || mid > (1<<39)+(1<<20) {
+		t.Fatalf("extreme midpoint → %d, want ~%d", mid, int64(1)<<39)
+	}
+}
+
+func TestQuantizeSingleLevel(t *testing.T) {
+	tr := Transform{Lo: 0, Hi: 100, Levels: 1, Stride: 1}
+	for _, r := range []int64{0, 50, 100} {
+		if got := tr.Quantize(r); got != 0 {
+			t.Fatalf("Quantize(%d) = %d, want 0", r, got)
+		}
+	}
+}
+
+func TestQuantizeDegenerateBounds(t *testing.T) {
+	tr := Transform{Lo: 7, Hi: 7, Levels: 4, Stride: 1}
+	if got := tr.Quantize(7); got != 0 {
+		t.Fatalf("Quantize on point bounds = %d, want 0", got)
+	}
+}
+
+func TestApplyInterleaving(t *testing.T) {
+	// Two sharing tenants, stride 2: phases 0 and 1 interleave.
+	a := Transform{Lo: 0, Hi: 1, Levels: 2, Stride: 2, Phase: 0, Offset: 10}
+	b := Transform{Lo: 0, Hi: 1, Levels: 2, Stride: 2, Phase: 1, Offset: 10}
+	if a.Apply(0) != 10 || b.Apply(0) != 11 || a.Apply(1) != 12 || b.Apply(1) != 13 {
+		t.Fatalf("interleaving wrong: %d %d %d %d",
+			a.Apply(0), b.Apply(0), a.Apply(1), b.Apply(1))
+	}
+}
+
+func TestOutputBounds(t *testing.T) {
+	tr := Transform{Lo: 0, Hi: 9, Levels: 4, Stride: 3, Phase: 2, Offset: 100}
+	want := rank.Bounds{Lo: 102, Hi: 100 + 3*3 + 2}
+	if got := tr.OutputBounds(); got != want {
+		t.Fatalf("OutputBounds = %v, want %v", got, want)
+	}
+	// Every applied rank falls inside the declared output bounds.
+	for r := int64(-5); r < 20; r++ {
+		if out := tr.Apply(r); !want.Contains(out) {
+			t.Fatalf("Apply(%d) = %d outside %v", r, out, want)
+		}
+	}
+}
+
+// TestPropertyTransformMonotone: transforms never invert intra-tenant rank
+// order — the paper's requirement that normalization preserves each
+// tenant's scheduling behaviour ("without loosing their intra-tenant
+// scheduling behavior", §3.2).
+func TestPropertyTransformMonotone(t *testing.T) {
+	f := func(lo int32, span uint16, levels uint8, stride uint8, r1, r2 int32) bool {
+		tr := Transform{
+			Lo:     int64(lo),
+			Hi:     int64(lo) + int64(span),
+			Levels: int64(levels%64) + 1,
+			Stride: int64(stride%8) + 1,
+			Offset: 1000,
+		}
+		a, b := int64(r1), int64(r2)
+		if a > b {
+			a, b = b, a
+		}
+		return tr.Apply(a) <= tr.Apply(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyQuantizeWithinLevels: quantization always lands in
+// [0, Levels).
+func TestPropertyQuantizeWithinLevels(t *testing.T) {
+	f := func(lo int32, span uint16, levels uint8, r int32) bool {
+		tr := Transform{
+			Lo:     int64(lo),
+			Hi:     int64(lo) + int64(span),
+			Levels: int64(levels%100) + 1,
+			Stride: 1,
+		}
+		q := tr.Quantize(int64(r))
+		return q >= 0 && q < tr.Levels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	tr := Transform{Lo: 1, Hi: 3, Levels: 2, Stride: 2, Phase: 1, Offset: 4}
+	if s := tr.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkTransformApply(b *testing.B) {
+	tr := Transform{Lo: 0, Hi: 1 << 20, Levels: 64, Stride: 2, Phase: 1, Offset: 128}
+	b.ReportAllocs()
+	acc := int64(0)
+	for i := 0; i < b.N; i++ {
+		acc += tr.Apply(int64(i) & (1<<20 - 1))
+	}
+	_ = acc
+}

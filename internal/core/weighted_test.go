@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+)
+
+// TestWeightedShareSlots: with "A*2 + B", A owns slots {0,1} of every
+// 3-slot cycle and B owns slot {2}.
+func TestWeightedShareSlots(t *testing.T) {
+	tenants := []*Tenant{
+		{ID: 1, Name: "A", Bounds: rank.Bounds{Lo: 0, Hi: 5}, Levels: 6},
+		{ID: 2, Name: "B", Bounds: rank.Bounds{Lo: 0, Hi: 5}, Levels: 6},
+	}
+	jp := mustSynth(t, tenants, "A*2 + B", SynthOptions{})
+	ta, _ := jp.TransformOf("A")
+	tb, _ := jp.TransformOf("B")
+	if ta.Stride != 3 || tb.Stride != 3 {
+		t.Fatalf("cycle width: %d/%d, want 3", ta.Stride, tb.Stride)
+	}
+	if ta.Weight != 2 || tb.Weight != 1 {
+		t.Fatalf("weights: %d/%d", ta.Weight, tb.Weight)
+	}
+	// A's levels 0..5 map to 0,1,3,4,6,7; B's to 2,5,8,...
+	wantA := []int64{0, 1, 3, 4, 6, 7}
+	for lvl, want := range wantA {
+		if got := ta.Apply(int64(lvl)); got != want {
+			t.Fatalf("A level %d → %d, want %d", lvl, got, want)
+		}
+	}
+	wantB := []int64{2, 5, 8, 11, 14, 17}
+	for lvl, want := range wantB {
+		if got := tb.Apply(int64(lvl)); got != want {
+			t.Fatalf("B level %d → %d, want %d", lvl, got, want)
+		}
+	}
+}
+
+// TestWeightedShareServiceRatio: a PIFO draining equal backlogs of A and B
+// under "A*2 + B" serves A twice as often in every prefix.
+func TestWeightedShareServiceRatio(t *testing.T) {
+	tenants := []*Tenant{
+		{ID: 1, Name: "A", Bounds: rank.Bounds{Lo: 0, Hi: 99}, Levels: 100},
+		{ID: 2, Name: "B", Bounds: rank.Bounds{Lo: 0, Hi: 99}, Levels: 100},
+	}
+	jp := mustSynth(t, tenants, "A*2 + B", SynthOptions{})
+	pp := NewPreprocessor(jp, UnknownWorst)
+	pifo := sched.NewPIFO(sched.Config{CapacityBytes: 1 << 30})
+	// Equal backlogs with identical intra-tenant rank sequences.
+	for r := int64(0); r < 60; r++ {
+		for _, id := range []pkt.TenantID{1, 2} {
+			p := &pkt.Packet{Tenant: id, Rank: r, Size: 1}
+			pp.Process(p)
+			pifo.Enqueue(p)
+		}
+	}
+	served := map[pkt.TenantID]int{}
+	for i := 0; i < 30; i++ {
+		p := pifo.Dequeue()
+		served[p.Tenant]++
+	}
+	// Of the first 30 slots, A should take ~20 and B ~10.
+	if served[1] < 18 || served[1] > 22 {
+		t.Fatalf("weighted service skewed: %v (want ~20/10)", served)
+	}
+}
+
+// TestWeightedMonotone: the weighted transform remains monotone.
+func TestWeightedMonotone(t *testing.T) {
+	tr := Transform{Lo: 0, Hi: 1000, Levels: 500, Stride: 7, Phase: 2, Weight: 3, Offset: 50}
+	prev := int64(-1)
+	for r := int64(0); r <= 1000; r++ {
+		out := tr.Apply(r)
+		if out < prev {
+			t.Fatalf("not monotone at %d: %d < %d", r, out, prev)
+		}
+		prev = out
+		if !tr.OutputBounds().Contains(out) {
+			t.Fatalf("Apply(%d)=%d outside %v", r, out, tr.OutputBounds())
+		}
+	}
+}
+
+// TestWeightedIsolationStillHolds: weights inside a tier do not break
+// strict isolation between tiers.
+func TestWeightedIsolationStillHolds(t *testing.T) {
+	tenants := []*Tenant{
+		{ID: 1, Name: "A", Bounds: rank.Bounds{Lo: 0, Hi: 100}},
+		{ID: 2, Name: "B", Bounds: rank.Bounds{Lo: 0, Hi: 100}},
+		{ID: 3, Name: "C", Bounds: rank.Bounds{Lo: 0, Hi: 100}},
+	}
+	jp := mustSynth(t, tenants, "A*3 + B >> C", SynthOptions{})
+	ta, _ := jp.TransformOf("A")
+	tb, _ := jp.TransformOf("B")
+	tc, _ := jp.TransformOf("C")
+	worstUpper := ta.OutputBounds().Hi
+	if tb.OutputBounds().Hi > worstUpper {
+		worstUpper = tb.OutputBounds().Hi
+	}
+	if worstUpper >= tc.OutputBounds().Lo {
+		t.Fatalf("isolation broken: upper tier ends %d, lower starts %d",
+			worstUpper, tc.OutputBounds().Lo)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+)
+
+// InversionResult reports how faithfully one scheduler realizes the joint
+// policy's rank order — the metric the SP-PIFO paper popularized: a
+// dequeue is an inversion ("unpifoness") when a packet with a lower rank
+// is still queued.
+type InversionResult struct {
+	// Scheduler names the discipline.
+	Scheduler string
+	// Dequeues counts serviced packets.
+	Dequeues int
+	// Inversions counts order-violating dequeues.
+	Inversions int
+	// Rate is Inversions / Dequeues.
+	Rate float64
+	// Drops counts packets rejected (admission/capacity).
+	Drops int
+}
+
+// InversionStudy replays an identical QVISOR-transformed arrival trace
+// (two tenants sharing under the joint policy, randomized enqueue/dequeue
+// interleaving) through each scheduler and measures its inversion rate
+// against a rank oracle. The ideal PIFO scores zero by construction;
+// approximations trade inversions for hardware simplicity (§3.4).
+func InversionStudy(packets int, seed int64) ([]InversionResult, error) {
+	if packets <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive packet count")
+	}
+	// Joint policy: two sharing tenants with heterogeneous rank scales.
+	tenants := []*core.Tenant{
+		{ID: 1, Name: "a", Bounds: rank.Bounds{Lo: 0, Hi: 1 << 20}, Levels: 1 << 10},
+		{ID: 2, Name: "b", Bounds: rank.Bounds{Lo: 0, Hi: 10000}, Levels: 1 << 10},
+	}
+	jp, err := core.Synthesize(tenants, policy.MustParse("a + b"), core.SynthOptions{})
+	if err != nil {
+		return nil, err
+	}
+	pp := core.NewPreprocessor(jp, core.UnknownWorst)
+
+	// Pre-generate the transformed trace so every scheduler sees
+	// identical input.
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]*pkt.Packet, packets)
+	for i := range trace {
+		p := &pkt.Packet{
+			ID:     uint64(i),
+			Tenant: pkt.TenantID(1 + rng.Intn(2)),
+			Size:   1500,
+		}
+		if p.Tenant == 1 {
+			p.Rank = int64(rng.Intn(1 << 20))
+		} else {
+			p.Rank = int64(rng.Intn(10001))
+		}
+		pp.Process(p)
+		trace[i] = p
+	}
+	// Identical randomized service pattern; occupancy is additionally
+	// bounded to ~64 packets so the rates reflect realistic queue depths
+	// rather than unbounded backlogs.
+	serve := make([]bool, packets)
+	for i := range serve {
+		serve[i] = rng.Intn(2) == 0
+	}
+	const maxOccupancy = 64
+
+	builders := []struct {
+		name  string
+		build func() sched.Scheduler
+	}{
+		{"pifo", func() sched.Scheduler { return sched.NewPIFO(sched.Config{CapacityBytes: 1 << 30}) }},
+		{"sppifo:8", func() sched.Scheduler { return sched.NewSPPIFO(sched.Config{CapacityBytes: 1 << 30}, 8) }},
+		{"sppifo:32", func() sched.Scheduler { return sched.NewSPPIFO(sched.Config{CapacityBytes: 1 << 30}, 32) }},
+		{"calendar:32", func() sched.Scheduler {
+			width := (jp.Output.Span() + 31) / 32
+			return sched.NewCalendar(sched.Config{CapacityBytes: 1 << 30}, 32, width)
+		}},
+		{"aifo", func() sched.Scheduler {
+			return sched.NewAIFO(sched.AIFOConfig{Config: sched.Config{CapacityBytes: 256 * 1500}})
+		}},
+		{"fifo", func() sched.Scheduler { return sched.NewFIFO(sched.Config{CapacityBytes: 1 << 30}) }},
+	}
+
+	var out []InversionResult
+	for _, b := range builders {
+		s := b.build()
+		res := InversionResult{Scheduler: b.name}
+		queued := newRankMultiset()
+		for i, p := range trace {
+			cp := *p // schedulers may be destructive; copy per run
+			if s.Enqueue(&cp) {
+				queued.add(cp.Rank)
+			} else {
+				res.Drops++
+			}
+			for serveOne := serve[i] || s.Len() > maxOccupancy; serveOne; serveOne = s.Len() > maxOccupancy {
+				got := s.Dequeue()
+				if got == nil {
+					break
+				}
+				res.Dequeues++
+				if min, ok := queued.min(); ok && got.Rank > min {
+					res.Inversions++
+				}
+				queued.remove(got.Rank)
+			}
+		}
+		for got := s.Dequeue(); got != nil; got = s.Dequeue() {
+			res.Dequeues++
+			if min, ok := queued.min(); ok && got.Rank > min {
+				res.Inversions++
+			}
+			queued.remove(got.Rank)
+		}
+		if res.Dequeues > 0 {
+			res.Rate = float64(res.Inversions) / float64(res.Dequeues)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// rankMultiset tracks queued ranks with O(log n) min queries via an
+// ordered count map over a binary-indexed structure. Rank domains here are
+// small enough for a simple sorted-slice implementation.
+type rankMultiset struct {
+	counts map[int64]int
+	minVal int64
+	dirty  bool
+}
+
+func newRankMultiset() *rankMultiset {
+	return &rankMultiset{counts: make(map[int64]int)}
+}
+
+func (m *rankMultiset) add(r int64) {
+	m.counts[r]++
+	if !m.dirty && (len(m.counts) == 1 || r < m.minVal) {
+		m.minVal = r
+	}
+}
+
+func (m *rankMultiset) remove(r int64) {
+	if c := m.counts[r]; c <= 1 {
+		delete(m.counts, r)
+		if r == m.minVal {
+			m.dirty = true
+		}
+	} else {
+		m.counts[r] = c - 1
+	}
+}
+
+func (m *rankMultiset) min() (int64, bool) {
+	if len(m.counts) == 0 {
+		return 0, false
+	}
+	if m.dirty {
+		first := true
+		for r := range m.counts {
+			if first || r < m.minVal {
+				m.minVal = r
+				first = false
+			}
+		}
+		m.dirty = false
+	}
+	return m.minVal, true
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"qvisor/internal/sim"
+)
+
+// DefaultLoads are the x-axis values of Figure 4: load 0.2 through 0.8.
+var DefaultLoads = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+// Sweep runs every scheme at every load and returns results in
+// scheme-major order.
+func Sweep(cfg Config, schemes []Scheme, loads []float64) ([]Result, error) {
+	var out []Result
+	for _, s := range schemes {
+		for _, l := range loads {
+			r, err := Run(cfg, s, l)
+			if err != nil {
+				return nil, fmt.Errorf("scheme %v load %v: %w", s, l, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Bin selects which Figure-4 panel a table reports.
+type Bin int
+
+const (
+	// BinSmall is Figure 4a: flows in (0, 100 KB), mean FCT.
+	BinSmall Bin = iota
+	// BinLarge is Figure 4b: flows in [1 MB, ∞), mean FCT.
+	BinLarge
+)
+
+// String implements fmt.Stringer.
+func (b Bin) String() string {
+	if b == BinLarge {
+		return "[1MB,inf): mean FCTs"
+	}
+	return "(0,100KB): mean FCTs"
+}
+
+// WriteTable renders the Figure-4 series as a table: one row per scheme,
+// one column per load, mean FCT in milliseconds — the same series the
+// paper plots.
+func WriteTable(w io.Writer, results []Result, bin Bin, loads []float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "pFabric %v\n", bin)
+	fmt.Fprint(tw, "scheme")
+	for _, l := range loads {
+		fmt.Fprintf(tw, "\t%.1f", l)
+	}
+	fmt.Fprintln(tw)
+	bySchemeLoad := make(map[Scheme]map[float64]Result)
+	for _, r := range results {
+		if bySchemeLoad[r.Scheme] == nil {
+			bySchemeLoad[r.Scheme] = make(map[float64]Result)
+		}
+		bySchemeLoad[r.Scheme][r.Load] = r
+	}
+	for _, s := range Schemes {
+		row, ok := bySchemeLoad[s]
+		if !ok {
+			continue
+		}
+		fmt.Fprint(tw, s)
+		for _, l := range loads {
+			r, ok := row[l]
+			if !ok {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			sum := r.Small
+			if bin == BinLarge {
+				sum = r.Large
+			}
+			if sum.Count == 0 {
+				fmt.Fprint(tw, "\tn/a")
+			} else {
+				fmt.Fprintf(tw, "\t%.3f", float64(sum.Mean)/float64(sim.Millisecond))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// MeanFor extracts the mean FCT of a (scheme, load) cell from a result set,
+// in the given bin. It returns false if absent or empty.
+func MeanFor(results []Result, s Scheme, load float64, bin Bin) (sim.Time, bool) {
+	for _, r := range results {
+		if r.Scheme != s || r.Load != load {
+			continue
+		}
+		sum := r.Small
+		if bin == BinLarge {
+			sum = r.Large
+		}
+		if sum.Count == 0 {
+			return 0, false
+		}
+		return sum.Mean, true
+	}
+	return 0, false
+}

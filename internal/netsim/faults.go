@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+)
+
+// FaultInjector wraps a scheduler and drops packets selected by a
+// predicate — deterministic loss injection for exercising the transport's
+// recovery paths (timeouts, retransmissions, duplicate suppression) and
+// QVISOR's behaviour under loss.
+type FaultInjector struct {
+	inner sched.Scheduler
+	// Drop decides whether an arriving packet is lost before reaching
+	// the queue. It sees every packet exactly once per enqueue attempt.
+	drop func(p *pkt.Packet) bool
+	// onDrop is notified for injected losses, keeping network-wide
+	// accounting consistent.
+	onDrop sched.DropFn
+	// Injected counts the losses this injector caused.
+	Injected uint64
+}
+
+// NewFaultInjector wraps inner, dropping packets for which drop returns
+// true. onDrop may be nil.
+func NewFaultInjector(inner sched.Scheduler, drop func(p *pkt.Packet) bool, onDrop sched.DropFn) *FaultInjector {
+	return &FaultInjector{inner: inner, drop: drop, onDrop: onDrop}
+}
+
+// Name implements sched.Scheduler.
+func (f *FaultInjector) Name() string { return "faulty-" + f.inner.Name() }
+
+// Len implements sched.Scheduler.
+func (f *FaultInjector) Len() int { return f.inner.Len() }
+
+// Bytes implements sched.Scheduler.
+func (f *FaultInjector) Bytes() int { return f.inner.Bytes() }
+
+// Enqueue implements sched.Scheduler.
+func (f *FaultInjector) Enqueue(p *pkt.Packet) bool {
+	if f.drop != nil && f.drop(p) {
+		f.Injected++
+		if f.onDrop != nil {
+			f.onDrop(p)
+		}
+		return false
+	}
+	return f.inner.Enqueue(p)
+}
+
+// Dequeue implements sched.Scheduler.
+func (f *FaultInjector) Dequeue() *pkt.Packet { return f.inner.Dequeue() }

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+	"qvisor/internal/workload"
+)
+
+// TestRecoveryFromInjectedDataLoss drops the first transmission of every
+// data packet of one flow; the transport must recover every byte via
+// timeout retransmission and still complete.
+func TestRecoveryFromInjectedDataLoss(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 14600}},
+	}}, 200*sim.Millisecond)
+	seen := map[int64]bool{}
+	cfg.SchedulerFor = func(role string, id int, drop sched.DropFn) sched.Scheduler {
+		inner := sched.NewPIFO(sched.Config{OnDrop: drop})
+		if role != "host" || id != 0 {
+			return inner
+		}
+		// Drop the first copy of each data packet at the source uplink.
+		return NewFaultInjector(inner, func(p *pkt.Packet) bool {
+			if p.Kind != pkt.Data || seen[p.Seq] {
+				return false
+			}
+			seen[p.Seq] = true
+			return true
+		}, drop)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	recs := n.FCTs().Records()
+	if len(recs) != 1 {
+		t.Fatalf("flow did not complete under 100%% first-copy loss (completed %d)", len(recs))
+	}
+	c := n.Counters()
+	if c.Retransmits < 10 {
+		t.Fatalf("retransmits = %d, want >= 10 (every packet lost once)", c.Retransmits)
+	}
+	// FCT includes at least one RTO (3 ms default).
+	if fct := recs[0].FCT(); fct < cfg.RTO {
+		t.Fatalf("FCT %v below one RTO; loss not exercised", fct)
+	}
+	sent := c.DataSent + c.Retransmits + c.AcksSent
+	if c.Delivered+c.Dropped != sent {
+		t.Fatalf("conservation with injected faults: sent=%d delivered+dropped=%d", sent, c.Delivered+c.Dropped)
+	}
+}
+
+// TestRecoveryFromAckLoss drops every first ack; cumulative retransmission
+// must still complete the flow, and duplicate data at the receiver must
+// not corrupt accounting.
+func TestRecoveryFromAckLoss(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 7300}},
+	}}, 200*sim.Millisecond)
+	dropped := map[int64]bool{}
+	cfg.SchedulerFor = func(role string, id int, drop sched.DropFn) sched.Scheduler {
+		inner := sched.NewPIFO(sched.Config{OnDrop: drop})
+		if role != "host" || id != 2 {
+			return inner
+		}
+		return NewFaultInjector(inner, func(p *pkt.Packet) bool {
+			if p.Kind != pkt.Ack || dropped[p.AckSeq] {
+				return false
+			}
+			dropped[p.AckSeq] = true
+			return true
+		}, drop)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if len(n.FCTs().Records()) != 1 {
+		t.Fatal("flow did not complete under first-ack loss")
+	}
+	if n.Counters().Retransmits == 0 {
+		t.Fatal("ack loss should force retransmissions")
+	}
+}
+
+func TestFaultInjectorPassThrough(t *testing.T) {
+	inner := sched.NewFIFO(sched.Config{})
+	fi := NewFaultInjector(inner, nil, nil)
+	p := &pkt.Packet{Size: 10, Rank: 1}
+	if !fi.Enqueue(p) {
+		t.Fatal("nil predicate must pass packets")
+	}
+	if fi.Len() != 1 || fi.Bytes() != 10 {
+		t.Fatalf("len/bytes: %d/%d", fi.Len(), fi.Bytes())
+	}
+	if fi.Dequeue() != p {
+		t.Fatal("dequeue mismatch")
+	}
+	if fi.Name() != "faulty-fifo" {
+		t.Fatalf("name = %q", fi.Name())
+	}
+	if fi.Injected != 0 {
+		t.Fatal("spurious injected count")
+	}
+}

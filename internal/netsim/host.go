@@ -1,0 +1,323 @@
+package netsim
+
+import (
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+	"qvisor/internal/workload"
+)
+
+// Host is an end host: it sources flows through a minimal pFabric-style
+// transport (window-based, per-packet acks, timeout retransmission — the
+// "minimal near-optimal transport" of the pFabric paper that Netbench
+// reproduces), computes packet ranks with the tenant's rank function, and
+// sinks traffic addressed to it.
+type Host struct {
+	net     *Network
+	id      int
+	up      *Port
+	sending map[uint64]*sendFlow
+	cbrStop bool
+}
+
+func newHost(n *Network, id int) *Host {
+	return &Host{net: n, id: id, sending: make(map[uint64]*sendFlow)}
+}
+
+// packet send-state machine.
+const (
+	stUnsent uint8 = iota
+	stInflight
+	stQueued // timed out, waiting for retransmission
+	stAcked
+)
+
+// sendFlow is the sender side of one size-based flow.
+type sendFlow struct {
+	host  *Host
+	td    *TenantDef
+	spec  workload.FlowSpec
+	id    uint64
+	fl    rank.Flow
+	npkts int
+
+	state      []uint8
+	retxQueue  []int
+	nextUnsent int
+	inflight   int
+	nAcked     int
+	timer      sim.Handle
+	completed  bool
+}
+
+func (h *Host) startFlow(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
+	if spec.Rate > 0 {
+		h.startCBR(now, td, spec)
+		return
+	}
+	id := h.net.flowID()
+	mss := h.net.cfg.MSS
+	npkts := int((spec.Size + int64(mss) - 1) / int64(mss))
+	if npkts == 0 {
+		npkts = 1
+	}
+	sf := &sendFlow{
+		host:  h,
+		td:    td,
+		spec:  spec,
+		id:    id,
+		npkts: npkts,
+		state: make([]uint8, npkts),
+		fl: rank.Flow{
+			ID:      id,
+			Size:    spec.Size,
+			Arrival: now,
+		},
+	}
+	h.sending[id] = sf
+	sf.trySend(now)
+}
+
+// payload returns the payload size of packet idx.
+func (sf *sendFlow) payload(idx int) int {
+	mss := sf.host.net.cfg.MSS
+	if idx == sf.npkts-1 {
+		last := int(sf.spec.Size - int64(sf.npkts-1)*int64(mss))
+		if last <= 0 {
+			last = 1
+		}
+		return last
+	}
+	return mss
+}
+
+// trySend fills the window: retransmissions first, then new data.
+func (sf *sendFlow) trySend(now sim.Time) {
+	if sf.completed {
+		return
+	}
+	win := sf.host.net.cfg.Window
+	for sf.inflight < win {
+		idx, retx := sf.nextToSend()
+		if idx < 0 {
+			break
+		}
+		sf.emit(now, idx, retx)
+	}
+}
+
+func (sf *sendFlow) nextToSend() (int, bool) {
+	for len(sf.retxQueue) > 0 {
+		idx := sf.retxQueue[0]
+		sf.retxQueue = sf.retxQueue[1:]
+		if sf.state[idx] == stQueued {
+			return idx, true
+		}
+	}
+	if sf.nextUnsent < sf.npkts {
+		idx := sf.nextUnsent
+		sf.nextUnsent++
+		return idx, false
+	}
+	return -1, false
+}
+
+func (sf *sendFlow) emit(now sim.Time, idx int, retx bool) {
+	n := sf.host.net
+	payload := sf.payload(idx)
+	r := sf.td.Ranker.Rank(now, &sf.fl, payload)
+	if !retx {
+		sf.fl.Sent += int64(payload)
+		n.count.DataSent++
+	} else {
+		n.count.Retransmits++
+	}
+	if n.cfg.Controller != nil {
+		n.cfg.Controller.Observe(sf.td.ID, r)
+	}
+	p := &pkt.Packet{
+		ID:      n.pktID(),
+		Flow:    sf.id,
+		Tenant:  sf.td.ID,
+		Rank:    r,
+		Size:    payload + n.cfg.HeaderBytes,
+		Src:     sf.host.id,
+		Dst:     sf.spec.Dst,
+		Seq:     int64(idx),
+		Payload: payload,
+		Kind:    pkt.Data,
+		Retx:    retx,
+		SentAt:  now,
+	}
+	sf.state[idx] = stInflight
+	sf.inflight++
+	sf.armTimer(now)
+	n.cfg.Trace.Record(now, "emit", hostName(sf.host.id), p)
+	sf.host.up.send(now, p)
+}
+
+func hostName(id int) string { return "host" + itoa(id) }
+
+// itoa avoids strconv in the hot path for small non-negative ints.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func (sf *sendFlow) armTimer(now sim.Time) {
+	if sf.timer.Pending() || sf.completed {
+		return
+	}
+	sf.timer = sf.host.net.eng.After(sf.host.net.cfg.RTO, sf.onRTO)
+}
+
+// onRTO requeues every in-flight packet for retransmission: the standard
+// coarse recovery of packet-level simulators (dropped packets are simply
+// never acked).
+func (sf *sendFlow) onRTO(now sim.Time) {
+	if sf.completed {
+		return
+	}
+	for idx := 0; idx < sf.nextUnsent; idx++ {
+		if sf.state[idx] == stInflight {
+			sf.state[idx] = stQueued
+			sf.retxQueue = append(sf.retxQueue, idx)
+			sf.inflight--
+		}
+	}
+	sf.trySend(now)
+	if !sf.completed && (sf.inflight > 0 || len(sf.retxQueue) > 0 || sf.nextUnsent < sf.npkts) {
+		sf.timer = sf.host.net.eng.After(sf.host.net.cfg.RTO, sf.onRTO)
+	}
+}
+
+func (sf *sendFlow) onAck(now sim.Time, idx int) {
+	if sf.completed || idx < 0 || idx >= sf.npkts || sf.state[idx] == stAcked {
+		return
+	}
+	if sf.state[idx] == stInflight {
+		sf.inflight--
+	}
+	sf.state[idx] = stAcked
+	sf.nAcked++
+	if sf.nAcked == sf.npkts {
+		sf.complete(now)
+		return
+	}
+	sf.trySend(now)
+}
+
+func (sf *sendFlow) complete(now sim.Time) {
+	sf.completed = true
+	sf.timer.Cancel()
+	if fr, ok := sf.td.Ranker.(rank.FlowReleaser); ok {
+		fr.Release(sf.id)
+	}
+	delete(sf.host.sending, sf.id)
+	sf.host.net.fcts.Add(stats.FlowRecord{
+		ID:     sf.id,
+		Tenant: sf.td.Name,
+		Size:   sf.spec.Size,
+		Start:  sf.fl.Arrival,
+		End:    now,
+	})
+}
+
+// startCBR launches a constant-bit-rate datagram source (the paper's tenant
+// 2: open-loop deadline traffic ranked by EDF).
+func (h *Host) startCBR(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
+	n := h.net
+	id := n.flowID()
+	fl := rank.Flow{ID: id, Arrival: now}
+	wire := n.cfg.MSS + n.cfg.HeaderBytes
+	interval := sim.Time(float64(wire*8) / spec.Rate * 1e9)
+	if interval < 1 {
+		interval = 1
+	}
+	stop := spec.Stop
+	if stop == 0 {
+		stop = n.cfg.Horizon
+	}
+	var tick func(sim.Time)
+	tick = func(tnow sim.Time) {
+		if h.cbrStop || tnow > stop {
+			return
+		}
+		if spec.DeadlineBudget > 0 {
+			fl.Deadline = tnow + spec.DeadlineBudget
+		}
+		r := td.Ranker.Rank(tnow, &fl, n.cfg.MSS)
+		fl.Sent += int64(n.cfg.MSS) // progress-based rankers (LAS, FQ) see CBR advance
+		if n.cfg.Controller != nil {
+			n.cfg.Controller.Observe(td.ID, r)
+		}
+		p := &pkt.Packet{
+			ID:       n.pktID(),
+			Flow:     id,
+			Tenant:   td.ID,
+			Rank:     r,
+			Size:     wire,
+			Src:      h.id,
+			Dst:      spec.Dst,
+			Payload:  n.cfg.MSS,
+			Kind:     pkt.Datagram,
+			SentAt:   tnow,
+			Deadline: fl.Deadline,
+		}
+		n.count.CBRSent++
+		n.cfg.Trace.Record(tnow, "emit", hostName(h.id), p)
+		h.up.send(tnow, p)
+		n.eng.After(interval, tick)
+	}
+	n.eng.At(now, tick)
+}
+
+// stopCBR halts this host's CBR sources (used when draining).
+func (h *Host) stopCBR() { h.cbrStop = true }
+
+// receive sinks packets addressed to this host.
+func (h *Host) receive(now sim.Time, p *pkt.Packet) {
+	n := h.net
+	n.count.Delivered++
+	n.cfg.Trace.Record(now, "deliver", hostName(h.id), p)
+	switch p.Kind {
+	case pkt.Ack:
+		if sf, ok := h.sending[p.Flow]; ok {
+			sf.onAck(now, int(p.AckSeq))
+		}
+	case pkt.Datagram:
+		n.count.CBRDelivered++
+		if p.Deadline != 0 && now <= p.Deadline {
+			n.count.CBROnTime++
+		}
+	case pkt.Data:
+		// Ack every data packet; the sender deduplicates. Acks carry the
+		// tenant's best rank (0) so they are never starved within the
+		// tenant's band — mirroring pFabric's highest-priority acks.
+		ack := &pkt.Packet{
+			ID:     n.pktID(),
+			Flow:   p.Flow,
+			Tenant: p.Tenant,
+			Rank:   0,
+			Size:   n.cfg.HeaderBytes,
+			Src:    h.id,
+			Dst:    p.Src,
+			Kind:   pkt.Ack,
+			SentAt: now,
+			AckSeq: p.Seq,
+		}
+		n.count.AcksSent++
+		n.cfg.Trace.Record(now, "emit", hostName(h.id), ack)
+		h.up.send(now, ack)
+	}
+}

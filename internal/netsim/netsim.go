@@ -1,0 +1,327 @@
+// Package netsim is the packet-level network simulator the reproduction
+// uses in place of Netbench (§4 of the paper): a leaf-spine data-center
+// fabric with output-queued switches, ECMP routing, a pFabric-style
+// transport for size-based flows, and constant-bit-rate sources for
+// deadline traffic.
+//
+// Each switch egress port runs a pluggable scheduler (internal/sched) and,
+// when QVISOR is deployed, packets are run through the pre-processor
+// (internal/core) at the first switch they traverse, exactly once — the
+// rank rewrite that realizes the joint scheduling policy.
+package netsim
+
+import (
+	"fmt"
+
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+	"qvisor/internal/trace"
+	"qvisor/internal/workload"
+)
+
+// TenantDef binds a tenant's traffic to its rank function for simulation.
+type TenantDef struct {
+	// ID is the tenant label carried on packets.
+	ID pkt.TenantID
+	// Name is the tenant's name in operator specs and statistics.
+	Name string
+	// Ranker computes packet ranks at the sending host.
+	Ranker rank.Ranker
+	// Flows is the tenant's traffic.
+	Flows []workload.FlowSpec
+}
+
+// Config describes a simulation.
+type Config struct {
+	// Leaves, Spines, HostsPerLeaf shape the leaf-spine topology. The
+	// paper uses 9 leaves × 16 hosts and 4 spines.
+	Leaves, Spines, HostsPerLeaf int
+	// AccessBps and FabricBps are the host-leaf and leaf-spine link
+	// rates in bits per second (1 Gbps and 4 Gbps in the paper).
+	AccessBps, FabricBps float64
+	// PropDelay is the one-way propagation delay of every link. Zero
+	// means 1 µs.
+	PropDelay sim.Time
+	// Scheduler builds the queueing discipline of each switch egress
+	// port. The provided drop callback must be wired into the
+	// scheduler's configuration so evictions and admission drops are
+	// counted. Nil means a default PIFO.
+	Scheduler func(drop sched.DropFn) sched.Scheduler
+	// SchedulerFor, when non-nil, overrides Scheduler per device — the
+	// cross-device orchestration hook (§5): role is "host", "leaf", or
+	// "spine", id the device index. Return nil to fall back to
+	// Scheduler for that device.
+	SchedulerFor func(role string, id int, drop sched.DropFn) sched.Scheduler
+	// Preprocessor, when non-nil, rewrites packet ranks at the first
+	// switch (QVISOR deployed). Nil simulates the raw single-tenant
+	// scheduler.
+	Preprocessor *core.Preprocessor
+	// Controller, when non-nil, receives rank observations from hosts
+	// and runs a drift check every CheckInterval.
+	Controller *core.Controller
+	// CheckInterval is the controller's check period. Zero means 10 ms.
+	CheckInterval sim.Time
+	// Tenants is the traffic.
+	Tenants []TenantDef
+	// Trace, when non-nil, records packet events (emit, deliver, drop)
+	// as JSON lines.
+	Trace *trace.Recorder
+	// MSS is the payload bytes per packet. Zero means 1460.
+	MSS int
+	// HeaderBytes is the per-packet overhead on the wire. Zero means 64
+	// (Ethernet + IP + transport + QVISOR label).
+	HeaderBytes int
+	// Window is the transport's send window in packets. Zero sizes it to
+	// twice the access-link bandwidth-delay product.
+	Window int
+	// RTO is the retransmission timeout. Zero means 3 ms.
+	RTO sim.Time
+	// Horizon ends the simulation.
+	Horizon sim.Time
+}
+
+func (c *Config) defaults() error {
+	if c.Leaves <= 0 || c.Spines <= 0 || c.HostsPerLeaf <= 0 {
+		return fmt.Errorf("netsim: topology must have positive dimensions (%d leaves, %d spines, %d hosts/leaf)",
+			c.Leaves, c.Spines, c.HostsPerLeaf)
+	}
+	if c.AccessBps <= 0 || c.FabricBps <= 0 {
+		return fmt.Errorf("netsim: link rates must be positive")
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("netsim: non-positive horizon")
+	}
+	if c.PropDelay <= 0 {
+		c.PropDelay = sim.Microsecond
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = func(drop sched.DropFn) sched.Scheduler {
+			return sched.NewPIFO(sched.Config{OnDrop: drop})
+		}
+	}
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderBytes <= 0 {
+		c.HeaderBytes = 64
+	}
+	if c.RTO <= 0 {
+		c.RTO = 3 * sim.Millisecond
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 10 * sim.Millisecond
+	}
+	if c.Window <= 0 {
+		// Two bandwidth-delay products of the access link, assuming an
+		// 8-hop round trip of propagation plus ~4 serializations.
+		rtt := 8*c.PropDelay + 4*txTime(c.MSS+c.HeaderBytes, c.AccessBps)
+		bdpBytes := c.AccessBps / 8 * rtt.Seconds()
+		c.Window = int(2 * bdpBytes / float64(c.MSS))
+		if c.Window < 2 {
+			c.Window = 2
+		}
+	}
+	for i := range c.Tenants {
+		t := &c.Tenants[i]
+		if t.Name == "" {
+			return fmt.Errorf("netsim: tenant %d has no name", i)
+		}
+		if t.Ranker == nil {
+			return fmt.Errorf("netsim: tenant %q has no ranker", t.Name)
+		}
+	}
+	return nil
+}
+
+// Counters aggregates network-wide packet accounting.
+type Counters struct {
+	// DataSent counts first transmissions of data packets.
+	DataSent uint64
+	// Retransmits counts retransmitted data packets.
+	Retransmits uint64
+	// AcksSent counts acknowledgment packets.
+	AcksSent uint64
+	// Delivered counts packets received by their destination host.
+	Delivered uint64
+	// Dropped counts packets dropped by switch queues.
+	Dropped uint64
+	// CBRSent counts constant-bit-rate packets emitted.
+	CBRSent uint64
+	// CBRDelivered counts CBR packets that arrived.
+	CBRDelivered uint64
+	// CBROnTime counts CBR packets that arrived before their deadline.
+	CBROnTime uint64
+}
+
+// Network is one simulation instance.
+type Network struct {
+	cfg    Config
+	eng    *sim.Engine
+	hosts  []*Host
+	leaves []*Switch
+	spines []*Switch
+	fcts   *stats.Collector
+	count  Counters
+
+	nextPktID  uint64
+	nextFlowID uint64
+}
+
+// New builds the network and schedules all tenant flows. The returned
+// network is ready to Run.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:  cfg,
+		eng:  sim.New(),
+		fcts: stats.NewCollector(),
+	}
+	hostCount := cfg.Leaves * cfg.HostsPerLeaf
+	n.hosts = make([]*Host, hostCount)
+	n.leaves = make([]*Switch, cfg.Leaves)
+	n.spines = make([]*Switch, cfg.Spines)
+
+	for i := range n.spines {
+		n.spines[i] = newSwitch(n, spineSwitch, i, cfg.Leaves)
+	}
+	for i := range n.leaves {
+		n.leaves[i] = newSwitch(n, leafSwitch, i, cfg.HostsPerLeaf+cfg.Spines)
+	}
+	for h := range n.hosts {
+		n.hosts[h] = newHost(n, h)
+	}
+
+	// Wire ports: host <-> leaf (access rate), leaf <-> spine (fabric).
+	for h, host := range n.hosts {
+		leaf := n.leaves[h/cfg.HostsPerLeaf]
+		local := h % cfg.HostsPerLeaf
+		host.up = n.newPort("host", h,
+			fmt.Sprintf("host%d→leaf%d", h, leaf.id), cfg.AccessBps, leaf.receive)
+		leaf.ports[local] = n.newPort("leaf", leaf.id,
+			fmt.Sprintf("leaf%d→host%d", leaf.id, h), cfg.AccessBps, host.receive)
+	}
+	for li, leaf := range n.leaves {
+		for si, spine := range n.spines {
+			leaf.ports[cfg.HostsPerLeaf+si] = n.newPort("leaf", li,
+				fmt.Sprintf("leaf%d→spine%d", li, si), cfg.FabricBps, spine.receive)
+			spine.ports[li] = n.newPort("spine", si,
+				fmt.Sprintf("spine%d→leaf%d", si, li), cfg.FabricBps, n.leaves[li].receive)
+		}
+	}
+
+	// Schedule tenant traffic.
+	for ti := range cfg.Tenants {
+		td := &cfg.Tenants[ti]
+		for _, spec := range td.Flows {
+			if spec.Src < 0 || spec.Src >= hostCount || spec.Dst < 0 || spec.Dst >= hostCount {
+				return nil, fmt.Errorf("netsim: tenant %q flow endpoints (%d,%d) outside %d hosts",
+					td.Name, spec.Src, spec.Dst, hostCount)
+			}
+			if spec.Src == spec.Dst {
+				return nil, fmt.Errorf("netsim: tenant %q flow has src == dst", td.Name)
+			}
+			spec := spec
+			n.eng.At(spec.Start, func(now sim.Time) {
+				n.hosts[spec.Src].startFlow(now, td, spec)
+			})
+		}
+	}
+
+	// Controller check loop.
+	if cfg.Controller != nil {
+		var tick func(sim.Time)
+		tick = func(now sim.Time) {
+			if _, err := cfg.Controller.Check(now); err == nil {
+				if now+cfg.CheckInterval <= cfg.Horizon {
+					n.eng.After(cfg.CheckInterval, tick)
+				}
+			}
+		}
+		n.eng.After(cfg.CheckInterval, tick)
+	}
+	return n, nil
+}
+
+// Engine exposes the event engine (for tests and custom scenarios).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Hosts returns the number of hosts.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+// FCTs returns the flow-completion-time collector.
+func (n *Network) FCTs() *stats.Collector { return n.fcts }
+
+// Counters returns a snapshot of the packet counters.
+func (n *Network) Counters() Counters { return n.count }
+
+// Run executes the simulation until the horizon, then lets in-flight
+// traffic drain for up to one extra horizon so flows started near the end
+// can complete.
+func (n *Network) Run() {
+	n.eng.Run(n.cfg.Horizon)
+	for _, h := range n.hosts {
+		h.stopCBR()
+	}
+	n.eng.Run(2 * n.cfg.Horizon)
+}
+
+// RunNoDrain executes strictly to the horizon (tests that need exact
+// mid-simulation state).
+func (n *Network) RunNoDrain() { n.eng.Run(n.cfg.Horizon) }
+
+// txTime returns the serialization delay of size bytes at rate bps.
+func txTime(size int, bps float64) sim.Time {
+	t := sim.Time(float64(size*8) / bps * 1e9)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (n *Network) pktID() uint64 {
+	n.nextPktID++
+	return n.nextPktID
+}
+
+func (n *Network) flowID() uint64 {
+	n.nextFlowID++
+	return n.nextFlowID
+}
+
+// PortStats returns the telemetry of every output port in the network, in
+// a stable order: host uplinks, then leaf ports, then spine ports.
+func (n *Network) PortStats() []PortStats {
+	elapsed := n.eng.Now()
+	var out []PortStats
+	for _, h := range n.hosts {
+		out = append(out, h.up.stats(elapsed))
+	}
+	for _, sw := range n.leaves {
+		for _, p := range sw.ports {
+			out = append(out, p.stats(elapsed))
+		}
+	}
+	for _, sw := range n.spines {
+		for _, p := range sw.ports {
+			out = append(out, p.stats(elapsed))
+		}
+	}
+	return out
+}
+
+// leafOf returns the leaf index of a host.
+func (n *Network) leafOf(host int) int { return host / n.cfg.HostsPerLeaf }
+
+// ecmp picks a spine for a flow: deterministic per-flow hash, so a flow
+// never reorders across paths.
+func (n *Network) ecmp(flow uint64) int {
+	h := flow * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(n.cfg.Spines))
+}

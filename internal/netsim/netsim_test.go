@@ -1,0 +1,754 @@
+package netsim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+
+	"qvisor/internal/trace"
+	"testing"
+
+	"qvisor/internal/core"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+	"qvisor/internal/workload"
+)
+
+// tiny returns a 2-leaf/1-spine/2-hosts-per-leaf test topology.
+func tiny(tenants []TenantDef, horizon sim.Time) Config {
+	return Config{
+		Leaves:       2,
+		Spines:       1,
+		HostsPerLeaf: 2,
+		AccessBps:    1e9,
+		FabricBps:    4e9,
+		Tenants:      tenants,
+		Horizon:      horizon,
+	}
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 14600}},
+	}}, 10*sim.Millisecond)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	recs := n.FCTs().Records()
+	if len(recs) != 1 {
+		t.Fatalf("completed flows = %d, want 1", len(recs))
+	}
+	fct := recs[0].FCT()
+	// 10 packets over a 1 Gbps access link: ~150 µs analytically.
+	if fct < 100*sim.Microsecond || fct > 500*sim.Microsecond {
+		t.Fatalf("FCT = %v, want ~150µs", fct)
+	}
+	if recs[0].Tenant != "t1" || recs[0].Size != 14600 {
+		t.Fatalf("record fields wrong: %+v", recs[0])
+	}
+	c := n.Counters()
+	if c.DataSent < 10 {
+		t.Fatalf("data sent = %d, want >= 10", c.DataSent)
+	}
+	if c.Dropped != 0 {
+		t.Fatalf("unexpected drops: %d", c.Dropped)
+	}
+}
+
+func TestSameLeafFlowIsFaster(t *testing.T) {
+	run := func(dst int) sim.Time {
+		cfg := tiny([]TenantDef{{
+			ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+			Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: dst, Size: 14600}},
+		}}, 10*sim.Millisecond)
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		return n.FCTs().Records()[0].FCT()
+	}
+	same := run(1)  // host 1 shares leaf 0
+	cross := run(2) // host 2 is on leaf 1
+	if same >= cross {
+		t.Fatalf("same-leaf FCT %v should beat cross-fabric FCT %v", same, cross)
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	// Overload one destination so queues drop, then drain: every emitted
+	// packet must be delivered or dropped, none lost or duplicated.
+	var flows []workload.FlowSpec
+	for src := 1; src < 4; src++ {
+		flows = append(flows, workload.FlowSpec{Start: 0, Src: src, Dst: 0, Size: 300000})
+	}
+	cfg := tiny([]TenantDef{{ID: 1, Name: "t1", Ranker: &rank.PFabric{}, Flows: flows}}, 50*sim.Millisecond)
+	cfg.Scheduler = func(drop sched.DropFn) sched.Scheduler {
+		return sched.NewPIFO(sched.Config{CapacityBytes: 15000, OnDrop: drop})
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	c := n.Counters()
+	sent := c.DataSent + c.Retransmits + c.AcksSent + c.CBRSent
+	if got := c.Delivered + c.Dropped; got != sent {
+		t.Fatalf("conservation violated: sent=%d delivered+dropped=%d (%+v)", sent, got, c)
+	}
+	if len(n.FCTs().Records()) != 3 {
+		t.Fatalf("flows completed = %d, want 3 (retransmission must recover drops)", len(n.FCTs().Records()))
+	}
+	if c.Dropped == 0 {
+		t.Fatal("test meant to exercise drops but none occurred")
+	}
+}
+
+func TestPFabricSmallFlowPreemptsLarge(t *testing.T) {
+	// A large flow saturates the path; a small flow arriving later must
+	// finish far sooner than the large one under pFabric-on-PIFO.
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{
+			{Start: 0, Src: 0, Dst: 2, Size: 3_000_000},
+			{Start: 5 * sim.Millisecond, Src: 1, Dst: 2, Size: 14600},
+		},
+	}}, 100*sim.Millisecond)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	recs := n.FCTs().Records()
+	if len(recs) != 2 {
+		t.Fatalf("completed = %d, want 2", len(recs))
+	}
+	var small, large sim.Time
+	for _, r := range recs {
+		if r.Size == 14600 {
+			small = r.FCT()
+		} else {
+			large = r.FCT()
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatal("missing record")
+	}
+	// The small flow shares a bottleneck with a 3 MB elephant; pFabric
+	// must keep its FCT within a small multiple of the unloaded ~150 µs.
+	if small > sim.Millisecond {
+		t.Fatalf("small-flow FCT %v too slow under pFabric priority", small)
+	}
+	if large < 10*small {
+		t.Fatalf("large flow (%v) should be much slower than small (%v)", large, small)
+	}
+}
+
+func TestFIFOHurtsSmallFlow(t *testing.T) {
+	// Same scenario on a FIFO, with deep windows so the elephants build a
+	// standing queue: the small flow queues (or drops) behind them.
+	run := func(factory func(sched.DropFn) sched.Scheduler) sim.Time {
+		cfg := tiny([]TenantDef{{
+			ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+			Flows: []workload.FlowSpec{
+				{Start: 0, Src: 0, Dst: 2, Size: 3_000_000},
+				{Start: 0, Src: 1, Dst: 2, Size: 3_000_000},
+				{Start: 0, Src: 3, Dst: 2, Size: 3_000_000},
+				{Start: 5 * sim.Millisecond, Src: 1, Dst: 2, Size: 14600},
+			},
+		}}, 200*sim.Millisecond)
+		cfg.Window = 64
+		cfg.Scheduler = factory
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		for _, r := range n.FCTs().Records() {
+			if r.Size == 14600 {
+				return r.FCT()
+			}
+		}
+		t.Fatal("small flow did not complete")
+		return 0
+	}
+	pifo := run(func(d sched.DropFn) sched.Scheduler { return sched.NewPIFO(sched.Config{OnDrop: d}) })
+	fifo := run(func(d sched.DropFn) sched.Scheduler { return sched.NewFIFO(sched.Config{OnDrop: d}) })
+	if fifo <= 2*pifo {
+		t.Fatalf("FIFO small-flow FCT %v should be much worse than PIFO %v", fifo, pifo)
+	}
+}
+
+func TestCBRDeliveryAndDeadlines(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 2, Name: "edf", Ranker: &rank.EDF{},
+		Flows: []workload.FlowSpec{{
+			Start: 0, Src: 0, Dst: 3,
+			Rate:           100e6, // 100 Mbps, well under capacity
+			DeadlineBudget: 5 * sim.Millisecond,
+		}},
+	}}, 10*sim.Millisecond)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	c := n.Counters()
+	if c.CBRSent == 0 {
+		t.Fatal("no CBR packets sent")
+	}
+	if c.CBRDelivered != c.CBRSent {
+		t.Fatalf("CBR delivered %d of %d", c.CBRDelivered, c.CBRSent)
+	}
+	if c.CBROnTime != c.CBRDelivered {
+		t.Fatalf("unloaded network should meet all deadlines: %d of %d", c.CBROnTime, c.CBRDelivered)
+	}
+	// Rate sanity: 100 Mbps of 1524 B frames over 10 ms ≈ 82 packets.
+	if c.CBRSent < 70 || c.CBRSent > 95 {
+		t.Fatalf("CBR sent = %d, want ~82", c.CBRSent)
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	cfg := tiny(nil, sim.Millisecond)
+	cfg.Spines = 4
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for f := uint64(0); f < 64; f++ {
+		s := n.ecmp(f)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ecmp out of range: %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("ECMP uses only %d of 4 spines over 64 flows", len(seen))
+	}
+	// Deterministic per flow.
+	if n.ecmp(7) != n.ecmp(7) {
+		t.Fatal("ecmp not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Leaves = 0 },
+		func(c *Config) { c.Spines = 0 },
+		func(c *Config) { c.HostsPerLeaf = 0 },
+		func(c *Config) { c.AccessBps = 0 },
+		func(c *Config) { c.FabricBps = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Tenants = []TenantDef{{ID: 1, Ranker: &rank.PFabric{}}} },            // no name
+		func(c *Config) { c.Tenants = []TenantDef{{ID: 1, Name: "x"}} },                          // no ranker
+		func(c *Config) { c.Tenants[0].Flows = []workload.FlowSpec{{Src: 0, Dst: 99, Size: 1}} }, // bad endpoint
+	}
+	for i, mutate := range bad {
+		cfg := tiny([]TenantDef{{ID: 1, Name: "t", Ranker: &rank.PFabric{},
+			Flows: []workload.FlowSpec{{Src: 0, Dst: 1, Size: 100}}}}, sim.Second)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New succeeded, want error", i)
+		}
+	}
+	cfg := tiny([]TenantDef{{ID: 1, Name: "t", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Src: 1, Dst: 1, Size: 100}}}}, sim.Second)
+	if _, err := New(cfg); err == nil {
+		t.Error("src==dst: New succeeded, want error")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	build := func() *Network {
+		flows, err := workload.Poisson(workload.PoissonConfig{
+			Hosts: 4, Load: 0.4, AccessBitsPerSec: 1e9,
+			Sizes: workload.DataMining().Scaled(0.001), Horizon: 20 * sim.Millisecond, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := New(tiny([]TenantDef{{ID: 1, Name: "t1", Ranker: &rank.PFabric{}, Flows: flows}},
+			20*sim.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, b := build(), build()
+	a.Run()
+	b.Run()
+	ca, cb := a.Counters(), b.Counters()
+	if ca != cb {
+		t.Fatalf("nondeterministic counters: %+v vs %+v", ca, cb)
+	}
+	ra, rb := a.FCTs().Records(), b.FCTs().Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestQVISORStrictPriorityBlocksLowTier is the §2 scenario in miniature:
+// with EDF >> pFabric, CBR deadline traffic saturating the path starves the
+// pFabric tenant; with pFabric >> EDF, the pFabric flow is protected.
+func TestQVISORStrictPriorityBlocksLowTier(t *testing.T) {
+	run := func(spec string) sim.Time {
+		pf := &rank.PFabric{MaxFlowBytes: 1 << 20}
+		edf := &rank.EDF{MaxSlack: 10 * sim.Millisecond}
+		tenants := []*core.Tenant{
+			{ID: 1, Name: "pfabric", Algorithm: pf},
+			{ID: 2, Name: "edf", Algorithm: edf},
+		}
+		jp, err := core.Synthesize(tenants, policy.MustParse(spec), core.SynthOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tiny([]TenantDef{
+			{
+				ID: 1, Name: "pfabric", Ranker: pf,
+				Flows: []workload.FlowSpec{{Start: sim.Millisecond, Src: 0, Dst: 2, Size: 150000}},
+			},
+			{
+				ID: 2, Name: "edf", Ranker: edf,
+				Flows: []workload.FlowSpec{
+					// Two CBR flows saturate host 2's access link.
+					{Start: 0, Src: 1, Dst: 2, Rate: 0.6e9, DeadlineBudget: 5 * sim.Millisecond},
+					{Start: 0, Src: 3, Dst: 2, Rate: 0.6e9, DeadlineBudget: 5 * sim.Millisecond},
+				},
+			},
+		}, 40*sim.Millisecond)
+		cfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		recs := n.FCTs().Tenant("pfabric")
+		if len(recs) == 0 {
+			return 2 * 40 * sim.Millisecond // did not complete: worst case
+		}
+		return recs[0].FCT()
+	}
+	protected := run("pfabric >> edf")
+	blocked := run("edf >> pfabric")
+	if blocked < 2*protected {
+		t.Fatalf("EDF>>pFabric (%v) should be much worse for pFabric than pFabric>>EDF (%v)",
+			blocked, protected)
+	}
+}
+
+func TestControllerIntegration(t *testing.T) {
+	// A tenant whose declared bounds are far too narrow: the controller
+	// must detect drift mid-run and re-synthesize.
+	pf := &rank.PFabric{}
+	tenants := []*core.Tenant{
+		{ID: 1, Name: "t1", Bounds: rank.Bounds{Lo: 0, Hi: 10}}, // declared narrow
+	}
+	var events []core.Event
+	ctl, pp, err := core.NewController(tenants, policy.MustParse("t1"), core.ControllerOptions{
+		MinObservations: 50,
+		WindowSize:      128,
+		OnEvent:         func(e core.Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workload.Poisson(workload.PoissonConfig{
+		Hosts: 4, Load: 0.3, AccessBitsPerSec: 1e9,
+		Sizes: workload.Fixed(50000), Horizon: 50 * sim.Millisecond, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny([]TenantDef{{ID: 1, Name: "t1", Ranker: pf, Flows: flows}}, 50*sim.Millisecond)
+	cfg.Preprocessor = pp
+	cfg.Controller = ctl
+	cfg.CheckInterval = 5 * sim.Millisecond
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if ctl.Version() < 2 {
+		t.Fatalf("controller never re-synthesized (version=%d)", ctl.Version())
+	}
+	tr, ok := ctl.Policy().TransformOf("t1")
+	if !ok {
+		t.Fatal("t1 missing from adapted policy")
+	}
+	if tr.Hi <= 10 {
+		t.Fatalf("adapted bounds %v still narrow", tr)
+	}
+}
+
+func BenchmarkSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flows, err := workload.Poisson(workload.PoissonConfig{
+			Hosts: 4, Load: 0.5, AccessBitsPerSec: 1e9,
+			Sizes: workload.DataMining().Scaled(0.001), Horizon: 10 * sim.Millisecond, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := New(tiny([]TenantDef{{ID: 1, Name: "t1", Ranker: &rank.PFabric{}, Flows: flows}},
+			10*sim.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Run()
+	}
+}
+
+func TestPortStatsTelemetry(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 146000}},
+	}}, 50*sim.Millisecond)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	stats := n.PortStats()
+	// 4 host uplinks + 2 leaves × (2 host + 1 spine) + 1 spine × 2 = 12.
+	if len(stats) != 12 {
+		t.Fatalf("ports = %d, want 12", len(stats))
+	}
+	var active, totalTx uint64
+	for _, ps := range stats {
+		if ps.Name == "" {
+			t.Fatal("unnamed port")
+		}
+		if ps.Utilization < 0 || ps.Utilization > 1 {
+			t.Fatalf("utilization out of range: %+v", ps)
+		}
+		if ps.TxPackets > 0 {
+			active++
+			totalTx += ps.TxBytes
+		}
+	}
+	// The flow's path touches host0 uplink, leaf0→spine, spine→leaf1,
+	// leaf1→host2, plus the ack reverse path: at least 8 active ports.
+	if active < 8 {
+		t.Fatalf("active ports = %d, want >= 8", active)
+	}
+	if totalTx == 0 {
+		t.Fatal("no bytes recorded")
+	}
+}
+
+// TestHeterogeneousFabric runs QVISOR across a fabric where leaves are
+// commodity strict-priority devices and spines are ideal PIFOs — the §5
+// cross-device orchestration scenario. Strict tier isolation must survive
+// the weakest device.
+func TestHeterogeneousFabric(t *testing.T) {
+	pf := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	edf := &rank.EDF{MaxSlack: 10 * sim.Millisecond}
+	tenants := []*core.Tenant{
+		{ID: 1, Name: "pfabric", Algorithm: pf},
+		{ID: 2, Name: "edf", Algorithm: edf},
+	}
+	jp, err := core.Synthesize(tenants, policy.MustParse("pfabric >> edf"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny([]TenantDef{
+		{
+			ID: 1, Name: "pfabric", Ranker: pf,
+			Flows: []workload.FlowSpec{{Start: sim.Millisecond, Src: 0, Dst: 2, Size: 150000}},
+		},
+		{
+			ID: 2, Name: "edf", Ranker: edf,
+			Flows: []workload.FlowSpec{
+				{Start: 0, Src: 1, Dst: 2, Rate: 0.6e9, DeadlineBudget: 5 * sim.Millisecond},
+				{Start: 0, Src: 3, Dst: 2, Rate: 0.6e9, DeadlineBudget: 5 * sim.Millisecond},
+			},
+		},
+	}, 40*sim.Millisecond)
+	cfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+	// Heterogeneous deployment: hosts/leaves strict-priority queues,
+	// spines PIFO.
+	cfg.SchedulerFor = func(role string, id int, drop sched.DropFn) sched.Scheduler {
+		if role == "spine" {
+			return sched.NewPIFO(sched.Config{OnDrop: drop})
+		}
+		dep, err := jp.Deploy(core.BackendSPQueues, core.DeployOptions{
+			Queues: 8, Sched: sched.Config{OnDrop: drop},
+		})
+		if err != nil {
+			t.Fatalf("deploy: %v", err)
+		}
+		return dep.Scheduler
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	recs := n.FCTs().Tenant("pfabric")
+	if len(recs) != 1 {
+		t.Fatalf("pfabric flows completed = %d, want 1", len(recs))
+	}
+	// Strict priority protects the pFabric flow even on the commodity
+	// leaves: its FCT stays close to the 150 KB serialization time
+	// (~1.9 ms at 1 Gbps against saturated CBR interference).
+	if fct := recs[0].FCT(); fct > 10*sim.Millisecond {
+		t.Fatalf("pFabric FCT %v: isolation lost on heterogeneous fabric", fct)
+	}
+}
+
+func TestTraceIntegration(t *testing.T) {
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, trace.Options{})
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 2920}},
+	}}, 10*sim.Millisecond)
+	cfg.Trace = rec
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if rec.Count() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	// Every emitted data packet has a matching delivery (no drops here).
+	emits, delivers := 0, 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Kind {
+		case "emit":
+			emits++
+		case "deliver":
+			delivers++
+		}
+	}
+	if emits == 0 || emits != delivers {
+		t.Fatalf("emit/deliver mismatch: %d vs %d", emits, delivers)
+	}
+}
+
+// TestPreprocessorRunsOncePerPacket: the rank rewrite happens at the first
+// switch only; the Tagged flag prevents double transformation on
+// multi-hop paths.
+func TestPreprocessorRunsOncePerPacket(t *testing.T) {
+	pf := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	tenants := []*core.Tenant{{ID: 1, Name: "t1", Algorithm: pf}}
+	jp, err := core.Synthesize(tenants, policy.MustParse("t1"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := core.NewPreprocessor(jp, core.UnknownWorst)
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: pf,
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 14600}}, // 3-hop path
+	}}, 20*sim.Millisecond)
+	cfg.Preprocessor = pp
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	c := n.Counters()
+	wirePackets := c.DataSent + c.Retransmits + c.AcksSent
+	st := pp.Stats()
+	if st.Processed != wirePackets {
+		t.Fatalf("preprocessor ran %d times for %d packets (must be exactly once each)",
+			st.Processed, wirePackets)
+	}
+}
+
+func TestStopAndWaitWindowOne(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 2, Size: 7300}}, // 5 packets
+	}}, 100*sim.Millisecond)
+	cfg.Window = 1
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	recs := n.FCTs().Records()
+	if len(recs) != 1 {
+		t.Fatal("stop-and-wait flow did not complete")
+	}
+	// 5 packets × ~1 RTT each: strictly slower than the pipelined case
+	// but well-defined. RTT ≈ 35µs: FCT ≥ 5 RTTs ≈ 175µs.
+	if recs[0].FCT() < 150*sim.Microsecond {
+		t.Fatalf("window=1 FCT %v implausibly fast", recs[0].FCT())
+	}
+	if n.Counters().Retransmits != 0 {
+		t.Fatal("no loss: no retransmits expected")
+	}
+}
+
+func TestSinglePacketFlow(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "t1", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{{Start: 0, Src: 0, Dst: 1, Size: 1}}, // 1 byte
+	}}, 10*sim.Millisecond)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	recs := n.FCTs().Records()
+	if len(recs) != 1 || recs[0].Size != 1 {
+		t.Fatalf("single-byte flow records: %+v", recs)
+	}
+	if n.Counters().DataSent != 1 {
+		t.Fatalf("data packets = %d, want 1", n.Counters().DataSent)
+	}
+}
+
+func TestCBRStopTime(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 2, Name: "edf", Ranker: &rank.EDF{},
+		Flows: []workload.FlowSpec{{
+			Start: 0, Src: 0, Dst: 3,
+			Rate: 100e6,
+			Stop: 5 * sim.Millisecond,
+		}},
+	}}, 20*sim.Millisecond)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	c := n.Counters()
+	// 100 Mbps × 5 ms of 1524 B frames ≈ 41 packets; a 20 ms horizon
+	// would have produced ~164. The Stop time must cap it.
+	if c.CBRSent < 35 || c.CBRSent > 50 {
+		t.Fatalf("CBR sent %d packets, want ~41 (stop at 5ms)", c.CBRSent)
+	}
+}
+
+// TestPreferenceIsBestEffortNotStarvation: under "a > b" with equal
+// workloads, the preferred tenant gets better FCTs, but the dominated
+// tenant still completes its flows (no starvation) — the §3.1 semantics of
+// ">" vs ">>".
+func TestPreferenceIsBestEffortNotStarvation(t *testing.T) {
+	pf1 := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	pf2 := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	coreTenants := []*core.Tenant{
+		{ID: 1, Name: "a", Algorithm: pf1, Levels: 1 << 16},
+		{ID: 2, Name: "b", Algorithm: pf2, Levels: 1 << 16},
+	}
+	jp, err := core.Synthesize(coreTenants, policy.MustParse("a > b"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkflows := func(seed int64) []workload.FlowSpec {
+		flows, err := workload.Poisson(workload.PoissonConfig{
+			Hosts: 4, Load: 0.45, AccessBitsPerSec: 1e9,
+			Sizes: workload.Fixed(30000), Horizon: 40 * sim.Millisecond, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flows
+	}
+	cfg := tiny([]TenantDef{
+		{ID: 1, Name: "a", Ranker: pf1, Flows: mkflows(21)},
+		{ID: 2, Name: "b", Ranker: pf2, Flows: mkflows(22)},
+	}, 40*sim.Millisecond)
+	cfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	sa := stats.Summarize(n.FCTs().Tenant("a"))
+	sb := stats.Summarize(n.FCTs().Tenant("b"))
+	if sa.Count == 0 || sb.Count == 0 {
+		t.Fatal("missing samples")
+	}
+	t.Logf("preferred a: %v   dominated b: %v", sa.Mean, sb.Mean)
+	// Preferred tenant does at least as well.
+	if sa.Mean > sb.Mean {
+		t.Errorf("preferred tenant slower: a=%v b=%v", sa.Mean, sb.Mean)
+	}
+	// Dominated tenant completes a comparable number of flows: best
+	// effort, not starvation.
+	if sb.Count*10 < sa.Count*9 {
+		t.Errorf("b starved: %d flows vs a's %d", sb.Count, sa.Count)
+	}
+}
+
+// TestWeightedShareThroughputRatioTraced: two window-controlled bulk flows
+// under "a*2 + b" with LAS (attained-service) ranks. LAS plus the weighted
+// slot interleave implements weighted fairness: service equalizes
+// weight-scaled attained service, so while both flows are active the
+// delivered-byte ratio tracks the 2:1 weights.
+func TestWeightedShareThroughputRatioTraced(t *testing.T) {
+	maxSent := int64(8 << 20)
+	coreTenants := []*core.Tenant{
+		{ID: 1, Name: "a", Bounds: rank.Bounds{Lo: 0, Hi: maxSent}, Levels: 1 << 12},
+		{ID: 2, Name: "b", Bounds: rank.Bounds{Lo: 0, Hi: maxSent}, Levels: 1 << 12},
+	}
+	jp, err := core.Synthesize(coreTenants, policy.MustParse("a*2 + b"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	las1 := &rank.LAS{MaxFlowBytes: maxSent}
+	las2 := &rank.LAS{MaxFlowBytes: maxSent}
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, trace.Options{Kinds: []string{"deliver"}})
+	cfg := tiny([]TenantDef{
+		{ID: 1, Name: "a", Ranker: las1, Flows: []workload.FlowSpec{
+			{Start: 0, Src: 0, Dst: 2, Size: 4 << 20},
+		}},
+		{ID: 2, Name: "b", Ranker: las2, Flows: []workload.FlowSpec{
+			{Start: 0, Src: 1, Dst: 2, Size: 4 << 20},
+		}},
+	}, 15*sim.Millisecond)
+	cfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+	cfg.Trace = rec
+	cfg.Window = 64
+	cfg.Scheduler = func(d sched.DropFn) sched.Scheduler {
+		return sched.NewPIFO(sched.Config{CapacityBytes: 1 << 20, OnDrop: d})
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.RunNoDrain()
+	bytesBy := map[uint16]int{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		var e trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.PktKind == "data" {
+			bytesBy[e.Tenant] += e.Size
+		}
+	}
+	if bytesBy[1] == 0 || bytesBy[2] == 0 {
+		t.Fatalf("deliveries: %v", bytesBy)
+	}
+	ratio := float64(bytesBy[1]) / float64(bytesBy[2])
+	t.Logf("delivered bytes a=%d b=%d ratio=%.2f", bytesBy[1], bytesBy[2], ratio)
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("weighted share ratio %.2f, want ~2.0", ratio)
+	}
+}

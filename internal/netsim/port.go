@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+)
+
+// Port is one unidirectional output port: a scheduler feeding a
+// store-and-forward transmitter onto a link with fixed rate and propagation
+// delay. Dequeue order is entirely up to the scheduler, which is where
+// every scheduling policy in the reproduction takes effect.
+type Port struct {
+	net     *Network
+	name    string
+	q       sched.Scheduler
+	rateBps float64
+	busy    bool
+	deliver func(now sim.Time, p *pkt.Packet)
+
+	// Telemetry.
+	txBytes   uint64
+	txPackets uint64
+	busyTime  sim.Time
+	maxQueued int
+}
+
+func (n *Network) newPort(role string, id int, name string, rateBps float64, deliver func(sim.Time, *pkt.Packet)) *Port {
+	pt := &Port{
+		net:     n,
+		name:    name,
+		rateBps: rateBps,
+		deliver: deliver,
+	}
+	drop := sched.DropFn(func(p *pkt.Packet) {
+		n.count.Dropped++
+		n.cfg.Trace.Record(n.eng.Now(), "drop", name, p)
+	})
+	if n.cfg.SchedulerFor != nil {
+		pt.q = n.cfg.SchedulerFor(role, id, drop)
+	}
+	if pt.q == nil {
+		pt.q = n.cfg.Scheduler(drop)
+	}
+	return pt
+}
+
+// send enqueues p and starts transmitting if the line is idle. Drops and
+// evictions are counted network-wide through the scheduler's drop callback.
+func (pt *Port) send(now sim.Time, p *pkt.Packet) {
+	if !pt.q.Enqueue(p) {
+		return
+	}
+	if b := pt.q.Bytes(); b > pt.maxQueued {
+		pt.maxQueued = b
+	}
+	pt.kick(now)
+}
+
+// kick starts the next transmission when the line is idle.
+func (pt *Port) kick(now sim.Time) {
+	if pt.busy {
+		return
+	}
+	p := pt.q.Dequeue()
+	if p == nil {
+		return
+	}
+	pt.busy = true
+	tx := txTime(p.Size, pt.rateBps)
+	prop := pt.net.cfg.PropDelay
+	pt.txBytes += uint64(p.Size)
+	pt.txPackets++
+	pt.busyTime += tx
+	pt.net.eng.After(tx, func(end sim.Time) {
+		pt.busy = false
+		pt.net.eng.After(prop, func(arrive sim.Time) {
+			pt.deliver(arrive, p)
+		})
+		pt.kick(end)
+	})
+}
+
+// Queue exposes the port's scheduler for inspection in tests.
+func (pt *Port) Queue() sched.Scheduler { return pt.q }
+
+// PortStats is the telemetry of one output port.
+type PortStats struct {
+	// Name identifies the port ("leaf0→spine1").
+	Name string
+	// TxBytes and TxPackets count transmissions.
+	TxBytes   uint64
+	TxPackets uint64
+	// Utilization is busy time over elapsed time, 0–1.
+	Utilization float64
+	// MaxQueuedBytes is the high-water mark of the port's queue.
+	MaxQueuedBytes int
+}
+
+func (pt *Port) stats(elapsed sim.Time) PortStats {
+	util := 0.0
+	if elapsed > 0 {
+		util = float64(pt.busyTime) / float64(elapsed)
+	}
+	return PortStats{
+		Name:           pt.name,
+		TxBytes:        pt.txBytes,
+		TxPackets:      pt.txPackets,
+		Utilization:    util,
+		MaxQueuedBytes: pt.maxQueued,
+	}
+}

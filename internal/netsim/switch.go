@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"qvisor/internal/pkt"
+	"qvisor/internal/sim"
+)
+
+type switchKind int
+
+const (
+	leafSwitch switchKind = iota
+	spineSwitch
+)
+
+// Switch is an output-queued leaf or spine switch. On receive it runs the
+// QVISOR pre-processor (once per packet, at the first switch on the path)
+// and forwards to the egress port selected by the routing function.
+//
+// Leaf port layout: ports[0:HostsPerLeaf] go to local hosts,
+// ports[HostsPerLeaf:HostsPerLeaf+Spines] go to spines.
+// Spine port layout: ports[i] goes to leaf i.
+type Switch struct {
+	net   *Network
+	kind  switchKind
+	id    int
+	ports []*Port
+}
+
+func newSwitch(n *Network, kind switchKind, id, nports int) *Switch {
+	return &Switch{net: n, kind: kind, id: id, ports: make([]*Port, nports)}
+}
+
+// receive handles an arriving packet: pre-process, route, enqueue.
+func (sw *Switch) receive(now sim.Time, p *pkt.Packet) {
+	if pp := sw.net.cfg.Preprocessor; pp != nil && !p.Tagged {
+		p.Tagged = true
+		if !pp.Process(p) {
+			sw.net.count.Dropped++
+			return
+		}
+	}
+	out := sw.route(p)
+	if out == nil {
+		sw.net.count.Dropped++
+		return
+	}
+	out.send(now, p)
+}
+
+func (sw *Switch) route(p *pkt.Packet) *Port {
+	cfg := &sw.net.cfg
+	dstLeaf := sw.net.leafOf(p.Dst)
+	switch sw.kind {
+	case leafSwitch:
+		if dstLeaf == sw.id {
+			return sw.ports[p.Dst%cfg.HostsPerLeaf]
+		}
+		return sw.ports[cfg.HostsPerLeaf+sw.net.ecmp(p.Flow)]
+	case spineSwitch:
+		return sw.ports[dstLeaf]
+	}
+	return nil
+}

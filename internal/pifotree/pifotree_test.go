@@ -1,0 +1,311 @@
+package pifotree
+
+import (
+	"math/rand"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+)
+
+func classifyByTenant(names map[pkt.TenantID]string) Classifier {
+	return func(p *pkt.Packet) string { return names[p.Tenant] }
+}
+
+func TestSingleLeafFIFO(t *testing.T) {
+	tr := NewTree(sched.Config{}, FIFOTransaction, func(*pkt.Packet) string { return "a" })
+	if err := tr.AddLeaf("root", "a", FIFOTransaction); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if !tr.Enqueue(&pkt.Packet{ID: i, Size: 10}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := uint64(1); i <= 5; i++ {
+		p := tr.Dequeue()
+		if p == nil || p.ID != i {
+			t.Fatalf("FIFO order broken: got %v, want %d", p, i)
+		}
+	}
+	if tr.Dequeue() != nil {
+		t.Fatal("empty tree should return nil")
+	}
+}
+
+func TestLeafRanking(t *testing.T) {
+	// One leaf ranking by packet rank: behaves like a plain PIFO.
+	tr := NewTree(sched.Config{}, FIFOTransaction, func(*pkt.Packet) string { return "a" })
+	if err := tr.AddLeaf("root", "a", func(p *pkt.Packet) int64 { return p.Rank }); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int64{5, 1, 9, 3} {
+		tr.Enqueue(&pkt.Packet{Rank: r, Size: 1})
+	}
+	want := []int64{1, 3, 5, 9}
+	for _, w := range want {
+		if got := tr.Dequeue().Rank; got != w {
+			t.Fatalf("rank order: got %d, want %d", got, w)
+		}
+	}
+}
+
+func TestStrictPriorityBetweenLeaves(t *testing.T) {
+	// Root ranks children by tenant priority: tenant 1 strictly first.
+	names := map[pkt.TenantID]string{1: "hi", 2: "lo"}
+	tr := NewTree(sched.Config{}, func(p *pkt.Packet) int64 { return int64(p.Tenant) },
+		classifyByTenant(names))
+	if err := tr.AddLeaf("root", "hi", FIFOTransaction); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddLeaf("root", "lo", FIFOTransaction); err != nil {
+		t.Fatal(err)
+	}
+	tr.Enqueue(&pkt.Packet{ID: 1, Tenant: 2, Size: 1})
+	tr.Enqueue(&pkt.Packet{ID: 2, Tenant: 1, Size: 1})
+	tr.Enqueue(&pkt.Packet{ID: 3, Tenant: 2, Size: 1})
+	tr.Enqueue(&pkt.Packet{ID: 4, Tenant: 1, Size: 1})
+	var tenants []pkt.TenantID
+	for p := tr.Dequeue(); p != nil; p = tr.Dequeue() {
+		tenants = append(tenants, p.Tenant)
+	}
+	want := []pkt.TenantID{1, 1, 2, 2}
+	for i := range want {
+		if tenants[i] != want[i] {
+			t.Fatalf("priority order %v, want %v", tenants, want)
+		}
+	}
+}
+
+func TestHPFQGroupFairness(t *testing.T) {
+	// Group A has 4 flows, group B has 1: HPFQ must still serve the two
+	// groups ~equally (per-group fairness, not per-flow).
+	names := map[pkt.TenantID]string{1: "A", 2: "B"}
+	tr, err := NewHPFQ(sched.Config{CapacityBytes: 1 << 30}, []string{"A", "B"},
+		classifyByTenant(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Backlog: 400 packets from A's 4 flows, 100 from B's single flow.
+	for i := 0; i < 400; i++ {
+		tr.Enqueue(&pkt.Packet{Tenant: 1, Flow: uint64(1 + rng.Intn(4)), Size: 100})
+	}
+	for i := 0; i < 100; i++ {
+		tr.Enqueue(&pkt.Packet{Tenant: 2, Flow: 99, Size: 100})
+	}
+	// Dequeue the first 160 packets: groups should alternate ~evenly.
+	counts := map[pkt.TenantID]int{}
+	for i := 0; i < 160; i++ {
+		p := tr.Dequeue()
+		counts[p.Tenant]++
+	}
+	if counts[2] < 60 || counts[2] > 100 {
+		t.Fatalf("group shares skewed: %v (want ~80/80)", counts)
+	}
+}
+
+func TestHPFQWithinGroupFairness(t *testing.T) {
+	names := map[pkt.TenantID]string{1: "A"}
+	tr, err := NewHPFQ(sched.Config{CapacityBytes: 1 << 30}, []string{"A"},
+		classifyByTenant(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two flows, one with double backlog: equal service among the first
+	// dequeues.
+	for i := 0; i < 100; i++ {
+		tr.Enqueue(&pkt.Packet{Tenant: 1, Flow: 1, Size: 100})
+		tr.Enqueue(&pkt.Packet{Tenant: 1, Flow: 1, Size: 100})
+		tr.Enqueue(&pkt.Packet{Tenant: 1, Flow: 2, Size: 100})
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < 100; i++ {
+		counts[tr.Dequeue().Flow]++
+	}
+	if counts[2] < 40 {
+		t.Fatalf("flow shares skewed: %v (want ~50/50)", counts)
+	}
+}
+
+func TestFairTxNewKeyJoinsAtVirtualTime(t *testing.T) {
+	tx, hook := FairTx(func(p *pkt.Packet) uint64 { return p.Flow }, nil)
+	// Key 1 accumulates service.
+	var last int64
+	for i := 0; i < 10; i++ {
+		last = tx(&pkt.Packet{Flow: 1, Size: 100})
+		hook(last)
+	}
+	// A new key starts at the current virtual time, not at zero.
+	if start := tx(&pkt.Packet{Flow: 2, Size: 100}); start < last {
+		t.Fatalf("new key backdated: start %d < vtime %d", start, last)
+	}
+}
+
+func TestFairTxWeights(t *testing.T) {
+	tx, _ := FairTx(func(p *pkt.Packet) uint64 { return p.Flow },
+		func(p *pkt.Packet) float64 {
+			if p.Flow == 1 {
+				return 2
+			}
+			return 1
+		})
+	tx(&pkt.Packet{Flow: 1, Size: 100}) // finish[1] = 50
+	tx(&pkt.Packet{Flow: 2, Size: 100}) // finish[2] = 100
+	a := tx(&pkt.Packet{Flow: 1, Size: 100})
+	b := tx(&pkt.Packet{Flow: 2, Size: 100})
+	if a != 50 || b != 100 {
+		t.Fatalf("weighted starts = %d,%d want 50,100", a, b)
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	// root → {prod, dev}; prod → {web, db} leaves; dev → {ci} leaf.
+	// Root is strict (prod=0 before dev=1); within prod, web before db.
+	classify := func(p *pkt.Packet) string {
+		switch p.Tenant {
+		case 1:
+			return "web"
+		case 2:
+			return "db"
+		default:
+			return "ci"
+		}
+	}
+	prodFirst := func(p *pkt.Packet) int64 {
+		if p.Tenant <= 2 {
+			return 0
+		}
+		return 1
+	}
+	tr := NewTree(sched.Config{}, prodFirst, classify)
+	if err := tr.AddInterior("root", "prod", func(p *pkt.Packet) int64 { return int64(p.Tenant) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddInterior("root", "dev", FIFOTransaction); err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range []struct{ parent, name string }{
+		{"prod", "web"}, {"prod", "db"}, {"dev", "ci"},
+	} {
+		if err := tr.AddLeaf(leaf.parent, leaf.name, FIFOTransaction); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Enqueue(&pkt.Packet{ID: 1, Tenant: 3, Size: 1}) // ci
+	tr.Enqueue(&pkt.Packet{ID: 2, Tenant: 2, Size: 1}) // db
+	tr.Enqueue(&pkt.Packet{ID: 3, Tenant: 1, Size: 1}) // web
+	var order []uint64
+	for p := tr.Dequeue(); p != nil; p = tr.Dequeue() {
+		order = append(order, p.ID)
+	}
+	want := []uint64{3, 2, 1} // web, db, ci
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hierarchy order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTreeBuildErrors(t *testing.T) {
+	tr := NewTree(sched.Config{}, nil, nil)
+	if err := tr.AddLeaf("ghost", "a", nil); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := tr.AddLeaf("root", "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddLeaf("root", "a", nil); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := tr.AddLeaf("a", "b", nil); err == nil {
+		t.Fatal("leaf parent accepted")
+	}
+	if err := tr.SetPopHook("ghost", func(int64) {}); err == nil {
+		t.Fatal("hook on unknown node accepted")
+	}
+}
+
+func TestUnknownLeafDrops(t *testing.T) {
+	drops := 0
+	tr := NewTree(sched.Config{OnDrop: func(*pkt.Packet) { drops++ }}, nil,
+		func(*pkt.Packet) string { return "nowhere" })
+	if tr.Enqueue(&pkt.Packet{Size: 1}) {
+		t.Fatal("packet to unknown leaf accepted")
+	}
+	if drops != 1 {
+		t.Fatalf("drops = %d", drops)
+	}
+}
+
+func TestCapacityDrop(t *testing.T) {
+	tr := NewTree(sched.Config{CapacityBytes: 100}, nil, func(*pkt.Packet) string { return "a" })
+	tr.AddLeaf("root", "a", nil)
+	if !tr.Enqueue(&pkt.Packet{Size: 100}) {
+		t.Fatal("within capacity rejected")
+	}
+	if tr.Enqueue(&pkt.Packet{Size: 1}) {
+		t.Fatal("over capacity accepted")
+	}
+}
+
+func TestSchedulerConformance(t *testing.T) {
+	// The tree satisfies the sched.Scheduler contract: conservation and
+	// byte accounting.
+	var s sched.Scheduler = mustHPFQ(t)
+	rng := rand.New(rand.NewSource(3))
+	sent, recv, drops := 0, 0, 0
+	tr := s.(*Tree)
+	tr.cfg.OnDrop = func(*pkt.Packet) { drops++ }
+	tr.cfg.CapacityBytes = 500
+	for i := 0; i < 300; i++ {
+		tenant := pkt.TenantID(1 + rng.Intn(2))
+		s.Enqueue(&pkt.Packet{Tenant: tenant, Flow: uint64(rng.Intn(4)), Size: 10})
+		sent++
+		if rng.Intn(3) == 0 && s.Dequeue() != nil {
+			recv++
+		}
+	}
+	for s.Dequeue() != nil {
+		recv++
+	}
+	if sent != recv+drops {
+		t.Fatalf("conservation: sent=%d recv=%d drops=%d", sent, recv, drops)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("drained tree non-empty: len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+	if s.Name() != "pifotree" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func mustHPFQ(t *testing.T) *Tree {
+	t.Helper()
+	names := map[pkt.TenantID]string{1: "A", 2: "B"}
+	tr, err := NewHPFQ(sched.Config{}, []string{"A", "B"}, classifyByTenant(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkHPFQ(b *testing.B) {
+	names := map[pkt.TenantID]string{1: "A", 2: "B"}
+	tr, err := NewHPFQ(sched.Config{CapacityBytes: 1 << 30}, []string{"A", "B"},
+		classifyByTenant(names))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &pkt.Packet{Size: 1500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Tenant = pkt.TenantID(1 + i%2)
+		p.Flow = uint64(i % 8)
+		tr.Enqueue(p)
+		if tr.Len() > 256 {
+			tr.Dequeue()
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package pkt
+
+import "testing"
+
+// FuzzLabelUnmarshal checks the label decoder never panics and that every
+// accepted buffer re-encodes to identical bytes.
+func FuzzLabelUnmarshal(f *testing.F) {
+	good, _ := Label{Version: LabelVersion, Flags: FlagRetx, Tenant: 7, Rank: -5}.MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, LabelSize))
+	f.Add(make([]byte, LabelSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l Label
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted label fails to encode: %v", err)
+		}
+		for i := 0; i < LabelSize; i++ {
+			if out[i] != data[i] {
+				t.Fatalf("byte %d: re-encode %x != input %x", i, out[i], data[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Label is the QVISOR packet label (§3.1): the on-the-wire encoding of the
+// tenant identifier and packet rank. In a hardware deployment this would be
+// a small shim header (or reuse of an existing field such as the IPv4 TOS or
+// a tunnel tag); here it is a 16-byte header the pre-processor parses.
+//
+// Wire format (big endian):
+//
+//	offset 0: version  (1 byte, currently 1)
+//	offset 1: flags    (1 byte)
+//	offset 2: tenant   (2 bytes)
+//	offset 4: rank     (8 bytes, two's complement)
+//	offset 12: reserved (4 bytes, must be zero)
+type Label struct {
+	Version uint8
+	Flags   uint8
+	Tenant  TenantID
+	Rank    int64
+}
+
+// LabelSize is the encoded size of a Label in bytes.
+const LabelSize = 16
+
+// LabelVersion is the current wire version.
+const LabelVersion = 1
+
+// Label flag bits.
+const (
+	// FlagRetx marks a retransmitted packet.
+	FlagRetx uint8 = 1 << iota
+	// FlagDeadline marks rank as an absolute deadline (EDF-style).
+	FlagDeadline
+)
+
+// Errors returned by UnmarshalBinary.
+var (
+	ErrLabelShort   = errors.New("pkt: label buffer too short")
+	ErrLabelVersion = errors.New("pkt: unsupported label version")
+	ErrLabelTrailer = errors.New("pkt: nonzero reserved label bytes")
+)
+
+// MarshalBinary encodes the label into a fresh 16-byte slice.
+func (l Label) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, LabelSize)
+	if err := l.Encode(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Encode writes the label into buf, which must be at least LabelSize bytes.
+func (l Label) Encode(buf []byte) error {
+	if len(buf) < LabelSize {
+		return fmt.Errorf("%w: have %d bytes, need %d", ErrLabelShort, len(buf), LabelSize)
+	}
+	buf[0] = l.Version
+	buf[1] = l.Flags
+	binary.BigEndian.PutUint16(buf[2:4], uint16(l.Tenant))
+	binary.BigEndian.PutUint64(buf[4:12], uint64(l.Rank))
+	for i := 12; i < 16; i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// UnmarshalBinary decodes a label from data.
+func (l *Label) UnmarshalBinary(data []byte) error {
+	if len(data) < LabelSize {
+		return fmt.Errorf("%w: have %d bytes, need %d", ErrLabelShort, len(data), LabelSize)
+	}
+	if data[0] != LabelVersion {
+		return fmt.Errorf("%w: %d", ErrLabelVersion, data[0])
+	}
+	for i := 12; i < 16; i++ {
+		if data[i] != 0 {
+			return ErrLabelTrailer
+		}
+	}
+	l.Version = data[0]
+	l.Flags = data[1]
+	l.Tenant = TenantID(binary.BigEndian.Uint16(data[2:4]))
+	l.Rank = int64(binary.BigEndian.Uint64(data[4:12]))
+	return nil
+}
+
+// LabelOf builds the wire label for a packet.
+func LabelOf(p *Packet) Label {
+	var flags uint8
+	if p.Retx {
+		flags |= FlagRetx
+	}
+	if p.Deadline != 0 {
+		flags |= FlagDeadline
+	}
+	return Label{Version: LabelVersion, Flags: flags, Tenant: p.Tenant, Rank: p.Rank}
+}
+
+// Apply copies the label's tenant and rank onto a packet.
+func (l Label) Apply(p *Packet) {
+	p.Tenant = l.Tenant
+	p.Rank = l.Rank
+	p.Retx = l.Flags&FlagRetx != 0
+}

@@ -1,0 +1,137 @@
+package pkt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "data" || Ack.String() != "ack" {
+		t.Fatalf("kind strings wrong: %v %v", Data, Ack)
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatalf("unknown kind string: %v", Kind(9))
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 1, Flow: 2, Tenant: 3, Rank: 4, Size: 1500, Kind: Data, Seq: 100}
+	want := "pkt{id=1 flow=2 tenant=3 rank=4 data seq=100 size=1500}"
+	if got := p.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	in := Label{Version: LabelVersion, Flags: FlagRetx, Tenant: 7, Rank: -123456789}
+	buf, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != LabelSize {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), LabelSize)
+	}
+	var out Label
+	if err := out.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestLabelRoundTripProperty(t *testing.T) {
+	f := func(flags uint8, tenant uint16, rank int64) bool {
+		in := Label{Version: LabelVersion, Flags: flags, Tenant: TenantID(tenant), Rank: rank}
+		buf, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Label
+		if err := out.UnmarshalBinary(buf); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelEncodeShortBuffer(t *testing.T) {
+	var l Label
+	if err := l.Encode(make([]byte, LabelSize-1)); !errors.Is(err, ErrLabelShort) {
+		t.Fatalf("Encode short buffer err = %v, want ErrLabelShort", err)
+	}
+}
+
+func TestLabelUnmarshalErrors(t *testing.T) {
+	var l Label
+	if err := l.UnmarshalBinary(make([]byte, 3)); !errors.Is(err, ErrLabelShort) {
+		t.Fatalf("short: %v", err)
+	}
+	buf := make([]byte, LabelSize)
+	buf[0] = 99
+	if err := l.UnmarshalBinary(buf); !errors.Is(err, ErrLabelVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	buf[0] = LabelVersion
+	buf[13] = 1
+	if err := l.UnmarshalBinary(buf); !errors.Is(err, ErrLabelTrailer) {
+		t.Fatalf("trailer: %v", err)
+	}
+}
+
+func TestLabelEncodeClearsReserved(t *testing.T) {
+	buf := bytes.Repeat([]byte{0xAA}, LabelSize)
+	l := Label{Version: LabelVersion, Tenant: 1, Rank: 5}
+	if err := l.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 16; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("reserved byte %d not cleared: %x", i, buf[i])
+		}
+	}
+}
+
+func TestLabelOfAndApply(t *testing.T) {
+	p := &Packet{Tenant: 9, Rank: 42, Retx: true, Deadline: 1000}
+	l := LabelOf(p)
+	if l.Tenant != 9 || l.Rank != 42 {
+		t.Fatalf("LabelOf = %+v", l)
+	}
+	if l.Flags&FlagRetx == 0 || l.Flags&FlagDeadline == 0 {
+		t.Fatalf("flags not set: %x", l.Flags)
+	}
+	var q Packet
+	l.Apply(&q)
+	if q.Tenant != 9 || q.Rank != 42 || !q.Retx {
+		t.Fatalf("Apply produced %+v", q)
+	}
+}
+
+func BenchmarkLabelEncode(b *testing.B) {
+	l := Label{Version: LabelVersion, Tenant: 3, Rank: 123456}
+	buf := make([]byte, LabelSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Encode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLabelDecode(b *testing.B) {
+	l := Label{Version: LabelVersion, Tenant: 3, Rank: 123456}
+	buf, _ := l.MarshalBinary()
+	var out Label
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := out.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, that accepted inputs
+// produce valid specs, and that accepted specs survive a canonical-form
+// round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"T1",
+		"T1 >> T2",
+		"T1 >> T2 > T3 + T4 >> T5",
+		"a+b+c",
+		"x > y > z",
+		"",
+		">>",
+		"T1 +",
+		"tenant_1.web-frontend >> _x",
+		"T1>>T2+T3>T4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v (input %q)", err, input)
+		}
+		again, err := Parse(spec.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", spec.String(), err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed the spec: %q", input)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package policy
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind enumerates the lexical tokens of the composition language.
+type tokenKind int
+
+const (
+	tokIdent  tokenKind = iota // tenant identifier
+	tokStrict                  // >>
+	tokPrefer                  // >
+	tokShare                   // +
+	tokStar                    // * (weight marker)
+	tokNumber                  // integer literal (weights)
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokStrict:
+		return `">>"`
+	case tokPrefer:
+		return `">"`
+	case tokShare:
+		return `"+"`
+	case tokStar:
+		return `"*"`
+	case tokNumber:
+		return "number"
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("policy: offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex tokenizes a specification string. Identifiers start with a letter or
+// underscore and continue with letters, digits, underscores, dots, or
+// dashes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '>':
+			if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{tokStrict, ">>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPrefer, ">", i})
+				i++
+			}
+		case c == '+':
+			toks = append(toks, token{tokShare, "+", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			// A digit run followed by identifier characters is a
+			// malformed identifier, not a number.
+			if i < n && isIdentPart(rune(input[i])) {
+				return nil, &SyntaxError{Pos: start, Msg: "identifier cannot start with a digit"}
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || c == '.' || c == '-' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}

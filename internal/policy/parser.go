@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses an operator specification such as "T1 >> T2 > T3 + T4" into
+// a validated Spec.
+func Parse(input string) (*Spec, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	spec, err := p.parseSpec()
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// MustParse is Parse, panicking on error. For tests and literals.
+func MustParse(input string) *Spec {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("expected %v, found %v", kind, describe(t))}
+	}
+	return p.next(), nil
+}
+
+func describe(t token) string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// parseSpec := tier ('>>' tier)* EOF
+func (p *parser) parseSpec() (*Spec, error) {
+	spec := &Spec{}
+	tier, err := p.parseTier()
+	if err != nil {
+		return nil, err
+	}
+	spec.Tiers = append(spec.Tiers, tier)
+	for p.peek().kind == tokStrict {
+		p.next()
+		tier, err := p.parseTier()
+		if err != nil {
+			return nil, err
+		}
+		spec.Tiers = append(spec.Tiers, tier)
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("unexpected %v", describe(t))}
+	}
+	return spec, nil
+}
+
+// parseTier := level ('>' level)*
+func (p *parser) parseTier() (Tier, error) {
+	var tier Tier
+	lvl, err := p.parseLevel()
+	if err != nil {
+		return tier, err
+	}
+	tier.Levels = append(tier.Levels, lvl)
+	for p.peek().kind == tokPrefer {
+		p.next()
+		lvl, err := p.parseLevel()
+		if err != nil {
+			return tier, err
+		}
+		tier.Levels = append(tier.Levels, lvl)
+	}
+	return tier, nil
+}
+
+// parseLevel := term ('+' term)*
+// term       := ident ('*' number)?
+func (p *parser) parseLevel() (Level, error) {
+	var lvl Level
+	term := func() error {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		w := int64(1)
+		if p.peek().kind == tokStar {
+			p.next()
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			w, err = strconv.ParseInt(num.text, 10, 64)
+			if err != nil || w < 1 {
+				return &SyntaxError{Pos: num.pos, Msg: fmt.Sprintf("bad weight %q", num.text)}
+			}
+		}
+		lvl.Tenants = append(lvl.Tenants, id.text)
+		lvl.Weights = append(lvl.Weights, w)
+		return nil
+	}
+	if err := term(); err != nil {
+		return lvl, err
+	}
+	for p.peek().kind == tokShare {
+		p.next()
+		if err := term(); err != nil {
+			return lvl, err
+		}
+	}
+	// Canonical form: omit the weights entirely when all are 1 (including
+	// explicit "*1"), so String/Parse round-trips.
+	allOnes := true
+	for _, w := range lvl.Weights {
+		if w != 1 {
+			allOnes = false
+			break
+		}
+	}
+	if allOnes {
+		lvl.Weights = nil
+	}
+	return lvl, nil
+}

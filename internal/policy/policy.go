@@ -1,0 +1,260 @@
+// Package policy implements the operator's inter-tenant composition
+// language from §3.1 of the QVISOR paper.
+//
+// The operator writes a single expression over tenant identifiers with
+// three infix operators, loosest first:
+//
+//	>>   strict priority: the preceding tenants have strictly higher
+//	     priority than the following ones, mandating isolation
+//	>    best-effort preference: the preceding tenants are preferentially
+//	     treated with respect to the following ones
+//	+    sharing: the tenants share the scheduling resources
+//
+// For example, "T1 >> T2 > T3 + T4 >> T5" gives T1 strict priority over
+// everything, prefers T2 over T3 and T4 (best effort), lets T3 and T4
+// share, and puts T5 strictly last.
+//
+// The grammar, with >> binding loosest and + tightest:
+//
+//	spec  := tier  ('>>' tier)*
+//	tier  := level ('>'  level)*
+//	level := ident ('+'  ident)*
+//
+// A Spec is therefore a list of Tiers (strict-priority bands, highest
+// first); each Tier is a list of Levels (best-effort preference order);
+// each Level is a set of tenants that share.
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec is a parsed operator policy: strict-priority tiers, highest first.
+type Spec struct {
+	Tiers []Tier
+}
+
+// Tier is one strict-priority band: best-effort preference levels, most
+// preferred first.
+type Tier struct {
+	Levels []Level
+}
+
+// Level is a set of tenants that share the scheduling resources.
+//
+// Weights, when non-nil, gives each tenant's share weight (parallel to
+// Tenants; written "T1*2 + T2" for a 2:1 split). Nil means equal weights.
+// Weighted sharing is an extension beyond the paper's three basic
+// operators, in the direction of §5's "increasing specification
+// expressivity".
+type Level struct {
+	Tenants []string
+	Weights []int64
+}
+
+// WeightOf returns tenant index i's share weight (1 when unspecified).
+func (l Level) WeightOf(i int) int64 {
+	if l.Weights == nil || i >= len(l.Weights) || l.Weights[i] <= 0 {
+		return 1
+	}
+	return l.Weights[i]
+}
+
+// TotalWeight sums the level's share weights.
+func (l Level) TotalWeight() int64 {
+	var total int64
+	for i := range l.Tenants {
+		total += l.WeightOf(i)
+	}
+	return total
+}
+
+// Tenants returns every tenant in the spec, in declaration order.
+func (s *Spec) Tenants() []string {
+	var out []string
+	for _, tier := range s.Tiers {
+		for _, lvl := range tier.Levels {
+			out = append(out, lvl.Tenants...)
+		}
+	}
+	return out
+}
+
+// Position locates a tenant inside a spec.
+type Position struct {
+	// Tier is the strict-priority band index (0 = highest priority).
+	Tier int
+	// Level is the preference level within the tier (0 = most preferred).
+	Level int
+	// Index is the position within the sharing level.
+	Index int
+}
+
+// Find returns the position of a tenant, or false if absent.
+func (s *Spec) Find(tenant string) (Position, bool) {
+	for ti, tier := range s.Tiers {
+		for li, lvl := range tier.Levels {
+			for i, t := range lvl.Tenants {
+				if t == tenant {
+					return Position{Tier: ti, Level: li, Index: i}, true
+				}
+			}
+		}
+	}
+	return Position{}, false
+}
+
+// String renders the spec in canonical form: single spaces around ">>" and
+// ">", " + " between sharing tenants. Parse(String()) round-trips.
+func (s *Spec) String() string {
+	tiers := make([]string, len(s.Tiers))
+	for i, tier := range s.Tiers {
+		levels := make([]string, len(tier.Levels))
+		for j, lvl := range tier.Levels {
+			terms := make([]string, len(lvl.Tenants))
+			for k, t := range lvl.Tenants {
+				if w := lvl.WeightOf(k); w > 1 {
+					terms[k] = fmt.Sprintf("%s*%d", t, w)
+				} else {
+					terms[k] = t
+				}
+			}
+			levels[j] = strings.Join(terms, " + ")
+		}
+		tiers[i] = strings.Join(levels, " > ")
+	}
+	return strings.Join(tiers, " >> ")
+}
+
+// Validate checks structural invariants: at least one tier, no empty tier,
+// level, or tenant name, and no duplicate tenants.
+func (s *Spec) Validate() error {
+	if len(s.Tiers) == 0 {
+		return fmt.Errorf("policy: empty specification")
+	}
+	seen := make(map[string]bool)
+	for ti, tier := range s.Tiers {
+		if len(tier.Levels) == 0 {
+			return fmt.Errorf("policy: tier %d has no levels", ti)
+		}
+		for li, lvl := range tier.Levels {
+			if len(lvl.Tenants) == 0 {
+				return fmt.Errorf("policy: tier %d level %d has no tenants", ti, li)
+			}
+			if lvl.Weights != nil && len(lvl.Weights) != len(lvl.Tenants) {
+				return fmt.Errorf("policy: tier %d level %d has %d weights for %d tenants",
+					ti, li, len(lvl.Weights), len(lvl.Tenants))
+			}
+			for i, t := range lvl.Tenants {
+				if t == "" {
+					return fmt.Errorf("policy: empty tenant name in tier %d level %d", ti, li)
+				}
+				if seen[t] {
+					return fmt.Errorf("policy: tenant %q appears more than once", t)
+				}
+				if lvl.Weights != nil && lvl.Weights[i] < 1 {
+					return fmt.Errorf("policy: tenant %q has non-positive weight %d", t, lvl.Weights[i])
+				}
+				seen[t] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Relation describes how the policy orders one tenant against another.
+type Relation int
+
+const (
+	// Shares: the two tenants share resources (same level).
+	Shares Relation = iota
+	// Prefers: the first tenant is best-effort preferred (same tier,
+	// earlier level).
+	Prefers
+	// PreferredBy: the first tenant is best-effort dominated.
+	PreferredBy
+	// StrictlyAbove: the first tenant is in a strictly higher tier.
+	StrictlyAbove
+	// StrictlyBelow: the first tenant is in a strictly lower tier.
+	StrictlyBelow
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case Shares:
+		return "shares"
+	case Prefers:
+		return "prefers"
+	case PreferredBy:
+		return "preferred-by"
+	case StrictlyAbove:
+		return "strictly-above"
+	case StrictlyBelow:
+		return "strictly-below"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// Demote returns a copy of the spec with the named tenant removed from its
+// current position and placed in a new strictly-lowest tier of its own.
+// Tiers or levels left empty by the removal are dropped. If the tenant is
+// absent, the copy is returned unchanged. Used by the runtime controller
+// to quarantine adversarial tenants.
+func (s *Spec) Demote(tenant string) *Spec {
+	out := &Spec{}
+	found := false
+	for _, tier := range s.Tiers {
+		var nt Tier
+		for _, lvl := range tier.Levels {
+			var nl Level
+			for i, t := range lvl.Tenants {
+				if t == tenant {
+					found = true
+					continue
+				}
+				nl.Tenants = append(nl.Tenants, t)
+				if lvl.Weights != nil {
+					nl.Weights = append(nl.Weights, lvl.WeightOf(i))
+				}
+			}
+			if len(nl.Tenants) > 0 {
+				nt.Levels = append(nt.Levels, nl)
+			}
+		}
+		if len(nt.Levels) > 0 {
+			out.Tiers = append(out.Tiers, nt)
+		}
+	}
+	if found {
+		out.Tiers = append(out.Tiers, Tier{Levels: []Level{{Tenants: []string{tenant}}}})
+	}
+	return out
+}
+
+// Relate returns how tenant a stands relative to tenant b under the spec.
+// It reports an error if either tenant is absent.
+func (s *Spec) Relate(a, b string) (Relation, error) {
+	pa, ok := s.Find(a)
+	if !ok {
+		return 0, fmt.Errorf("policy: tenant %q not in specification", a)
+	}
+	pb, ok := s.Find(b)
+	if !ok {
+		return 0, fmt.Errorf("policy: tenant %q not in specification", b)
+	}
+	switch {
+	case pa.Tier < pb.Tier:
+		return StrictlyAbove, nil
+	case pa.Tier > pb.Tier:
+		return StrictlyBelow, nil
+	case pa.Level < pb.Level:
+		return Prefers, nil
+	case pa.Level > pb.Level:
+		return PreferredBy, nil
+	default:
+		return Shares, nil
+	}
+}

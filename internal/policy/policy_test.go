@@ -1,0 +1,438 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The example from §3.1: T1 >> T2 > T3 + T4 >> T5.
+	s, err := Parse("T1 >> T2 > T3 + T4 >> T5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{Tiers: []Tier{
+		{Levels: []Level{{Tenants: []string{"T1"}}}},
+		{Levels: []Level{
+			{Tenants: []string{"T2"}},
+			{Tenants: []string{"T3", "T4"}},
+		}},
+		{Levels: []Level{{Tenants: []string{"T5"}}}},
+	}}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("parsed %+v, want %+v", s, want)
+	}
+}
+
+func TestParseFig3Example(t *testing.T) {
+	// Figure 3's operator policy: T1 >> T2 + T3.
+	s, err := Parse("T1 >> T2 + T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tiers) != 2 {
+		t.Fatalf("tiers = %d, want 2", len(s.Tiers))
+	}
+	if got := s.Tiers[1].Levels[0].Tenants; !reflect.DeepEqual(got, []string{"T2", "T3"}) {
+		t.Fatalf("sharing level = %v", got)
+	}
+}
+
+func TestParseSingleTenant(t *testing.T) {
+	s, err := Parse("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tenants(); !reflect.DeepEqual(got, []string{"alpha"}) {
+		t.Fatalf("tenants = %v", got)
+	}
+}
+
+func TestParseWhitespaceInsensitive(t *testing.T) {
+	a, err := Parse("T1>>T2+T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("  T1   >>\n\tT2 +T3  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("whitespace changed the parse")
+	}
+}
+
+func TestParseIdentifierCharset(t *testing.T) {
+	s, err := Parse("tenant_1.web-frontend >> _x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tenants(); !reflect.DeepEqual(got, []string{"tenant_1.web-frontend", "_x"}) {
+		t.Fatalf("tenants = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		">> T1",          // leading operator
+		"T1 >>",          // trailing operator
+		"T1 + ",          // trailing share
+		"T1 ++ T2",       // double operator
+		"T1 > > T2",      // split >> is two prefers with missing operand
+		"T1 T2",          // missing operator
+		"T1 >> T2 ?? T3", // bad character
+		"1T",             // identifier cannot start with a digit
+		"T1 + T1",        // duplicate tenant
+		"T1 >> T2 > T1",  // duplicate across tiers
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("T1 >> ?")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Pos != 6 {
+		t.Fatalf("error position %d, want 6", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset 6") {
+		t.Fatalf("error text %q lacks offset", se.Error())
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	s := MustParse("T1>>T2+T3>T4")
+	if got := s.String(); got != "T1 >> T2 + T3 > T4" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := []string{
+		"T1",
+		"T1 + T2",
+		"T1 > T2",
+		"T1 >> T2",
+		"T1 >> T2 > T3 + T4 >> T5",
+		"a + b + c > d >> e + f",
+	}
+	for _, in := range inputs {
+		s := MustParse(in)
+		again := MustParse(s.String())
+		if !reflect.DeepEqual(s, again) {
+			t.Errorf("round trip of %q: %+v != %+v", in, s, again)
+		}
+	}
+}
+
+// TestRoundTripProperty generates random specs and checks
+// Parse(String(spec)) == spec.
+func TestRoundTripProperty(t *testing.T) {
+	gen := func(rng *rand.Rand) *Spec {
+		s := &Spec{}
+		id := 0
+		tiers := 1 + rng.Intn(4)
+		for i := 0; i < tiers; i++ {
+			var tier Tier
+			levels := 1 + rng.Intn(3)
+			for j := 0; j < levels; j++ {
+				var lvl Level
+				tenants := 1 + rng.Intn(3)
+				for k := 0; k < tenants; k++ {
+					lvl.Tenants = append(lvl.Tenants, fmt.Sprintf("t%d", id))
+					id++
+				}
+				tier.Levels = append(tier.Levels, lvl)
+			}
+			s.Tiers = append(s.Tiers, tier)
+		}
+		return s
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		s := gen(rng)
+		parsed, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(parsed, s) {
+			t.Fatalf("round trip failed for %q", s.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input should panic")
+		}
+	}()
+	MustParse(">>")
+}
+
+func TestTenantsOrder(t *testing.T) {
+	s := MustParse("T1 >> T2 > T3 + T4 >> T5")
+	want := []string{"T1", "T2", "T3", "T4", "T5"}
+	if got := s.Tenants(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tenants() = %v, want %v", got, want)
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := MustParse("T1 >> T2 > T3 + T4 >> T5")
+	cases := []struct {
+		tenant string
+		want   Position
+	}{
+		{"T1", Position{0, 0, 0}},
+		{"T2", Position{1, 0, 0}},
+		{"T3", Position{1, 1, 0}},
+		{"T4", Position{1, 1, 1}},
+		{"T5", Position{2, 0, 0}},
+	}
+	for _, c := range cases {
+		got, ok := s.Find(c.tenant)
+		if !ok || got != c.want {
+			t.Errorf("Find(%q) = %+v,%v want %+v", c.tenant, got, ok, c.want)
+		}
+	}
+	if _, ok := s.Find("nope"); ok {
+		t.Fatal("Find of absent tenant succeeded")
+	}
+}
+
+func TestRelate(t *testing.T) {
+	s := MustParse("T1 >> T2 > T3 + T4 >> T5")
+	cases := []struct {
+		a, b string
+		want Relation
+	}{
+		{"T1", "T2", StrictlyAbove},
+		{"T2", "T1", StrictlyBelow},
+		{"T2", "T3", Prefers},
+		{"T3", "T2", PreferredBy},
+		{"T3", "T4", Shares},
+		{"T3", "T3", Shares},
+		{"T4", "T5", StrictlyAbove},
+	}
+	for _, c := range cases {
+		got, err := s.Relate(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Relate(%s,%s): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Relate(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := s.Relate("T1", "zz"); err == nil {
+		t.Fatal("Relate with unknown tenant should fail")
+	}
+	if _, err := s.Relate("zz", "T1"); err == nil {
+		t.Fatal("Relate with unknown tenant should fail")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	names := map[Relation]string{
+		Shares:        "shares",
+		Prefers:       "prefers",
+		PreferredBy:   "preferred-by",
+		StrictlyAbove: "strictly-above",
+		StrictlyBelow: "strictly-below",
+		Relation(99):  "relation(99)",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}
+
+func TestValidateDirectly(t *testing.T) {
+	bad := []*Spec{
+		{},
+		{Tiers: []Tier{{}}},
+		{Tiers: []Tier{{Levels: []Level{{}}}}},
+		{Tiers: []Tier{{Levels: []Level{{Tenants: []string{""}}}}}},
+		{Tiers: []Tier{{Levels: []Level{{Tenants: []string{"a", "a"}}}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate succeeded, want error", i)
+		}
+	}
+}
+
+// TestLexerProperty: lexing never panics and always terminates with EOF on
+// arbitrary input.
+func TestLexerProperty(t *testing.T) {
+	f := func(input string) bool {
+		toks, err := lex(input)
+		if err != nil {
+			return true // rejection is fine
+		}
+		return len(toks) > 0 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	for k, want := range map[tokenKind]string{
+		tokIdent: "identifier", tokStrict: `">>"`, tokPrefer: `">"`,
+		tokShare: `"+"`, tokEOF: "end of input", tokenKind(42): "token(42)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	in := "T1 >> T2 > T3 + T4 >> T5 > T6 + T7 + T8"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDemote(t *testing.T) {
+	s := MustParse("T1 >> T2 > T3 + T4 >> T5")
+	d := s.Demote("T3")
+	if got, want := d.String(), "T1 >> T2 > T4 >> T5 >> T3"; got != want {
+		t.Fatalf("Demote(T3) = %q, want %q", got, want)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("demoted spec invalid: %v", err)
+	}
+	// Original unchanged.
+	if s.String() != "T1 >> T2 > T3 + T4 >> T5" {
+		t.Fatal("Demote mutated the receiver")
+	}
+}
+
+func TestDemoteCollapsesEmptyStructures(t *testing.T) {
+	s := MustParse("T1 >> T2")
+	d := s.Demote("T1") // tier 0 empties out
+	if got, want := d.String(), "T2 >> T1"; got != want {
+		t.Fatalf("Demote(T1) = %q, want %q", got, want)
+	}
+	// Level removal inside a tier.
+	s2 := MustParse("T1 > T2 >> T3")
+	d2 := s2.Demote("T1")
+	if got, want := d2.String(), "T2 >> T3 >> T1"; got != want {
+		t.Fatalf("Demote = %q, want %q", got, want)
+	}
+}
+
+func TestDemoteAbsentTenant(t *testing.T) {
+	s := MustParse("T1 >> T2")
+	d := s.Demote("ghost")
+	if d.String() != "T1 >> T2" {
+		t.Fatalf("Demote(absent) changed the spec: %q", d.String())
+	}
+}
+
+func TestDemoteSingleTenant(t *testing.T) {
+	s := MustParse("T1")
+	d := s.Demote("T1")
+	if d.String() != "T1" {
+		t.Fatalf("Demote(only tenant) = %q, want %q", d.String(), "T1")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("demoted singleton invalid: %v", err)
+	}
+}
+
+func TestParseWeightedShares(t *testing.T) {
+	s, err := Parse("T1*2 + T2 >> T3*4 + T4*3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := s.Tiers[0].Levels[0]
+	if lvl.WeightOf(0) != 2 || lvl.WeightOf(1) != 1 {
+		t.Fatalf("tier 0 weights: %v", lvl.Weights)
+	}
+	if lvl.TotalWeight() != 3 {
+		t.Fatalf("total weight = %d", lvl.TotalWeight())
+	}
+	lvl2 := s.Tiers[1].Levels[0]
+	if lvl2.WeightOf(0) != 4 || lvl2.WeightOf(1) != 3 {
+		t.Fatalf("tier 1 weights: %v", lvl2.Weights)
+	}
+}
+
+func TestWeightedCanonicalForm(t *testing.T) {
+	s := MustParse("T1*2+T2")
+	if got := s.String(); got != "T1*2 + T2" {
+		t.Fatalf("String() = %q", got)
+	}
+	again := MustParse(s.String())
+	if !reflect.DeepEqual(s, again) {
+		t.Fatal("weighted round trip failed")
+	}
+	// Weight 1 written explicitly normalizes away only if no other
+	// weights exist in the level.
+	unweighted := MustParse("T1 + T2")
+	if unweighted.Tiers[0].Levels[0].Weights != nil {
+		t.Fatal("all-ones weights should normalize to nil")
+	}
+}
+
+func TestParseWeightErrors(t *testing.T) {
+	for _, in := range []string{
+		"T1*",      // missing weight
+		"T1*0",     // zero weight
+		"T1*x",     // non-numeric
+		"T1 * * 2", // double star
+		"*2",       // weight without tenant
+		"T1*2.5",   // non-integer (lexes as 2 then .5 → malformed)
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDemoteKeepsWeights(t *testing.T) {
+	s := MustParse("T1*2 + T2*3 + T3")
+	d := s.Demote("T2")
+	if got := d.String(); got != "T1*2 + T3 >> T2" {
+		t.Fatalf("Demote = %q", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateWeightMismatch(t *testing.T) {
+	bad := &Spec{Tiers: []Tier{{Levels: []Level{{
+		Tenants: []string{"a", "b"},
+		Weights: []int64{1},
+	}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("weight/tenant length mismatch accepted")
+	}
+	neg := &Spec{Tiers: []Tier{{Levels: []Level{{
+		Tenants: []string{"a"},
+		Weights: []int64{0},
+	}}}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("non-positive weight accepted")
+	}
+}

@@ -1,0 +1,270 @@
+package rank
+
+import (
+	"fmt"
+
+	"qvisor/internal/sim"
+)
+
+// PFabric ranks packets by the flow's remaining size in bytes (Alizadeh et
+// al., SIGCOMM 2013): shortest remaining processing time, the policy tenant
+// T1 uses in the paper to minimize flow completion times. Flows with
+// unknown size rank at the upper bound.
+type PFabric struct {
+	// MaxFlowBytes caps the declared rank range. Flows larger than this
+	// clamp to the bound. Zero means DefaultMaxFlowBytes.
+	MaxFlowBytes int64
+}
+
+// DefaultMaxFlowBytes bounds pFabric ranks when no cap is configured:
+// 1 GiB, larger than any flow in the embedded workloads.
+const DefaultMaxFlowBytes = 1 << 30
+
+func (r *PFabric) cap() int64 {
+	if r.MaxFlowBytes <= 0 {
+		return DefaultMaxFlowBytes
+	}
+	return r.MaxFlowBytes
+}
+
+// Name implements Ranker.
+func (r *PFabric) Name() string { return "pfabric" }
+
+// Bounds implements Ranker.
+func (r *PFabric) Bounds() Bounds { return Bounds{0, r.cap()} }
+
+// Rank implements Ranker: remaining flow bytes.
+func (r *PFabric) Rank(_ sim.Time, f *Flow, _ int) int64 {
+	if f.Size <= 0 {
+		return r.cap() // unknown size: lowest priority
+	}
+	return r.Bounds().Clamp(f.Remaining())
+}
+
+// SRPT is shortest remaining processing time — identical ranking to
+// PFabric, kept as a distinct name because the paper cites both lineages
+// ([5] pFabric, [26] SRPT).
+type SRPT struct{ PFabric }
+
+// Name implements Ranker.
+func (r *SRPT) Name() string { return "srpt" }
+
+// SJF ranks by total flow size (shortest job first): size-aware but not
+// progress-aware.
+type SJF struct {
+	// MaxFlowBytes caps the declared rank range; zero means
+	// DefaultMaxFlowBytes.
+	MaxFlowBytes int64
+}
+
+func (r *SJF) cap() int64 {
+	if r.MaxFlowBytes <= 0 {
+		return DefaultMaxFlowBytes
+	}
+	return r.MaxFlowBytes
+}
+
+// Name implements Ranker.
+func (r *SJF) Name() string { return "sjf" }
+
+// Bounds implements Ranker.
+func (r *SJF) Bounds() Bounds { return Bounds{0, r.cap()} }
+
+// Rank implements Ranker: total flow size.
+func (r *SJF) Rank(_ sim.Time, f *Flow, _ int) int64 {
+	if f.Size <= 0 {
+		return r.cap()
+	}
+	return r.Bounds().Clamp(f.Size)
+}
+
+// LAS ranks by bytes already sent (least attained service): approximates
+// SRPT without knowing flow sizes, as in information-agnostic schedulers
+// ([6] PIAS).
+type LAS struct {
+	// MaxFlowBytes caps the declared rank range; zero means
+	// DefaultMaxFlowBytes.
+	MaxFlowBytes int64
+}
+
+func (r *LAS) cap() int64 {
+	if r.MaxFlowBytes <= 0 {
+		return DefaultMaxFlowBytes
+	}
+	return r.MaxFlowBytes
+}
+
+// Name implements Ranker.
+func (r *LAS) Name() string { return "las" }
+
+// Bounds implements Ranker.
+func (r *LAS) Bounds() Bounds { return Bounds{0, r.cap()} }
+
+// Rank implements Ranker: attained service.
+func (r *LAS) Rank(_ sim.Time, f *Flow, _ int) int64 {
+	return r.Bounds().Clamp(f.Sent)
+}
+
+// EDF ranks by time to deadline (earliest deadline first, [10]) — the
+// policy tenant T2 uses for deadline-constrained flows. The rank is the
+// remaining slack in microseconds, clamped to [0, MaxSlack]: among packets
+// queued at the same instant, slack order equals absolute-deadline order,
+// and unlike absolute deadlines the slack is bounded, which QVISOR's static
+// analysis needs. Flows without a deadline rank at the upper bound.
+type EDF struct {
+	// MaxSlack is the largest slack representable; deadlines further out
+	// clamp to it. Zero means DefaultMaxSlack.
+	MaxSlack sim.Time
+}
+
+// DefaultMaxSlack bounds EDF ranks at 100 ms of slack.
+const DefaultMaxSlack = 100 * sim.Millisecond
+
+func (r *EDF) maxSlack() sim.Time {
+	if r.MaxSlack <= 0 {
+		return DefaultMaxSlack
+	}
+	return r.MaxSlack
+}
+
+// Name implements Ranker.
+func (r *EDF) Name() string { return "edf" }
+
+// Bounds implements Ranker: slack in microseconds.
+func (r *EDF) Bounds() Bounds {
+	return Bounds{0, int64(r.maxSlack() / sim.Microsecond)}
+}
+
+// Rank implements Ranker: microseconds of slack until the deadline.
+// Past-deadline packets rank 0 (most urgent).
+func (r *EDF) Rank(now sim.Time, f *Flow, _ int) int64 {
+	if f.Deadline == 0 {
+		return r.Bounds().Hi
+	}
+	slack := f.Deadline - now
+	if slack < 0 {
+		slack = 0
+	}
+	return r.Bounds().Clamp(int64(slack / sim.Microsecond))
+}
+
+// FCFS ranks every packet identically, so a PIFO's FIFO tie-break yields
+// first-come first-served. Useful as a null policy and in tests.
+type FCFS struct{}
+
+// Name implements Ranker.
+func (FCFS) Name() string { return "fcfs" }
+
+// Bounds implements Ranker.
+func (FCFS) Bounds() Bounds { return Bounds{0, 0} }
+
+// Rank implements Ranker.
+func (FCFS) Rank(sim.Time, *Flow, int) int64 { return 0 }
+
+// STFQ implements start-time fair queuing (Goyal et al., SIGCOMM 1996), the
+// practical form of bit-by-bit fair queuing [11] and the example fair
+// policy in §3.1 (tenant T2 = {P2, STFQ}). Each flow's packet gets the
+// start tag max(virtual time, flow's last finish tag); the finish tag
+// advances by payload/weight. The emitted rank is the start tag relative to
+// the current virtual time, which is bounded by the configured maximum
+// backlog and preserves the order of concurrently queued packets.
+//
+// STFQ keeps per-flow finish tags; call Release when a flow ends. Connect
+// OnTransmit to the scheduler's dequeue to advance virtual time; if never
+// called, virtual time stays at the minimum and ranks grow toward the
+// bound (they clamp, degrading to coarse fairness rather than failing).
+type STFQ struct {
+	// MaxBacklog bounds the relative start tags, in virtual bytes
+	// (bytes/weight). Zero means DefaultMaxBacklog.
+	MaxBacklog int64
+
+	vtime  int64
+	finish map[uint64]int64
+	name   string
+}
+
+// DefaultMaxBacklog bounds STFQ ranks: 16 MiB of virtual backlog per flow.
+const DefaultMaxBacklog = 16 << 20
+
+// NewSTFQ returns an STFQ ranker.
+func NewSTFQ() *STFQ { return &STFQ{name: "stfq"} }
+
+// NewFQ returns start-time fair queuing under the name "fq" — the paper
+// refers to tenant T3's policy simply as Fair Queuing.
+func NewFQ() *STFQ { return &STFQ{name: "fq"} }
+
+func (r *STFQ) maxBacklog() int64 {
+	if r.MaxBacklog <= 0 {
+		return DefaultMaxBacklog
+	}
+	return r.MaxBacklog
+}
+
+// Name implements Ranker.
+func (r *STFQ) Name() string {
+	if r.name == "" {
+		return "stfq"
+	}
+	return r.name
+}
+
+// Bounds implements Ranker.
+func (r *STFQ) Bounds() Bounds { return Bounds{0, r.maxBacklog()} }
+
+// Rank implements Ranker: relative start tag.
+func (r *STFQ) Rank(_ sim.Time, f *Flow, payload int) int64 {
+	if r.finish == nil {
+		r.finish = make(map[uint64]int64)
+	}
+	start := r.vtime
+	if fin, ok := r.finish[f.ID]; ok && fin > start {
+		start = fin
+	}
+	r.finish[f.ID] = start + int64(float64(payload)/f.weight())
+	return r.Bounds().Clamp(start - r.vtime)
+}
+
+// OnTransmit implements TransmitObserver: virtual time advances to the
+// start tag of the packet entering service. The rank passed is relative;
+// it is added to the current virtual time.
+func (r *STFQ) OnTransmit(relRank int64) {
+	v := r.vtime + relRank
+	if v > r.vtime {
+		r.vtime = v
+	}
+}
+
+// Release implements FlowReleaser.
+func (r *STFQ) Release(flowID uint64) { delete(r.finish, flowID) }
+
+// VirtualTime exposes the current virtual time for tests.
+func (r *STFQ) VirtualTime() int64 { return r.vtime }
+
+// ByName constructs a ranker from its algorithm name. Recognized names:
+// pfabric, srpt, sjf, las, edf, lstf, fifo+, fcfs, stfq, fq.
+func ByName(name string) (Ranker, error) {
+	switch name {
+	case "lstf":
+		return &LSTF{}, nil
+	case "fifo+":
+		return &FIFOPlus{}, nil
+	case "pfabric":
+		return &PFabric{}, nil
+	case "srpt":
+		return &SRPT{}, nil
+	case "sjf":
+		return &SJF{}, nil
+	case "las":
+		return &LAS{}, nil
+	case "edf":
+		return &EDF{}, nil
+	case "fcfs":
+		return FCFS{}, nil
+	case "stfq":
+		return NewSTFQ(), nil
+	case "fq":
+		return NewFQ(), nil
+	default:
+		return nil, fmt.Errorf("rank: unknown algorithm %q", name)
+	}
+}

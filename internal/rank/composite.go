@@ -1,0 +1,106 @@
+package rank
+
+import (
+	"fmt"
+	"strings"
+
+	"qvisor/internal/sim"
+)
+
+// Composite blends several rank functions into one multi-objective policy
+// — the §5 direction "could we achieve multiple objectives simultaneously
+// on the same traffic?". Each component's rank is normalized to [0, 1]
+// over its declared bounds, combined as a weighted sum, and quantized to
+// OutLevels discrete ranks.
+//
+// Example: 0.7×FQ + 0.3×pFabric enforces fairness while still biasing
+// towards short flows, the paper's own example of implicit multi-objective
+// behaviour ("Fair Queuing schemes enforce fairness, but also help in
+// reducing FCTs, since they implicitly prioritize short flows").
+type Composite struct {
+	components []Ranker
+	weights    []float64
+	levels     int64
+	name       string
+}
+
+// DefaultCompositeLevels is the output granularity when not configured.
+const DefaultCompositeLevels = 1 << 16
+
+// NewComposite builds a multi-objective ranker. Weights must be positive;
+// they are normalized internally. levels <= 0 selects
+// DefaultCompositeLevels.
+func NewComposite(levels int64, components []Ranker, weights []float64) (*Composite, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("rank: composite needs at least one component")
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("rank: %d components but %d weights", len(components), len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("rank: non-positive weight %v for %s", w, components[i].Name())
+		}
+		total += w
+	}
+	if levels <= 0 {
+		levels = DefaultCompositeLevels
+	}
+	norm := make([]float64, len(weights))
+	names := make([]string, len(components))
+	for i, w := range weights {
+		norm[i] = w / total
+		names[i] = fmt.Sprintf("%.2f*%s", norm[i], components[i].Name())
+	}
+	return &Composite{
+		components: components,
+		weights:    norm,
+		levels:     levels,
+		name:       "composite(" + strings.Join(names, "+") + ")",
+	}, nil
+}
+
+// Name implements Ranker.
+func (c *Composite) Name() string { return c.name }
+
+// Bounds implements Ranker.
+func (c *Composite) Bounds() Bounds { return Bounds{0, c.levels - 1} }
+
+// Rank implements Ranker: the weighted sum of normalized component ranks.
+func (c *Composite) Rank(now sim.Time, f *Flow, payload int) int64 {
+	var acc float64
+	for i, comp := range c.components {
+		b := comp.Bounds()
+		r := b.Clamp(comp.Rank(now, f, payload))
+		span := b.Span()
+		if span <= 0 {
+			continue
+		}
+		acc += c.weights[i] * float64(r-b.Lo) / float64(span)
+	}
+	out := int64(acc * float64(c.levels-1))
+	return c.Bounds().Clamp(out)
+}
+
+// OnTransmit implements TransmitObserver by forwarding to components that
+// track virtual time. The rank passed through is the composite rank, which
+// is only meaningful to components as a progress signal; fair components
+// in composites should be driven by their own transmit observers where
+// exactness matters.
+func (c *Composite) OnTransmit(rank int64) {
+	for _, comp := range c.components {
+		if obs, ok := comp.(TransmitObserver); ok {
+			obs.OnTransmit(rank)
+		}
+	}
+}
+
+// Release implements FlowReleaser by forwarding to stateful components.
+func (c *Composite) Release(flowID uint64) {
+	for _, comp := range c.components {
+		if fr, ok := comp.(FlowReleaser); ok {
+			fr.Release(flowID)
+		}
+	}
+}

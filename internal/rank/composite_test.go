@@ -1,0 +1,111 @@
+package rank
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qvisor/internal/sim"
+)
+
+func TestCompositeValidation(t *testing.T) {
+	if _, err := NewComposite(10, nil, nil); err == nil {
+		t.Fatal("empty composite accepted")
+	}
+	if _, err := NewComposite(10, []Ranker{&PFabric{}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := NewComposite(10, []Ranker{&PFabric{}}, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewComposite(10, []Ranker{&PFabric{}}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestCompositeSingleComponentPreservesOrder(t *testing.T) {
+	c, err := NewComposite(1<<16, []Ranker{&PFabric{MaxFlowBytes: 1 << 20}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &Flow{ID: 1, Size: 1000}
+	large := &Flow{ID: 2, Size: 1 << 19}
+	if c.Rank(0, small, 0) >= c.Rank(0, large, 0) {
+		t.Fatal("composite of one component must preserve its order")
+	}
+}
+
+func TestCompositeBlendsObjectives(t *testing.T) {
+	// 0.7×FQ + 0.3×pFabric: among flows with equal fair-queuing start
+	// tags, the shorter flow wins; a flow far behind in fairness loses
+	// even if short.
+	fq := NewSTFQ()
+	fq.MaxBacklog = 1 << 20 // match the pFabric scale so debt is visible
+	pf := &PFabric{MaxFlowBytes: 1 << 20}
+	c, err := NewComposite(1<<16, []Ranker{fq, pf}, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 1 short, flow 2 long, both fresh (same FQ start tag ≈ 0).
+	shortFresh := &Flow{ID: 1, Size: 1000}
+	longFresh := &Flow{ID: 2, Size: 1 << 19}
+	rShort := c.Rank(0, shortFresh, 100)
+	rLong := c.Rank(0, longFresh, 100)
+	if rShort >= rLong {
+		t.Fatalf("tie on fairness: short flow must win (%d vs %d)", rShort, rLong)
+	}
+	// Flow 3 is short but has consumed lots of fair-queuing credit.
+	greedy := &Flow{ID: 3, Size: 1000}
+	for i := 0; i < 200; i++ {
+		fq.Rank(0, greedy, 10000) // burn FQ credit outside the composite
+	}
+	rGreedy := c.Rank(0, greedy, 100)
+	if rGreedy <= rLong {
+		t.Fatalf("fairness-indebted short flow should lose to fresh long flow (%d vs %d)",
+			rGreedy, rLong)
+	}
+}
+
+func TestCompositeWithinBounds(t *testing.T) {
+	c, err := NewComposite(1024, []Ranker{&PFabric{}, &EDF{}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(size, sent uint32, deadlineUs, nowUs uint32) bool {
+		fl := &Flow{ID: 1, Size: int64(size), Sent: int64(sent),
+			Deadline: sim.Time(deadlineUs) * sim.Microsecond}
+		return c.Bounds().Contains(c.Rank(sim.Time(nowUs)*sim.Microsecond, fl, 100))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeName(t *testing.T) {
+	c, err := NewComposite(16, []Ranker{NewFQ(), &PFabric{}}, []float64{7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Name()
+	if !strings.Contains(name, "0.70*fq") || !strings.Contains(name, "0.30*pfabric") {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestCompositeForwardsStateHooks(t *testing.T) {
+	fq := NewSTFQ()
+	c, err := NewComposite(16, []Ranker{fq, &PFabric{}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Flow{ID: 42}
+	c.Rank(0, f, 100)
+	c.OnTransmit(5)
+	if fq.VirtualTime() == 0 {
+		t.Fatal("OnTransmit not forwarded to FQ component")
+	}
+	c.Release(42)
+	if got := fq.Rank(0, f, 100); got != 0 {
+		t.Fatalf("Release not forwarded: rank %d", got)
+	}
+}

@@ -1,0 +1,99 @@
+package rank
+
+import "qvisor/internal/sim"
+
+// LSTF ranks packets by least slack time first (Mittal et al., "Universal
+// Packet Scheduling", NSDI 2016 — reference [22] of the QVISOR paper): the
+// slack is the time remaining until the deadline minus the time still
+// needed to transmit the rest of the flow. A flow that is behind schedule
+// (low or negative slack) ranks ahead of one with time to spare, which is
+// what makes LSTF a near-universal replacement for many policies.
+type LSTF struct {
+	// MaxSlack bounds the emitted ranks; zero means DefaultMaxSlack.
+	MaxSlack sim.Time
+	// RefBitsPerSec is the reference transmission rate used to convert
+	// remaining bytes into remaining service time. Zero means 1 Gbps
+	// (the paper's access-link rate).
+	RefBitsPerSec float64
+}
+
+func (r *LSTF) maxSlack() sim.Time {
+	if r.MaxSlack <= 0 {
+		return DefaultMaxSlack
+	}
+	return r.MaxSlack
+}
+
+func (r *LSTF) refRate() float64 {
+	if r.RefBitsPerSec <= 0 {
+		return 1e9
+	}
+	return r.RefBitsPerSec
+}
+
+// Name implements Ranker.
+func (r *LSTF) Name() string { return "lstf" }
+
+// Bounds implements Ranker: slack in microseconds.
+func (r *LSTF) Bounds() Bounds {
+	return Bounds{0, int64(r.maxSlack() / sim.Microsecond)}
+}
+
+// Rank implements Ranker: microseconds of slack after accounting for the
+// remaining service time. Flows without deadlines rank at the upper bound.
+func (r *LSTF) Rank(now sim.Time, f *Flow, _ int) int64 {
+	if f.Deadline == 0 {
+		return r.Bounds().Hi
+	}
+	service := sim.Time(float64(f.Remaining()*8) / r.refRate() * 1e9)
+	slack := f.Deadline - now - service
+	if slack < 0 {
+		slack = 0
+	}
+	return r.Bounds().Clamp(int64(slack / sim.Microsecond))
+}
+
+// FIFOPlus implements the FIFO+ policy (Clark, Shenker, Zhang, SIGCOMM
+// 1992 — reference [9]): packets are scheduled in order of flow arrival
+// time rather than packet arrival time, which shrinks tail latency for
+// flows that have already waited. The rank is the flow's age-corrected
+// start time relative to a sliding horizon, keeping ranks bounded.
+type FIFOPlus struct {
+	// Horizon bounds how far back a flow arrival can reach; older flows
+	// clamp to rank 0. Zero means DefaultFIFOPlusHorizon.
+	Horizon sim.Time
+}
+
+// DefaultFIFOPlusHorizon bounds FIFO+ ranks at 1 s of flow age.
+const DefaultFIFOPlusHorizon = sim.Second
+
+func (r *FIFOPlus) horizon() sim.Time {
+	if r.Horizon <= 0 {
+		return DefaultFIFOPlusHorizon
+	}
+	return r.Horizon
+}
+
+// Name implements Ranker.
+func (r *FIFOPlus) Name() string { return "fifo+" }
+
+// Bounds implements Ranker.
+func (r *FIFOPlus) Bounds() Bounds {
+	return Bounds{0, int64(r.horizon() / sim.Microsecond)}
+}
+
+// Rank implements Ranker: the flow's arrival offset within the horizon
+// window ending now — older flows get lower (better) ranks.
+func (r *FIFOPlus) Rank(now sim.Time, f *Flow, _ int) int64 {
+	age := now - f.Arrival
+	if age < 0 {
+		age = 0
+	}
+	h := r.horizon()
+	if age > h {
+		age = h
+	}
+	// Rank = time left before the flow reaches the horizon: a flow that
+	// arrived long ago is near 0, a fresh flow near the bound.
+	return r.Bounds().Clamp(int64((h - age) / sim.Microsecond))
+}

@@ -1,0 +1,117 @@
+// Package rank implements the tenant-side scheduling algorithms of the
+// QVISOR paper as rank functions: pFabric/SRPT, EDF, SJF, LAS, FCFS, and
+// start-time fair queuing (the practical form of bit-by-bit fair queuing).
+//
+// A rank function maps each outgoing packet to an integer priority — lower
+// ranks are scheduled first (§3.1: "packet ranks define the priority with
+// which packets should be scheduled based on the rank function picked by
+// the tenant"). Ranks are computed at the end host or an upstream switch,
+// before the packet reaches QVISOR's pre-processor.
+//
+// Every ranker declares static Bounds on the ranks it emits. Bounded ranks
+// are what makes QVISOR's static worst-case analysis possible ("if the rank
+// distributions are bounded and known in advance, we can implement most
+// priority operations by just applying shifts", §3.2). Rankers whose
+// natural rank is unbounded (deadlines, virtual times) emit ranks relative
+// to a moving floor (time-to-deadline, start-tag minus virtual time), which
+// bounds them without disturbing the relative order of concurrently queued
+// packets.
+package rank
+
+import (
+	"fmt"
+
+	"qvisor/internal/sim"
+)
+
+// Flow carries the per-flow state rank functions read. The transport (or
+// end-host stack) owns and updates it.
+type Flow struct {
+	// ID is the flow identifier.
+	ID uint64
+	// Size is the flow's total size in bytes, when known a priori
+	// (pFabric-style "flow size aware" scheduling). Zero means unknown.
+	Size int64
+	// Sent is the number of payload bytes handed to the network so far
+	// (first transmissions only; retransmissions do not advance it).
+	Sent int64
+	// Weight is the fair-queuing weight. Zero means 1.
+	Weight float64
+	// Deadline is the absolute completion deadline, for EDF. Zero means
+	// no deadline.
+	Deadline sim.Time
+	// Arrival is when the flow started.
+	Arrival sim.Time
+}
+
+func (f *Flow) weight() float64 {
+	if f.Weight <= 0 {
+		return 1
+	}
+	return f.Weight
+}
+
+// Remaining returns the bytes not yet sent, or 0 when unknown/complete.
+func (f *Flow) Remaining() int64 {
+	if f.Size <= 0 {
+		return 0
+	}
+	r := f.Size - f.Sent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Bounds is the closed rank interval a ranker emits into.
+type Bounds struct {
+	Lo, Hi int64
+}
+
+// Span returns the width of the interval.
+func (b Bounds) Span() int64 { return b.Hi - b.Lo }
+
+// Contains reports whether r lies within the bounds.
+func (b Bounds) Contains(r int64) bool { return r >= b.Lo && r <= b.Hi }
+
+// Clamp forces r into the bounds.
+func (b Bounds) Clamp(r int64) int64 {
+	if r < b.Lo {
+		return b.Lo
+	}
+	if r > b.Hi {
+		return b.Hi
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (b Bounds) String() string { return fmt.Sprintf("[%d,%d]", b.Lo, b.Hi) }
+
+// Ranker computes the scheduling rank of an outgoing packet. Lower ranks are
+// scheduled earlier. Implementations may keep per-flow state; they are not
+// safe for concurrent use.
+type Ranker interface {
+	// Name returns the algorithm identifier (e.g. "pfabric").
+	Name() string
+	// Rank returns the rank for a packet of the given payload size
+	// belonging to flow f, emitted at time now. Ranks outside Bounds are
+	// clamped by callers.
+	Rank(now sim.Time, f *Flow, payload int) int64
+	// Bounds declares the rank interval this ranker emits into.
+	Bounds() Bounds
+}
+
+// FlowReleaser is implemented by rankers that keep per-flow state and want
+// to be told when a flow completes.
+type FlowReleaser interface {
+	Release(flowID uint64)
+}
+
+// TransmitObserver is implemented by rankers (fair queuing) that track the
+// scheduler's virtual time and must observe transmissions.
+type TransmitObserver interface {
+	// OnTransmit reports that a packet with the given rank started
+	// service.
+	OnTransmit(rank int64)
+}

@@ -1,0 +1,377 @@
+package rank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qvisor/internal/sim"
+)
+
+func TestBounds(t *testing.T) {
+	b := Bounds{10, 20}
+	if b.Span() != 10 {
+		t.Fatalf("Span = %d, want 10", b.Span())
+	}
+	if !b.Contains(10) || !b.Contains(20) || b.Contains(9) || b.Contains(21) {
+		t.Fatal("Contains wrong at edges")
+	}
+	if b.Clamp(5) != 10 || b.Clamp(25) != 20 || b.Clamp(15) != 15 {
+		t.Fatal("Clamp wrong")
+	}
+	if b.String() != "[10,20]" {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestFlowRemaining(t *testing.T) {
+	f := &Flow{Size: 100, Sent: 30}
+	if f.Remaining() != 70 {
+		t.Fatalf("Remaining = %d, want 70", f.Remaining())
+	}
+	f.Sent = 150
+	if f.Remaining() != 0 {
+		t.Fatalf("over-sent Remaining = %d, want 0", f.Remaining())
+	}
+	if (&Flow{}).Remaining() != 0 {
+		t.Fatal("unknown-size Remaining should be 0")
+	}
+}
+
+func TestPFabricRanksByRemaining(t *testing.T) {
+	r := &PFabric{}
+	f := &Flow{ID: 1, Size: 1000}
+	if got := r.Rank(0, f, 100); got != 1000 {
+		t.Fatalf("initial rank = %d, want 1000", got)
+	}
+	f.Sent = 600
+	if got := r.Rank(0, f, 100); got != 400 {
+		t.Fatalf("rank after progress = %d, want 400", got)
+	}
+}
+
+func TestPFabricUnknownSizeIsWorst(t *testing.T) {
+	r := &PFabric{MaxFlowBytes: 5000}
+	if got := r.Rank(0, &Flow{ID: 1}, 100); got != 5000 {
+		t.Fatalf("unknown-size rank = %d, want bound 5000", got)
+	}
+}
+
+func TestPFabricClampsToBounds(t *testing.T) {
+	r := &PFabric{MaxFlowBytes: 100}
+	f := &Flow{ID: 1, Size: 1 << 40}
+	if got := r.Rank(0, f, 0); got != 100 {
+		t.Fatalf("huge flow rank = %d, want clamp 100", got)
+	}
+}
+
+func TestSRPTNameDiffers(t *testing.T) {
+	if (&SRPT{}).Name() != "srpt" || (&PFabric{}).Name() != "pfabric" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestSJF(t *testing.T) {
+	r := &SJF{}
+	a := &Flow{ID: 1, Size: 100, Sent: 90}
+	b := &Flow{ID: 2, Size: 200}
+	if r.Rank(0, a, 0) >= r.Rank(0, b, 0) {
+		t.Fatal("SJF must rank smaller total size better regardless of progress")
+	}
+	if r.Rank(0, &Flow{}, 0) != r.Bounds().Hi {
+		t.Fatal("unknown size ranks worst")
+	}
+}
+
+func TestLAS(t *testing.T) {
+	r := &LAS{}
+	young := &Flow{ID: 1, Sent: 10}
+	old := &Flow{ID: 2, Sent: 100000}
+	if r.Rank(0, young, 0) >= r.Rank(0, old, 0) {
+		t.Fatal("LAS must favor flows with less attained service")
+	}
+}
+
+func TestEDFSlack(t *testing.T) {
+	r := &EDF{}
+	f := &Flow{ID: 1, Deadline: 10 * sim.Millisecond}
+	if got := r.Rank(0, f, 0); got != 10000 {
+		t.Fatalf("slack at t=0: %d µs, want 10000", got)
+	}
+	if got := r.Rank(4*sim.Millisecond, f, 0); got != 6000 {
+		t.Fatalf("slack at t=4ms: %d µs, want 6000", got)
+	}
+	// Past deadline: most urgent.
+	if got := r.Rank(20*sim.Millisecond, f, 0); got != 0 {
+		t.Fatalf("past-deadline rank = %d, want 0", got)
+	}
+}
+
+func TestEDFNoDeadlineIsWorst(t *testing.T) {
+	r := &EDF{}
+	if got := r.Rank(0, &Flow{ID: 1}, 0); got != r.Bounds().Hi {
+		t.Fatalf("no-deadline rank = %d, want %d", got, r.Bounds().Hi)
+	}
+}
+
+func TestEDFOrderMatchesAbsoluteDeadlines(t *testing.T) {
+	// At a common instant, slack order equals absolute-deadline order.
+	r := &EDF{}
+	now := 3 * sim.Millisecond
+	early := &Flow{ID: 1, Deadline: 5 * sim.Millisecond}
+	late := &Flow{ID: 2, Deadline: 9 * sim.Millisecond}
+	if r.Rank(now, early, 0) >= r.Rank(now, late, 0) {
+		t.Fatal("earlier deadline must rank better")
+	}
+}
+
+func TestFCFS(t *testing.T) {
+	r := FCFS{}
+	if r.Rank(123, &Flow{ID: 1}, 10) != 0 || r.Bounds() != (Bounds{0, 0}) {
+		t.Fatal("FCFS must rank constant 0")
+	}
+}
+
+func TestSTFQFairInterleaving(t *testing.T) {
+	r := NewSTFQ()
+	a := &Flow{ID: 1}
+	b := &Flow{ID: 2}
+	// Two backlogged flows sending 100-byte packets starting at vtime 0:
+	// start tags must interleave 0,0,100,100,200,200...
+	ra1 := r.Rank(0, a, 100)
+	rb1 := r.Rank(0, b, 100)
+	ra2 := r.Rank(0, a, 100)
+	rb2 := r.Rank(0, b, 100)
+	if ra1 != 0 || rb1 != 0 || ra2 != 100 || rb2 != 100 {
+		t.Fatalf("start tags = %d,%d,%d,%d want 0,0,100,100", ra1, rb1, ra2, rb2)
+	}
+}
+
+func TestSTFQWeights(t *testing.T) {
+	r := NewSTFQ()
+	heavy := &Flow{ID: 1, Weight: 2}
+	light := &Flow{ID: 2, Weight: 1}
+	r.Rank(0, heavy, 100) // finish advances 50
+	r.Rank(0, light, 100) // finish advances 100
+	if got := r.Rank(0, heavy, 100); got != 50 {
+		t.Fatalf("weight-2 second start = %d, want 50", got)
+	}
+	if got := r.Rank(0, light, 100); got != 100 {
+		t.Fatalf("weight-1 second start = %d, want 100", got)
+	}
+}
+
+func TestSTFQVirtualTimeAdvance(t *testing.T) {
+	r := NewSTFQ()
+	f := &Flow{ID: 1}
+	r.Rank(0, f, 100)
+	r.Rank(0, f, 100)
+	r.OnTransmit(100)
+	if r.VirtualTime() != 100 {
+		t.Fatalf("vtime = %d, want 100", r.VirtualTime())
+	}
+	// A new flow starting now gets start tag >= vtime, i.e. relative 0.
+	g := &Flow{ID: 2}
+	if got := r.Rank(0, g, 100); got != 0 {
+		t.Fatalf("new flow relative start = %d, want 0", got)
+	}
+	// Virtual time never moves backwards.
+	r.OnTransmit(-50)
+	if r.VirtualTime() != 100 {
+		t.Fatalf("vtime moved backwards: %d", r.VirtualTime())
+	}
+}
+
+func TestSTFQRelease(t *testing.T) {
+	r := NewSTFQ()
+	f := &Flow{ID: 1}
+	r.Rank(0, f, 100)
+	r.Release(1)
+	// After release, the flow re-registers at the virtual time floor.
+	if got := r.Rank(0, f, 100); got != 0 {
+		t.Fatalf("released flow rank = %d, want 0", got)
+	}
+}
+
+func TestSTFQNewFlowCannotBackdate(t *testing.T) {
+	// A flow arriving after vtime advanced must not get a lower start tag
+	// than the current virtual time.
+	r := NewSTFQ()
+	a := &Flow{ID: 1}
+	for i := 0; i < 10; i++ {
+		r.Rank(0, a, 1000)
+	}
+	r.OnTransmit(5000)
+	late := &Flow{ID: 2}
+	if got := r.Rank(0, late, 100); got < 0 {
+		t.Fatalf("late flow got negative relative rank %d", got)
+	}
+}
+
+func TestFQName(t *testing.T) {
+	if NewFQ().Name() != "fq" || NewSTFQ().Name() != "stfq" {
+		t.Fatal("names wrong")
+	}
+	var zero STFQ
+	if zero.Name() != "stfq" {
+		t.Fatal("zero-value STFQ name")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pfabric", "srpt", "sjf", "las", "edf", "fcfs", "stfq", "fq"} {
+		r, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
+
+// TestPropertyRanksWithinBounds: every ranker emits ranks inside its
+// declared bounds for arbitrary flow states — the contract QVISOR's static
+// analysis depends on.
+func TestPropertyRanksWithinBounds(t *testing.T) {
+	rankers := []Ranker{
+		&PFabric{}, &SRPT{}, &SJF{}, &LAS{}, &EDF{}, FCFS{}, NewSTFQ(),
+	}
+	for _, r := range rankers {
+		r := r
+		f := func(size, sent uint32, deadlineUs uint32, nowUs uint32, payload uint16) bool {
+			fl := &Flow{
+				ID:       1,
+				Size:     int64(size),
+				Sent:     int64(sent),
+				Deadline: sim.Time(deadlineUs) * sim.Microsecond,
+			}
+			got := r.Rank(sim.Time(nowUs)*sim.Microsecond, fl, int(payload))
+			return r.Bounds().Contains(got)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+// TestPropertyPFabricMonotone: more progress never worsens the rank.
+func TestPropertyPFabricMonotone(t *testing.T) {
+	r := &PFabric{}
+	f := func(size uint32, sentA, sentB uint32) bool {
+		if sentA > sentB {
+			sentA, sentB = sentB, sentA
+		}
+		fa := &Flow{ID: 1, Size: int64(size), Sent: int64(sentA)}
+		fb := &Flow{ID: 1, Size: int64(size), Sent: int64(sentB)}
+		return r.Rank(0, fa, 0) >= r.Rank(0, fb, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPFabricRank(b *testing.B) {
+	r := &PFabric{}
+	f := &Flow{ID: 1, Size: 1 << 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Sent = int64(i % (1 << 20))
+		r.Rank(0, f, 1500)
+	}
+}
+
+func BenchmarkSTFQRank(b *testing.B) {
+	r := NewSTFQ()
+	flows := make([]*Flow, 64)
+	for i := range flows {
+		flows[i] = &Flow{ID: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rk := r.Rank(0, flows[i%64], 1500)
+		if i%8 == 0 {
+			r.OnTransmit(rk)
+		}
+	}
+}
+
+func TestLSTFSlack(t *testing.T) {
+	r := &LSTF{RefBitsPerSec: 1e9}
+	// 10 ms deadline, 125000 bytes remaining = 1 ms of service at 1 Gbps:
+	// slack = 10ms - 1ms = 9ms = 9000 µs.
+	f := &Flow{ID: 1, Size: 125000, Deadline: 10 * sim.Millisecond}
+	if got := r.Rank(0, f, 0); got != 9000 {
+		t.Fatalf("LSTF slack = %d µs, want 9000", got)
+	}
+	// Behind schedule: negative slack clamps to 0.
+	late := &Flow{ID: 2, Size: 10_000_000, Deadline: sim.Millisecond}
+	if got := r.Rank(0, late, 0); got != 0 {
+		t.Fatalf("late LSTF rank = %d, want 0", got)
+	}
+	if got := r.Rank(0, &Flow{ID: 3}, 0); got != r.Bounds().Hi {
+		t.Fatalf("no-deadline LSTF rank = %d, want bound", got)
+	}
+}
+
+func TestLSTFBeatsEDFOnLargeRemainder(t *testing.T) {
+	// Same deadline, different remaining work: LSTF prioritizes the flow
+	// with more left to do, EDF treats them equally.
+	lstf := &LSTF{RefBitsPerSec: 1e9}
+	edf := &EDF{}
+	big := &Flow{ID: 1, Size: 1_000_000, Deadline: 10 * sim.Millisecond}
+	small := &Flow{ID: 2, Size: 1_000, Deadline: 10 * sim.Millisecond}
+	if lstf.Rank(0, big, 0) >= lstf.Rank(0, small, 0) {
+		t.Fatal("LSTF must rank the behind-schedule flow better")
+	}
+	if edf.Rank(0, big, 0) != edf.Rank(0, small, 0) {
+		t.Fatal("EDF should not distinguish them")
+	}
+}
+
+func TestFIFOPlusOlderFlowsWin(t *testing.T) {
+	r := &FIFOPlus{}
+	old := &Flow{ID: 1, Arrival: 0}
+	young := &Flow{ID: 2, Arrival: 50 * sim.Millisecond}
+	now := 60 * sim.Millisecond
+	if r.Rank(now, old, 0) >= r.Rank(now, young, 0) {
+		t.Fatal("FIFO+ must rank older flows better")
+	}
+}
+
+func TestFIFOPlusBounds(t *testing.T) {
+	r := &FIFOPlus{Horizon: 10 * sim.Millisecond}
+	// Ancient flow clamps to 0; future arrival clamps to the bound.
+	ancient := &Flow{ID: 1, Arrival: 0}
+	if got := r.Rank(sim.Second, ancient, 0); got != 0 {
+		t.Fatalf("ancient rank = %d, want 0", got)
+	}
+	future := &Flow{ID: 2, Arrival: 2 * sim.Second}
+	if got := r.Rank(sim.Second, future, 0); got != r.Bounds().Hi {
+		t.Fatalf("future rank = %d, want bound %d", got, r.Bounds().Hi)
+	}
+}
+
+func TestByNameExtended(t *testing.T) {
+	for _, name := range []string{"lstf", "fifo+"} {
+		r, err := ByName(name)
+		if err != nil || r.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, r, err)
+		}
+	}
+}
+
+func TestLSTFWithinBoundsProperty(t *testing.T) {
+	r := &LSTF{}
+	f := func(size, sent uint32, deadlineUs, nowUs uint32) bool {
+		fl := &Flow{ID: 1, Size: int64(size), Sent: int64(sent),
+			Deadline: sim.Time(deadlineUs) * sim.Microsecond}
+		return r.Bounds().Contains(r.Rank(sim.Time(nowUs)*sim.Microsecond, fl, 0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

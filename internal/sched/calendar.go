@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+)
+
+// Calendar approximates a PIFO with rotating priority buckets, in the style
+// of programmable calendar queues (Sharma et al., NSDI 2020) — reference
+// [28] of the QVISOR paper. Ranks are bucketed at a fixed granularity; the
+// scheduler drains the current bucket, then rotates to the next. Packets
+// whose rank falls before the current bucket join it (no past buckets);
+// ranks beyond the calendar horizon clamp to the last bucket.
+type Calendar struct {
+	cfg     Config
+	buckets []ring
+	bbytes  []int
+	width   int64 // rank units per bucket
+	n       int
+	cur     int   // index of the current bucket
+	base    int64 // smallest rank mapped to the current bucket
+	bytes   int
+	stats   Stats
+}
+
+// NewCalendar returns a calendar queue with n buckets of the given rank
+// width. It panics if n < 1 or width < 1.
+func NewCalendar(cfg Config, n int, width int64) *Calendar {
+	if n < 1 {
+		panic(fmt.Sprintf("sched: NewCalendar with n=%d", n))
+	}
+	if width < 1 {
+		panic(fmt.Sprintf("sched: NewCalendar with width=%d", width))
+	}
+	return &Calendar{
+		cfg:     cfg,
+		buckets: make([]ring, n),
+		bbytes:  make([]int, n),
+		width:   width,
+		n:       n,
+	}
+}
+
+// Name implements Scheduler.
+func (q *Calendar) Name() string { return fmt.Sprintf("calendar%d", q.n) }
+
+// Len implements Scheduler.
+func (q *Calendar) Len() int {
+	total := 0
+	for i := range q.buckets {
+		total += q.buckets[i].n
+	}
+	return total
+}
+
+// Bytes implements Scheduler.
+func (q *Calendar) Bytes() int { return q.bytes }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (q *Calendar) Stats() Stats { return q.stats }
+
+// Enqueue implements Scheduler.
+func (q *Calendar) Enqueue(p *pkt.Packet) bool {
+	if q.bytes+p.Size > q.cfg.capacity() {
+		q.stats.Dropped++
+		q.cfg.drop(p)
+		return false
+	}
+	off := 0
+	if p.Rank > q.base {
+		off = int((p.Rank - q.base) / q.width)
+		if off >= q.n {
+			off = q.n - 1 // beyond horizon: last bucket
+		}
+	}
+	i := (q.cur + off) % q.n
+	q.buckets[i].push(p)
+	q.bbytes[i] += p.Size
+	q.bytes += p.Size
+	q.stats.Enqueued++
+	return true
+}
+
+// Dequeue implements Scheduler: drain the current bucket, rotating forward
+// past empty buckets.
+func (q *Calendar) Dequeue() *pkt.Packet {
+	if q.bytes == 0 {
+		return nil
+	}
+	for q.buckets[q.cur].n == 0 {
+		q.rotate()
+	}
+	p := q.buckets[q.cur].pop()
+	q.bbytes[q.cur] -= p.Size
+	q.bytes -= p.Size
+	q.stats.Dequeued++
+	return p
+}
+
+func (q *Calendar) rotate() {
+	q.cur = (q.cur + 1) % q.n
+	q.base += q.width
+}

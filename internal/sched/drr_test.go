@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"qvisor/internal/pkt"
+)
+
+func TestDRRSingleFlowIsFIFO(t *testing.T) {
+	d := NewDRR(DRRConfig{})
+	for i := uint64(1); i <= 5; i++ {
+		d.Enqueue(&pkt.Packet{ID: i, Flow: 7, Size: 100})
+	}
+	for i := uint64(1); i <= 5; i++ {
+		p := d.Dequeue()
+		if p == nil || p.ID != i {
+			t.Fatalf("FIFO within flow broken at %d: %v", i, p)
+		}
+	}
+	if d.Dequeue() != nil {
+		t.Fatal("empty DRR should return nil")
+	}
+}
+
+func TestDRRAlternatesEqualFlows(t *testing.T) {
+	d := NewDRR(DRRConfig{QuantumBytes: 100})
+	for i := 0; i < 10; i++ {
+		d.Enqueue(&pkt.Packet{Flow: 1, Size: 100})
+		d.Enqueue(&pkt.Packet{Flow: 2, Size: 100})
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < 10; i++ {
+		counts[d.Dequeue().Flow]++
+	}
+	if counts[1] != 5 || counts[2] != 5 {
+		t.Fatalf("unequal service: %v", counts)
+	}
+}
+
+func TestDRRByteFairnessUnequalSizes(t *testing.T) {
+	// Flow 1 sends 1500 B packets, flow 2 sends 300 B packets: byte
+	// shares must even out (flow 2 gets ~5 packets per flow-1 packet).
+	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 1 << 30}, QuantumBytes: 1500})
+	for i := 0; i < 200; i++ {
+		d.Enqueue(&pkt.Packet{Flow: 1, Size: 1500})
+	}
+	for i := 0; i < 1000; i++ {
+		d.Enqueue(&pkt.Packet{Flow: 2, Size: 300})
+	}
+	bytes := map[uint64]int{}
+	served := 0
+	for served < 150_000 { // drain half the backlog by bytes
+		p := d.Dequeue()
+		bytes[p.Flow] += p.Size
+		served += p.Size
+	}
+	ratio := float64(bytes[1]) / float64(bytes[2])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("byte shares skewed: %v (ratio %.2f)", bytes, ratio)
+	}
+}
+
+func TestDRRKeyByTenant(t *testing.T) {
+	d := NewDRR(DRRConfig{
+		KeyOf:        func(p *pkt.Packet) uint64 { return uint64(p.Tenant) },
+		QuantumBytes: 100,
+	})
+	// Tenant 1 has two flows, tenant 2 one: per-tenant fairness.
+	for i := 0; i < 20; i++ {
+		d.Enqueue(&pkt.Packet{Tenant: 1, Flow: uint64(i % 2), Size: 100})
+		d.Enqueue(&pkt.Packet{Tenant: 2, Flow: 9, Size: 100})
+	}
+	counts := map[pkt.TenantID]int{}
+	for i := 0; i < 20; i++ {
+		counts[d.Dequeue().Tenant]++
+	}
+	if counts[1] != 10 || counts[2] != 10 {
+		t.Fatalf("tenant shares: %v", counts)
+	}
+}
+
+func TestDRRDropWhenFull(t *testing.T) {
+	drops := 0
+	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 100, OnDrop: func(*pkt.Packet) { drops++ }}})
+	d.Enqueue(&pkt.Packet{Flow: 1, Size: 100})
+	if d.Enqueue(&pkt.Packet{Flow: 2, Size: 1}) {
+		t.Fatal("over-capacity accepted")
+	}
+	if drops != 1 {
+		t.Fatalf("drops = %d", drops)
+	}
+}
+
+func TestDRRConservationRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	drops := 0
+	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 5000, OnDrop: func(*pkt.Packet) { drops++ }}})
+	sent, recv := 0, 0
+	for i := 0; i < 2000; i++ {
+		d.Enqueue(&pkt.Packet{Flow: uint64(rng.Intn(8)), Size: 50 + rng.Intn(200)})
+		sent++
+		if rng.Intn(2) == 0 && d.Dequeue() != nil {
+			recv++
+		}
+	}
+	for d.Dequeue() != nil {
+		recv++
+	}
+	if sent != recv+drops {
+		t.Fatalf("conservation: sent=%d recv=%d drops=%d", sent, recv, drops)
+	}
+	if d.Len() != 0 || d.Bytes() != 0 {
+		t.Fatalf("drained DRR not empty: %s", d)
+	}
+}
+
+func BenchmarkDRR(b *testing.B) {
+	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 1 << 30}})
+	rng := rand.New(rand.NewSource(1))
+	p := &pkt.Packet{Size: 1500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Flow = uint64(rng.Intn(64))
+		d.Enqueue(p)
+		if d.Len() > 512 {
+			d.Dequeue()
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+)
+
+// QueueMapper assigns a packet to one of n strict-priority queues
+// (0 = highest priority). Mappers are synthesized by QVISOR's deployment
+// layer (§3.4: "we can map traffic from T1 to the three highest-priority
+// queues, and traffic from T2 and T3 to the two lowest-priority queues").
+type QueueMapper func(p *pkt.Packet) int
+
+// MQ is a bank of strict-priority FIFO queues — the scheduler shape exposed
+// by commodity switch ASICs. Dequeue always serves the lowest-index
+// non-empty queue. Each queue gets an equal share of the configured buffer.
+type MQ struct {
+	cfg    Config
+	mapper QueueMapper
+	queues []ring
+	qbytes []int
+	bytes  int
+	n      int
+	stats  Stats
+	// lastRank tracks the rank of the most recent dequeue for inversion
+	// accounting.
+	lastRank    int64
+	hasLast     bool
+	perQueueCap int
+}
+
+// NewMQ returns a bank of n strict-priority FIFO queues using mapper to
+// direct arrivals. It panics if n < 1 or mapper is nil.
+func NewMQ(cfg Config, n int, mapper QueueMapper) *MQ {
+	if n < 1 {
+		panic(fmt.Sprintf("sched: NewMQ with n=%d", n))
+	}
+	if mapper == nil {
+		panic("sched: NewMQ with nil mapper")
+	}
+	return &MQ{
+		cfg:         cfg,
+		mapper:      mapper,
+		queues:      make([]ring, n),
+		qbytes:      make([]int, n),
+		n:           n,
+		perQueueCap: cfg.capacity() / n,
+	}
+}
+
+// Name implements Scheduler.
+func (q *MQ) Name() string { return fmt.Sprintf("mq%d", q.n) }
+
+// NumQueues returns the number of priority queues.
+func (q *MQ) NumQueues() int { return q.n }
+
+// Len implements Scheduler.
+func (q *MQ) Len() int {
+	total := 0
+	for i := range q.queues {
+		total += q.queues[i].n
+	}
+	return total
+}
+
+// Bytes implements Scheduler.
+func (q *MQ) Bytes() int { return q.bytes }
+
+// QueueLen returns the packet count of queue i.
+func (q *MQ) QueueLen(i int) int { return q.queues[i].n }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (q *MQ) Stats() Stats { return q.stats }
+
+// Enqueue implements Scheduler. The mapper chooses the queue; out-of-range
+// indices clamp to the extremes. A full queue tail-drops.
+func (q *MQ) Enqueue(p *pkt.Packet) bool {
+	i := q.mapper(p)
+	if i < 0 {
+		i = 0
+	}
+	if i >= q.n {
+		i = q.n - 1
+	}
+	if q.qbytes[i]+p.Size > q.perQueueCap {
+		q.stats.Dropped++
+		q.cfg.drop(p)
+		return false
+	}
+	q.queues[i].push(p)
+	q.qbytes[i] += p.Size
+	q.bytes += p.Size
+	q.stats.Enqueued++
+	return true
+}
+
+// Dequeue implements Scheduler: strict priority across queues.
+func (q *MQ) Dequeue() *pkt.Packet {
+	for i := range q.queues {
+		if q.queues[i].n == 0 {
+			continue
+		}
+		p := q.queues[i].pop()
+		q.qbytes[i] -= p.Size
+		q.bytes -= p.Size
+		q.stats.Dequeued++
+		q.noteDequeue(p.Rank)
+		return p
+	}
+	return nil
+}
+
+// noteDequeue counts rank inversions: a dequeue whose rank exceeds a rank
+// still queued anywhere. For efficiency we approximate with the classic
+// "scheduled after a better packet arrived earlier" check against the
+// minimum queued rank.
+func (q *MQ) noteDequeue(rank int64) {
+	if min, ok := q.minQueuedRank(); ok && rank > min {
+		q.stats.Inversion++
+	}
+}
+
+func (q *MQ) minQueuedRank() (int64, bool) {
+	found := false
+	var min int64
+	for i := range q.queues {
+		r := &q.queues[i]
+		for j := 0; j < r.n; j++ {
+			p := r.buf[(r.head+j)%len(r.buf)]
+			if !found || p.Rank < min {
+				min = p.Rank
+				found = true
+			}
+		}
+	}
+	return min, found
+}

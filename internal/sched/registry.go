@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Factory builds a scheduler from a Config. Factories let experiment
+// harnesses and CLI tools select schedulers by name.
+type Factory func(cfg Config) Scheduler
+
+var factories = map[string]Factory{
+	"pifo": func(cfg Config) Scheduler { return NewPIFO(cfg) },
+	"fifo": func(cfg Config) Scheduler { return NewFIFO(cfg) },
+	"aifo": func(cfg Config) Scheduler { return NewAIFO(AIFOConfig{Config: cfg}) },
+	"drr":  func(cfg Config) Scheduler { return NewDRR(DRRConfig{Config: cfg}) },
+}
+
+// New builds a scheduler by name. Recognized names:
+//
+//	pifo              ideal push-in first-out queue
+//	fifo              single tail-drop FIFO
+//	aifo              admission-controlled FIFO
+//	drr               deficit round robin, keyed by flow
+//	sppifo:N          SP-PIFO over N strict-priority queues
+//	calendar:N:W      calendar queue, N buckets of rank width W
+//
+// Unknown names return an error listing the choices.
+func New(name string, cfg Config) (Scheduler, error) {
+	if f, ok := factories[name]; ok {
+		return f(cfg), nil
+	}
+	parts := strings.Split(name, ":")
+	switch parts[0] {
+	case "sppifo":
+		if len(parts) == 2 {
+			n, err := strconv.Atoi(parts[1])
+			if err == nil && n >= 1 {
+				return NewSPPIFO(cfg, n), nil
+			}
+		}
+		return nil, fmt.Errorf("sched: bad sppifo spec %q (want sppifo:N)", name)
+	case "calendar":
+		if len(parts) == 3 {
+			n, err1 := strconv.Atoi(parts[1])
+			w, err2 := strconv.ParseInt(parts[2], 10, 64)
+			if err1 == nil && err2 == nil && n >= 1 && w >= 1 {
+				return NewCalendar(cfg, n, w), nil
+			}
+		}
+		return nil, fmt.Errorf("sched: bad calendar spec %q (want calendar:N:W)", name)
+	}
+	return nil, fmt.Errorf("sched: unknown scheduler %q (choices: %s, sppifo:N, calendar:N:W)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names lists the registered simple scheduler names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,82 @@
+// Package sched implements the packet schedulers QVISOR targets: the ideal
+// PIFO queue the paper assumes as the tenant-facing abstraction (§2, §3),
+// and the "existing schedulers" of §3.4 — FIFO queues, banks of
+// strict-priority FIFO queues, and published PIFO approximations that run on
+// commodity switches (SP-PIFO, AIFO, calendar queues).
+//
+// All schedulers share the Scheduler interface: Enqueue offers a packet
+// (which may be dropped), Dequeue returns the next packet to transmit.
+// Lower rank means higher priority throughout.
+package sched
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+)
+
+// Scheduler is an egress queueing discipline for one output port.
+//
+// Implementations are not safe for concurrent use; the simulator is
+// single-threaded per the discrete-event engine.
+type Scheduler interface {
+	// Enqueue offers p to the scheduler. It returns false when p was
+	// dropped (buffer overflow or admission control). The scheduler may
+	// instead evict an already-queued packet; evictions are reported via
+	// the drop callback, not the return value.
+	Enqueue(p *pkt.Packet) bool
+	// Dequeue removes and returns the next packet, or nil when empty.
+	Dequeue() *pkt.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+	// Name returns a short identifier for logs and experiment output.
+	Name() string
+}
+
+// DropFn observes packets dropped by a scheduler (on arrival or by
+// eviction). It may be nil.
+type DropFn func(p *pkt.Packet)
+
+// Stats counts scheduler activity, shared by all implementations.
+type Stats struct {
+	Enqueued  uint64 // packets accepted
+	Dequeued  uint64 // packets transmitted
+	Dropped   uint64 // packets rejected on arrival
+	Evicted   uint64 // queued packets removed to admit better ones
+	Inversion uint64 // dequeues that violated global rank order (approximations)
+}
+
+// String summarizes the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("enq=%d deq=%d drop=%d evict=%d inv=%d",
+		s.Enqueued, s.Dequeued, s.Dropped, s.Evicted, s.Inversion)
+}
+
+// Config carries the knobs common to every scheduler.
+type Config struct {
+	// CapacityBytes bounds the total queued bytes. Zero means a default of
+	// DefaultCapacityBytes.
+	CapacityBytes int
+	// OnDrop, if non-nil, is invoked for every dropped or evicted packet.
+	OnDrop DropFn
+}
+
+// DefaultCapacityBytes is the per-port buffer used when Config.CapacityBytes
+// is zero: roughly 100 full-size packets, a typical shallow-buffer setting
+// in pFabric-style evaluations.
+const DefaultCapacityBytes = 150 * 1000
+
+func (c Config) capacity() int {
+	if c.CapacityBytes <= 0 {
+		return DefaultCapacityBytes
+	}
+	return c.CapacityBytes
+}
+
+func (c Config) drop(p *pkt.Packet) {
+	if c.OnDrop != nil {
+		c.OnDrop(p)
+	}
+}

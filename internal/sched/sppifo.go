@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+
+	"qvisor/internal/pkt"
+)
+
+// SPPIFO approximates a PIFO on a bank of strict-priority FIFO queues using
+// the SP-PIFO push-up/push-down adaptation (Alcoz et al., NSDI 2020) —
+// reference [3] of the QVISOR paper and one of the "existing schedulers"
+// QVISOR targets in §3.4.
+//
+// Each queue i keeps a bound q[i], the rank of the last packet mapped to
+// it. An arriving packet scans from the lowest-priority queue towards the
+// highest and joins the first queue whose bound does not exceed its rank,
+// pushing the bound up to its rank. If even the highest-priority queue's
+// bound exceeds the rank (an inversion), the packet joins that queue and
+// every bound is decreased by the magnitude of the inversion (push-down).
+type SPPIFO struct {
+	cfg    Config
+	queues []ring
+	qbytes []int
+	bounds []int64
+	bytes  int
+	n      int
+	stats  Stats
+}
+
+// NewSPPIFO returns an SP-PIFO with n strict-priority queues. It panics if
+// n < 1.
+func NewSPPIFO(cfg Config, n int) *SPPIFO {
+	if n < 1 {
+		panic(fmt.Sprintf("sched: NewSPPIFO with n=%d", n))
+	}
+	return &SPPIFO{
+		cfg:    cfg,
+		queues: make([]ring, n),
+		qbytes: make([]int, n),
+		bounds: make([]int64, n),
+		n:      n,
+	}
+}
+
+// Name implements Scheduler.
+func (q *SPPIFO) Name() string { return fmt.Sprintf("sppifo%d", q.n) }
+
+// NumQueues returns the number of priority queues.
+func (q *SPPIFO) NumQueues() int { return q.n }
+
+// Len implements Scheduler.
+func (q *SPPIFO) Len() int {
+	total := 0
+	for i := range q.queues {
+		total += q.queues[i].n
+	}
+	return total
+}
+
+// Bytes implements Scheduler.
+func (q *SPPIFO) Bytes() int { return q.bytes }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (q *SPPIFO) Stats() Stats { return q.stats }
+
+// Bound returns queue i's current rank bound (for tests and inspection).
+func (q *SPPIFO) Bound(i int) int64 { return q.bounds[i] }
+
+// Enqueue implements Scheduler using the SP-PIFO mapping algorithm.
+func (q *SPPIFO) Enqueue(p *pkt.Packet) bool {
+	if q.bytes+p.Size > q.cfg.capacity() {
+		q.stats.Dropped++
+		q.cfg.drop(p)
+		return false
+	}
+	// Scan from the lowest-priority queue (highest index) towards the
+	// highest-priority queue (index 0).
+	for i := q.n - 1; i >= 0; i-- {
+		if q.bounds[i] <= p.Rank {
+			q.bounds[i] = p.Rank
+			q.put(i, p)
+			return true
+		}
+	}
+	// Inversion: even queue 0's bound exceeds the rank. Enqueue at the
+	// top and push all bounds down by the inversion magnitude.
+	cost := q.bounds[0] - p.Rank
+	q.stats.Inversion++
+	for i := range q.bounds {
+		q.bounds[i] -= cost
+	}
+	q.put(0, p)
+	return true
+}
+
+func (q *SPPIFO) put(i int, p *pkt.Packet) {
+	q.queues[i].push(p)
+	q.qbytes[i] += p.Size
+	q.bytes += p.Size
+	q.stats.Enqueued++
+}
+
+// Dequeue implements Scheduler: strict priority across the queue bank.
+func (q *SPPIFO) Dequeue() *pkt.Packet {
+	for i := range q.queues {
+		if q.queues[i].n == 0 {
+			continue
+		}
+		p := q.queues[i].pop()
+		q.qbytes[i] -= p.Size
+		q.bytes -= p.Size
+		q.stats.Dequeued++
+		return p
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It is the execution substrate for the packet-level network simulator in
+// internal/netsim, playing the role that Netbench's event loop plays in the
+// QVISOR paper's evaluation. Events are ordered by (time, sequence number),
+// so two runs with identical inputs produce identical schedules.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+//
+// Nanosecond granularity is sufficient for the link speeds the paper uses:
+// on a 1 Gbps link one bit lasts exactly 1 ns, and a 1500 B frame 12 µs.
+type Time int64
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulated time.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a simulated time span to a wall-clock time.Duration
+// (both are nanosecond counts).
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event func(now Time)
+
+// item is a scheduled event in the priority queue.
+type item struct {
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   Event
+	idx  int // heap index, -1 once popped or cancelled
+	dead bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Returns true if the event was pending.
+func (h Handle) Cancel() bool {
+	if h.it == nil || h.it.dead {
+		return false
+	}
+	h.it.dead = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.it != nil && !h.it.dead }
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// all scheduling must happen from event callbacks or before Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns an engine with simulated time starting at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// ErrPastEvent is returned by At when scheduling before the current time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute time at. It panics if at precedes the
+// current simulated time, since that would violate causality.
+func (e *Engine) At(at Time, fn Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: At(%v) before now=%v: %v", at, e.now, ErrPastEvent))
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, it)
+	return Handle{it}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After(%v) negative delay", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue empties, the horizon is
+// passed, or Stop is called. Events scheduled exactly at the horizon run.
+// It returns the simulated time of the last event executed.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		it := heap.Pop(&e.heap).(*item)
+		if it.dead {
+			continue
+		}
+		if it.at > horizon {
+			// Beyond the horizon: put the event back (a later Run with a
+			// larger horizon resumes it) and stop at the horizon.
+			heap.Push(&e.heap, it)
+			e.now = horizon
+			return e.now
+		}
+		e.now = it.at
+		it.dead = true
+		e.fired++
+		it.fn(e.now)
+	}
+	return e.now
+}
+
+// Step executes exactly one pending live event, returning false when none
+// remain. Useful for tests that need fine-grained control.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		it := heap.Pop(&e.heap).(*item)
+		if it.dead {
+			continue
+		}
+		e.now = it.at
+		it.dead = true
+		e.fired++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+// Package stats collects flow-completion-time statistics, binned by flow
+// size the way the paper's Figure 4 reports them: mean FCT for small flows
+// (0, 100 KB) and for large flows [1 MB, ∞).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qvisor/internal/sim"
+)
+
+// FlowRecord is one completed (or failed) flow.
+type FlowRecord struct {
+	// ID is the flow identifier.
+	ID uint64
+	// Tenant is the owning tenant's name.
+	Tenant string
+	// Size is the flow size in bytes.
+	Size int64
+	// Start and End delimit the flow's lifetime; FCT = End - Start.
+	Start, End sim.Time
+	// MetDeadline reports whether a deadline-constrained flow finished in
+	// time (meaningless when Deadline is zero).
+	Deadline    sim.Time
+	MetDeadline bool
+}
+
+// FCT returns the flow completion time.
+func (r FlowRecord) FCT() sim.Time { return r.End - r.Start }
+
+// Figure-4 size bins.
+const (
+	// SmallFlowMax is the upper edge of the paper's small-flow bin.
+	SmallFlowMax = 100 * 1000
+	// LargeFlowMin is the lower edge of the paper's large-flow bin.
+	LargeFlowMin = 1000 * 1000
+)
+
+// Collector accumulates flow records.
+type Collector struct {
+	records []FlowRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records a completed flow.
+func (c *Collector) Add(r FlowRecord) { c.records = append(c.records, r) }
+
+// Len returns the number of recorded flows.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns all records (not a copy; callers must not mutate).
+func (c *Collector) Records() []FlowRecord { return c.records }
+
+// Filter returns the records matching the predicate.
+func (c *Collector) Filter(keep func(FlowRecord) bool) []FlowRecord {
+	var out []FlowRecord
+	for _, r := range c.records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Tenant returns records belonging to the named tenant.
+func (c *Collector) Tenant(name string) []FlowRecord {
+	return c.Filter(func(r FlowRecord) bool { return r.Tenant == name })
+}
+
+// Summary describes the FCT distribution of a set of flows.
+type Summary struct {
+	// Count is the number of flows.
+	Count int
+	// Mean, P50, P95, P99, Max are FCT statistics.
+	Mean sim.Time
+	P50  sim.Time
+	P95  sim.Time
+	P99  sim.Time
+	Max  sim.Time
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Summarize computes FCT statistics over the given records.
+func Summarize(records []FlowRecord) Summary {
+	if len(records) == 0 {
+		return Summary{}
+	}
+	fcts := make([]sim.Time, len(records))
+	var total float64
+	for i, r := range records {
+		fcts[i] = r.FCT()
+		total += float64(r.FCT())
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	pct := func(p float64) sim.Time {
+		i := int(math.Ceil(p*float64(len(fcts)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(fcts) {
+			i = len(fcts) - 1
+		}
+		return fcts[i]
+	}
+	return Summary{
+		Count: len(records),
+		Mean:  sim.Time(total / float64(len(records))),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   fcts[len(fcts)-1],
+	}
+}
+
+// SizeBin selects one of the paper's flow-size bins.
+type SizeBin int
+
+const (
+	// AllFlows places no size restriction.
+	AllFlows SizeBin = iota
+	// SmallFlows is (0, 100 KB) — Figure 4a.
+	SmallFlows
+	// LargeFlows is [1 MB, ∞) — Figure 4b.
+	LargeFlows
+)
+
+// String implements fmt.Stringer.
+func (b SizeBin) String() string {
+	switch b {
+	case AllFlows:
+		return "all"
+	case SmallFlows:
+		return "(0,100KB)"
+	case LargeFlows:
+		return "[1MB,inf)"
+	default:
+		return fmt.Sprintf("bin(%d)", int(b))
+	}
+}
+
+// Match reports whether a flow size falls in the bin.
+func (b SizeBin) Match(size int64) bool {
+	switch b {
+	case SmallFlows:
+		return size > 0 && size < SmallFlowMax
+	case LargeFlows:
+		return size >= LargeFlowMin
+	default:
+		return true
+	}
+}
+
+// BinSummary summarizes the named tenant's flows restricted to a size bin.
+func (c *Collector) BinSummary(tenant string, bin SizeBin) Summary {
+	return Summarize(c.Filter(func(r FlowRecord) bool {
+		return r.Tenant == tenant && bin.Match(r.Size)
+	}))
+}
+
+// DeadlineMetFraction returns the fraction of deadline-constrained flows of
+// the tenant that met their deadline, and the number of such flows.
+func (c *Collector) DeadlineMetFraction(tenant string) (float64, int) {
+	met, total := 0, 0
+	for _, r := range c.records {
+		if r.Tenant != tenant || r.Deadline == 0 {
+			continue
+		}
+		total++
+		if r.MetDeadline {
+			met++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(met) / float64(total), total
+}

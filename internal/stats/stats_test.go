@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"testing"
+
+	"qvisor/internal/sim"
+)
+
+func rec(id uint64, tenant string, size int64, fct sim.Time) FlowRecord {
+	return FlowRecord{ID: id, Tenant: tenant, Size: size, Start: 0, End: fct}
+}
+
+func TestFCT(t *testing.T) {
+	r := FlowRecord{Start: 100, End: 350}
+	if r.FCT() != 250 {
+		t.Fatalf("FCT = %v", r.FCT())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var records []FlowRecord
+	for i := 1; i <= 100; i++ {
+		records = append(records, rec(uint64(i), "a", 10, sim.Time(i)))
+	}
+	s := Summarize(records)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != sim.Time(50) { // mean of 1..100 = 50.5, truncated
+		t.Fatalf("mean = %v, want 50", s.Mean)
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Fatalf("percentiles wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]FlowRecord{rec(1, "a", 10, 42)})
+	if s.Count != 1 || s.Mean != 42 || s.P50 != 42 || s.P99 != 42 || s.Max != 42 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSizeBins(t *testing.T) {
+	cases := []struct {
+		bin   SizeBin
+		size  int64
+		match bool
+	}{
+		{SmallFlows, 1, true},
+		{SmallFlows, 99999, true},
+		{SmallFlows, 100000, false},
+		{SmallFlows, 0, false},
+		{LargeFlows, 999999, false},
+		{LargeFlows, 1000000, true},
+		{LargeFlows, 1 << 40, true},
+		{AllFlows, 0, true},
+		{AllFlows, 1 << 40, true},
+	}
+	for _, c := range cases {
+		if got := c.bin.Match(c.size); got != c.match {
+			t.Errorf("%v.Match(%d) = %v, want %v", c.bin, c.size, got, c.match)
+		}
+	}
+}
+
+func TestSizeBinString(t *testing.T) {
+	for b, want := range map[SizeBin]string{
+		AllFlows: "all", SmallFlows: "(0,100KB)", LargeFlows: "[1MB,inf)",
+		SizeBin(9): "bin(9)",
+	} {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+}
+
+func TestCollectorFiltering(t *testing.T) {
+	c := NewCollector()
+	c.Add(rec(1, "pfabric", 50000, 10))   // small
+	c.Add(rec(2, "pfabric", 2000000, 99)) // large
+	c.Add(rec(3, "edf", 50000, 5))
+	if c.Len() != 3 || len(c.Records()) != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if got := len(c.Tenant("pfabric")); got != 2 {
+		t.Fatalf("tenant filter = %d", got)
+	}
+	small := c.BinSummary("pfabric", SmallFlows)
+	if small.Count != 1 || small.Mean != 10 {
+		t.Fatalf("small bin = %+v", small)
+	}
+	large := c.BinSummary("pfabric", LargeFlows)
+	if large.Count != 1 || large.Mean != 99 {
+		t.Fatalf("large bin = %+v", large)
+	}
+	if all := c.BinSummary("pfabric", AllFlows); all.Count != 2 {
+		t.Fatalf("all bin = %+v", all)
+	}
+}
+
+func TestDeadlineMetFraction(t *testing.T) {
+	c := NewCollector()
+	c.Add(FlowRecord{ID: 1, Tenant: "edf", Deadline: 100, MetDeadline: true})
+	c.Add(FlowRecord{ID: 2, Tenant: "edf", Deadline: 100, MetDeadline: false})
+	c.Add(FlowRecord{ID: 3, Tenant: "edf", Deadline: 100, MetDeadline: true})
+	c.Add(FlowRecord{ID: 4, Tenant: "edf"}) // no deadline: excluded
+	c.Add(FlowRecord{ID: 5, Tenant: "other", Deadline: 100, MetDeadline: true})
+	frac, n := c.DeadlineMetFraction("edf")
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	if frac < 0.66 || frac > 0.67 {
+		t.Fatalf("frac = %v, want 2/3", frac)
+	}
+	if _, n := c.DeadlineMetFraction("none"); n != 0 {
+		t.Fatal("unknown tenant should have 0 deadline flows")
+	}
+}

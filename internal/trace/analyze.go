@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"qvisor/internal/sim"
+)
+
+// TenantLatency summarizes one tenant's end-to-end packet latency from a
+// recorded trace: emit→deliver matched by packet ID.
+type TenantLatency struct {
+	// Tenant is the tenant label.
+	Tenant uint16
+	// Delivered counts matched emit/deliver pairs.
+	Delivered int
+	// Dropped counts emitted packets with a recorded drop.
+	Dropped int
+	// Lost counts emitted packets with neither delivery nor drop (still
+	// in flight when the trace ended).
+	Lost int
+	// Mean, P50, P99 are one-way latency statistics.
+	Mean, P50, P99 sim.Time
+}
+
+// Analysis is the result of replaying a trace.
+type Analysis struct {
+	// Events counts trace lines consumed.
+	Events int
+	// Tenants holds per-tenant summaries, sorted by tenant label.
+	Tenants []TenantLatency
+}
+
+// Analyze reads a JSON-lines trace and computes per-tenant latency
+// statistics. Unknown event kinds are ignored; malformed lines are an
+// error.
+func Analyze(r io.Reader) (*Analysis, error) {
+	type pending struct {
+		tenant uint16
+		at     int64
+	}
+	emits := make(map[uint64]pending)
+	type acc struct {
+		lat     []sim.Time
+		dropped int
+	}
+	tenants := make(map[uint16]*acc)
+	get := func(t uint16) *acc {
+		a, ok := tenants[t]
+		if !ok {
+			a = &acc{}
+			tenants[t] = a
+		}
+		return a
+	}
+
+	an := &Analysis{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", an.Events+1, err)
+		}
+		an.Events++
+		switch e.Kind {
+		case "emit":
+			emits[e.ID] = pending{tenant: e.Tenant, at: e.TimeNs}
+		case "deliver":
+			if p, ok := emits[e.ID]; ok {
+				get(p.tenant).lat = append(get(p.tenant).lat, sim.Time(e.TimeNs-p.at))
+				delete(emits, e.ID)
+			}
+		case "drop":
+			if p, ok := emits[e.ID]; ok {
+				get(p.tenant).dropped++
+				delete(emits, e.ID)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// In-flight at trace end.
+	lost := make(map[uint16]int)
+	for _, p := range emits {
+		lost[p.tenant]++
+	}
+
+	ids := make([]uint16, 0, len(tenants))
+	for t := range tenants {
+		ids = append(ids, t)
+	}
+	for t := range lost {
+		if _, ok := tenants[t]; !ok {
+			ids = append(ids, t)
+			tenants[t] = &acc{}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, t := range ids {
+		a := tenants[t]
+		tl := TenantLatency{
+			Tenant:    t,
+			Delivered: len(a.lat),
+			Dropped:   a.dropped,
+			Lost:      lost[t],
+		}
+		if len(a.lat) > 0 {
+			sort.Slice(a.lat, func(i, j int) bool { return a.lat[i] < a.lat[j] })
+			var sum float64
+			for _, l := range a.lat {
+				sum += float64(l)
+			}
+			tl.Mean = sim.Time(sum / float64(len(a.lat)))
+			tl.P50 = a.lat[len(a.lat)/2]
+			tl.P99 = a.lat[(len(a.lat)*99)/100]
+		}
+		an.Tenants = append(an.Tenants, tl)
+	}
+	return an, nil
+}
+
+// WriteReport renders the analysis as a table.
+func (an *Analysis) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "%d events\n", an.Events)
+	fmt.Fprintf(w, "tenant  delivered  dropped  lost   mean         p50          p99\n")
+	for _, t := range an.Tenants {
+		fmt.Fprintf(w, "%-7d %-10d %-8d %-6d %-12v %-12v %-12v\n",
+			t.Tenant, t.Delivered, t.Dropped, t.Lost, t.Mean, t.P50, t.P99)
+	}
+}

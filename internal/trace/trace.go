@@ -1,0 +1,101 @@
+// Package trace records packet-level event traces from the simulator as
+// JSON lines, for debugging scheduling behaviour and feeding external
+// analysis (each line is one event; streams compress and grep well).
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/sim"
+)
+
+// Event is one recorded packet event.
+type Event struct {
+	// TimeNs is the simulated time in nanoseconds.
+	TimeNs int64 `json:"t"`
+	// Kind is the event type: "emit", "deliver", "drop".
+	Kind string `json:"kind"`
+	// Where locates the event ("host3", "leaf0→spine1").
+	Where string `json:"where,omitempty"`
+	// Packet identity and labels.
+	ID      uint64 `json:"id"`
+	Flow    uint64 `json:"flow"`
+	Tenant  uint16 `json:"tenant"`
+	Rank    int64  `json:"rank"`
+	Size    int    `json:"size"`
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	PktKind string `json:"pkt_kind"`
+	Retx    bool   `json:"retx,omitempty"`
+}
+
+// Options tune what gets recorded.
+type Options struct {
+	// FlowSample records only flows whose ID satisfies
+	// flow % FlowSample == 0. Zero or one records every flow.
+	FlowSample uint64
+	// Kinds restricts recording to the listed event kinds (nil = all).
+	Kinds []string
+}
+
+// Recorder writes events as JSON lines. Safe for use from a single
+// simulation goroutine; the mutex only guards against accidental misuse.
+type Recorder struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	opts  Options
+	kinds map[string]bool
+	count uint64
+}
+
+// NewRecorder writes events to w.
+func NewRecorder(w io.Writer, opts Options) *Recorder {
+	r := &Recorder{enc: json.NewEncoder(w), opts: opts}
+	if opts.Kinds != nil {
+		r.kinds = make(map[string]bool, len(opts.Kinds))
+		for _, k := range opts.Kinds {
+			r.kinds[k] = true
+		}
+	}
+	return r
+}
+
+// Count returns the number of events written.
+func (r *Recorder) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Record writes one event if it passes the filters.
+func (r *Recorder) Record(now sim.Time, kind, where string, p *pkt.Packet) {
+	if r == nil {
+		return
+	}
+	if s := r.opts.FlowSample; s > 1 && p.Flow%s != 0 {
+		return
+	}
+	if r.kinds != nil && !r.kinds[kind] {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = r.enc.Encode(Event{
+		TimeNs:  int64(now),
+		Kind:    kind,
+		Where:   where,
+		ID:      p.ID,
+		Flow:    p.Flow,
+		Tenant:  uint16(p.Tenant),
+		Rank:    p.Rank,
+		Size:    p.Size,
+		Src:     p.Src,
+		Dst:     p.Dst,
+		PktKind: p.Kind.String(),
+		Retx:    p.Retx,
+	})
+	r.count++
+}

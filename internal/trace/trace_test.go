@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"qvisor/internal/pkt"
+)
+
+func TestRecorderWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, Options{})
+	p := &pkt.Packet{ID: 1, Flow: 2, Tenant: 3, Rank: 4, Size: 100, Src: 0, Dst: 5, Kind: pkt.Data}
+	r.Record(1000, "emit", "host0", p)
+	r.Record(2000, "deliver", "host5", p)
+	if r.Count() != 2 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSON line: %v", err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("lines = %d", len(events))
+	}
+	if events[0].Kind != "emit" || events[0].TimeNs != 1000 || events[0].Where != "host0" {
+		t.Fatalf("first event: %+v", events[0])
+	}
+	if events[1].Kind != "deliver" || events[1].Flow != 2 || events[1].PktKind != "data" {
+		t.Fatalf("second event: %+v", events[1])
+	}
+}
+
+func TestFlowSampling(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, Options{FlowSample: 4})
+	for flow := uint64(0); flow < 16; flow++ {
+		r.Record(0, "emit", "", &pkt.Packet{Flow: flow})
+	}
+	if r.Count() != 4 { // flows 0, 4, 8, 12
+		t.Fatalf("sampled count = %d, want 4", r.Count())
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, Options{Kinds: []string{"drop"}})
+	p := &pkt.Packet{Flow: 1}
+	r.Record(0, "emit", "", p)
+	r.Record(0, "drop", "leaf0", p)
+	if r.Count() != 1 {
+		t.Fatalf("filtered count = %d, want 1", r.Count())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, "emit", "", &pkt.Packet{}) // must not panic
+}
+
+func TestAnalyze(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, Options{})
+	// Tenant 1: two delivered packets (latency 100 and 300), one dropped.
+	r.Record(0, "emit", "host0", &pkt.Packet{ID: 1, Tenant: 1})
+	r.Record(100, "deliver", "host1", &pkt.Packet{ID: 1, Tenant: 1})
+	r.Record(0, "emit", "host0", &pkt.Packet{ID: 2, Tenant: 1})
+	r.Record(300, "deliver", "host1", &pkt.Packet{ID: 2, Tenant: 1})
+	r.Record(50, "emit", "host0", &pkt.Packet{ID: 3, Tenant: 1})
+	r.Record(60, "drop", "leaf0", &pkt.Packet{ID: 3, Tenant: 1})
+	// Tenant 2: one still in flight at trace end.
+	r.Record(10, "emit", "host2", &pkt.Packet{ID: 4, Tenant: 2})
+
+	an, err := Analyze(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Events != 7 {
+		t.Fatalf("events = %d", an.Events)
+	}
+	if len(an.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(an.Tenants))
+	}
+	t1 := an.Tenants[0]
+	if t1.Tenant != 1 || t1.Delivered != 2 || t1.Dropped != 1 || t1.Lost != 0 {
+		t.Fatalf("tenant 1: %+v", t1)
+	}
+	if t1.Mean != 200 || t1.P50 != 300 || t1.P99 != 300 {
+		t.Fatalf("tenant 1 latency: %+v", t1)
+	}
+	t2 := an.Tenants[1]
+	if t2.Tenant != 2 || t2.Lost != 1 || t2.Delivered != 0 {
+		t.Fatalf("tenant 2: %+v", t2)
+	}
+	var rep bytes.Buffer
+	an.WriteReport(&rep)
+	if rep.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestAnalyzeMalformed(t *testing.T) {
+	if _, err := Analyze(bytes.NewBufferString("{bad json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	// Empty input is fine.
+	an, err := Analyze(bytes.NewBufferString(""))
+	if err != nil || an.Events != 0 {
+		t.Fatalf("empty trace: %v %+v", err, an)
+	}
+}

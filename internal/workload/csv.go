@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"qvisor/internal/sim"
+)
+
+// WriteCSV serializes flow specs as CSV with the header
+// start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns — the interchange
+// format for feeding externally generated traces into the simulator and
+// for inspecting generated workloads.
+func WriteCSV(w io.Writer, flows []FlowSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_ns", "src", "dst", "size", "rate_bps", "stop_ns", "deadline_ns"}); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.FormatInt(int64(f.Start), 10),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.FormatInt(f.Size, 10),
+			strconv.FormatFloat(f.Rate, 'f', -1, 64),
+			strconv.FormatInt(int64(f.Stop), 10),
+			strconv.FormatInt(int64(f.DeadlineBudget), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses flow specs written by WriteCSV (or produced externally in
+// the same format). The header row is required; column order is fixed.
+func ReadCSV(r io.Reader) ([]FlowSpec, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 7
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	if header[0] != "start_ns" {
+		return nil, fmt.Errorf("workload: unexpected CSV header %v", header)
+	}
+	var flows []FlowSpec
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		f, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d: %w", line, err)
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+func parseCSVRecord(rec []string) (FlowSpec, error) {
+	var f FlowSpec
+	start, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return f, fmt.Errorf("bad start %q", rec[0])
+	}
+	src, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return f, fmt.Errorf("bad src %q", rec[1])
+	}
+	dst, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return f, fmt.Errorf("bad dst %q", rec[2])
+	}
+	size, err := strconv.ParseInt(rec[3], 10, 64)
+	if err != nil {
+		return f, fmt.Errorf("bad size %q", rec[3])
+	}
+	rate, err := strconv.ParseFloat(rec[4], 64)
+	if err != nil {
+		return f, fmt.Errorf("bad rate %q", rec[4])
+	}
+	stop, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil {
+		return f, fmt.Errorf("bad stop %q", rec[5])
+	}
+	deadline, err := strconv.ParseInt(rec[6], 10, 64)
+	if err != nil {
+		return f, fmt.Errorf("bad deadline %q", rec[6])
+	}
+	if start < 0 || size < 0 || rate < 0 || stop < 0 || deadline < 0 {
+		return f, fmt.Errorf("negative field in record %v", rec)
+	}
+	if size == 0 && rate == 0 {
+		return f, fmt.Errorf("record %v has neither size nor rate", rec)
+	}
+	f = FlowSpec{
+		Start:          sim.Time(start),
+		Src:            src,
+		Dst:            dst,
+		Size:           size,
+		Rate:           rate,
+		Stop:           sim.Time(stop),
+		DeadlineBudget: sim.Time(deadline),
+	}
+	return f, nil
+}

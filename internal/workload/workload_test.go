@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qvisor/internal/sim"
+)
+
+func TestDataMiningShape(t *testing.T) {
+	d := DataMining()
+	// Mean ≈ 7.4 MB, matching the published data-mining workload mean.
+	if d.Mean() < 6.5e6 || d.Mean() > 8.5e6 {
+		t.Fatalf("data-mining mean = %.0f, want ~7.4e6", d.Mean())
+	}
+	rng := rand.New(rand.NewSource(1))
+	small, large, n := 0, 0, 100000
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s <= 0 {
+			t.Fatal("non-positive sample")
+		}
+		if s < 100*1000 {
+			small++
+		}
+		if s >= 1000*1000 {
+			large++
+		}
+	}
+	// ~65% of flows are under 100 KB; ~25% are at or above 1 MB.
+	if f := float64(small) / float64(n); f < 0.55 || f < 0.5 {
+		t.Fatalf("small-flow fraction = %v, want > 0.55", f)
+	}
+	if f := float64(large) / float64(n); f < 0.15 || f > 0.35 {
+		t.Fatalf("large-flow fraction = %v, want ~0.25", f)
+	}
+}
+
+func TestWebSearchShape(t *testing.T) {
+	d := WebSearch()
+	if d.Mean() < 1e6 || d.Mean() > 3e6 {
+		t.Fatalf("web-search mean = %.0f, want ~1.6e6", d.Mean())
+	}
+}
+
+func TestEmpiricalSampleMeanMatches(t *testing.T) {
+	d := DataMining()
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	n := 2_000_000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	got := sum / float64(n)
+	if math.Abs(got-d.Mean())/d.Mean() > 0.05 {
+		t.Fatalf("sample mean %.0f deviates from analytic mean %.0f", got, d.Mean())
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	cases := [][]CDFPoint{
+		{},
+		{{100, 0}},
+		{{100, 0}, {50, 1}},                // sizes not increasing
+		{{100, 0}, {200, 0.5}},             // doesn't end at 1
+		{{100, 0.1}, {200, 1}},             // doesn't start at 0
+		{{100, 0}, {200, 0.5}, {300, 0.4}}, // F not monotone
+	}
+	for i, pts := range cases {
+		if _, err := NewEmpirical("bad", pts); err == nil {
+			t.Errorf("case %d: NewEmpirical succeeded, want error", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d := DataMining()
+	s := d.Scaled(0.1)
+	if math.Abs(s.Mean()-d.Mean()*0.1)/(d.Mean()*0.1) > 0.01 {
+		t.Fatalf("scaled mean %.0f, want %.0f", s.Mean(), d.Mean()*0.1)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if s.Sample(rng) <= 0 {
+			t.Fatal("scaled sample non-positive")
+		}
+	}
+}
+
+func TestScaledTinyFactorKeepsMonotone(t *testing.T) {
+	d := DataMining()
+	s := d.Scaled(1e-7) // collapses small points; must stay strictly monotone
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		if s.Sample(rng) < 1 {
+			t.Fatal("degenerate scaled sample")
+		}
+	}
+}
+
+func TestScaledPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DataMining().Scaled(0)
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed(1500)
+	if f.Sample(nil) != 1500 || f.Mean() != 1500 || f.Name() != "fixed1500" {
+		t.Fatal("Fixed distribution wrong")
+	}
+}
+
+func TestPoissonLoadAccuracy(t *testing.T) {
+	cfg := PoissonConfig{
+		Hosts:            16,
+		Load:             0.5,
+		AccessBitsPerSec: 1e9,
+		Sizes:            Fixed(100000),
+		Horizon:          2 * sim.Second,
+		Seed:             5,
+	}
+	flows, err := Poisson(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := OfferedLoad(flows, cfg.Hosts, cfg.AccessBitsPerSec, cfg.Horizon)
+	if math.Abs(load-0.5) > 0.05 {
+		t.Fatalf("offered load = %v, want ~0.5", load)
+	}
+}
+
+func TestPoissonFlowsSortedAndValid(t *testing.T) {
+	cfg := PoissonConfig{
+		Hosts:            8,
+		Load:             0.8,
+		AccessBitsPerSec: 1e9,
+		Sizes:            DataMining().Scaled(0.01),
+		Horizon:          sim.Second,
+		Seed:             7,
+	}
+	flows, err := Poisson(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	var prev sim.Time
+	for i, f := range flows {
+		if f.Start < prev {
+			t.Fatalf("flow %d out of order", i)
+		}
+		prev = f.Start
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d has src == dst", i)
+		}
+		if f.Src < 0 || f.Src >= 8 || f.Dst < 0 || f.Dst >= 8 {
+			t.Fatalf("flow %d endpoints out of range: %+v", i, f)
+		}
+		if f.Size <= 0 {
+			t.Fatalf("flow %d non-positive size", i)
+		}
+		if f.Start > cfg.Horizon {
+			t.Fatalf("flow %d beyond horizon", i)
+		}
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	cfg := PoissonConfig{
+		Hosts: 4, Load: 0.5, AccessBitsPerSec: 1e9,
+		Sizes: Fixed(10000), Horizon: sim.Second, Seed: 42,
+	}
+	a, _ := Poisson(cfg)
+	b, _ := Poisson(cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic flow count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestPoissonErrors(t *testing.T) {
+	good := PoissonConfig{Hosts: 4, Load: 0.5, AccessBitsPerSec: 1e9, Sizes: Fixed(1), Horizon: 1}
+	cases := []func(*PoissonConfig){
+		func(c *PoissonConfig) { c.Hosts = 1 },
+		func(c *PoissonConfig) { c.Load = 0 },
+		func(c *PoissonConfig) { c.Load = 1.5 },
+		func(c *PoissonConfig) { c.AccessBitsPerSec = 0 },
+		func(c *PoissonConfig) { c.Sizes = nil },
+		func(c *PoissonConfig) { c.Horizon = 0 },
+	}
+	for i, mutate := range cases {
+		c := good
+		mutate(&c)
+		if _, err := Poisson(c); err == nil {
+			t.Errorf("case %d: Poisson succeeded, want error", i)
+		}
+	}
+}
+
+func TestCBR(t *testing.T) {
+	flows, err := CBR(CBRConfig{
+		Hosts:          144,
+		Flows:          100,
+		BitsPerSec:     0.5e9,
+		DeadlineBudget: 5 * sim.Millisecond,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 100 {
+		t.Fatalf("flows = %d, want 100", len(flows))
+	}
+	for i, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d src == dst", i)
+		}
+		if f.Rate != 0.5e9 {
+			t.Fatalf("flow %d rate %v", i, f.Rate)
+		}
+		if f.DeadlineBudget != 5*sim.Millisecond {
+			t.Fatalf("flow %d deadline budget %v", i, f.DeadlineBudget)
+		}
+	}
+}
+
+func TestCBRErrors(t *testing.T) {
+	if _, err := CBR(CBRConfig{Hosts: 1, Flows: 1, BitsPerSec: 1}); err == nil {
+		t.Fatal("1 host should fail")
+	}
+	if _, err := CBR(CBRConfig{Hosts: 4, Flows: -1}); err == nil {
+		t.Fatal("negative flows should fail")
+	}
+	if _, err := CBR(CBRConfig{Hosts: 4, Flows: 1, BitsPerSec: 0}); err == nil {
+		t.Fatal("zero rate should fail")
+	}
+	if flows, err := CBR(CBRConfig{Hosts: 4, Flows: 0}); err != nil || len(flows) != 0 {
+		t.Fatal("zero flows should succeed with empty set")
+	}
+}
+
+func TestTotalBytesAndOfferedLoadEdge(t *testing.T) {
+	flows := []FlowSpec{{Size: 100}, {Size: 200}, {Rate: 1e9}}
+	if TotalBytes(flows) != 300 {
+		t.Fatalf("TotalBytes = %d", TotalBytes(flows))
+	}
+	if !math.IsNaN(OfferedLoad(flows, 0, 1e9, sim.Second)) {
+		t.Fatal("zero hosts should yield NaN")
+	}
+}
+
+// TestPropertySampleInRange: samples never exceed the CDF's extremes.
+func TestPropertySampleInRange(t *testing.T) {
+	d := DataMining()
+	lo, hi := int64(100), int64(300000000)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			s := d.Sample(rng)
+			if s < lo || s > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDataMiningSample(b *testing.B) {
+	d := DataMining()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Sample(rng)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	flows := []FlowSpec{
+		{Start: 1000, Src: 0, Dst: 5, Size: 123456},
+		{Start: 0, Src: 3, Dst: 1, Rate: 0.5e9, Stop: 2 * sim.Second, DeadlineBudget: 5 * sim.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(flows) {
+		t.Fatalf("rows = %d", len(back))
+	}
+	for i := range flows {
+		if back[i] != flows[i] {
+			t.Fatalf("row %d: %+v != %+v", i, back[i], flows[i])
+		}
+	}
+}
+
+func TestCSVGeneratedWorkloadRoundTrip(t *testing.T) {
+	flows, err := Poisson(PoissonConfig{
+		Hosts: 8, Load: 0.5, AccessBitsPerSec: 1e9,
+		Sizes: DataMining().Scaled(0.01), Horizon: 50 * sim.Millisecond, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(flows) {
+		t.Fatalf("rows = %d vs %d", len(back), len(flows))
+	}
+	for i := range flows {
+		if back[i] != flows[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"bogus,a,b,c,d,e,f\n", // wrong header
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\nx,0,1,1,0,0,0\n",  // bad start
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,x,1,1,0,0,0\n",  // bad src
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,x,1,0,0,0\n",  // bad dst
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,1,x,0,0,0\n",  // bad size
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,1,1,x,0,0\n",  // bad rate
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,1,1,0,x,0\n",  // bad stop
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,1,1,0,0,x\n",  // bad deadline
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n-5,0,1,1,0,0,0\n", // negative
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,1,0,0,0,0\n",  // no size or rate
+		"start_ns,src,dst,size,rate_bps,stop_ns,deadline_ns\n0,0,1\n",          // short row
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: ReadCSV succeeded, want error", i)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package qvisor
+
+import (
+	"testing"
+)
+
+func TestHypervisorEndToEnd(t *testing.T) {
+	pf, err := RankerByName("pfabric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf, err := RankerByName("edf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := New([]*Tenant{
+		{ID: 1, Name: "web", Algorithm: pf},
+		{ID: 2, Name: "deadline", Algorithm: edf},
+	}, "web >> deadline", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A deadline packet enqueued before a web packet must dequeue after
+	// it: the operator gave web strict priority.
+	d := &Packet{ID: 1, Tenant: 2, Rank: 100, Size: 100}
+	w := &Packet{ID: 2, Tenant: 1, Rank: 500000, Size: 100}
+	if !hv.Enqueue(d) || !hv.Enqueue(w) {
+		t.Fatal("enqueue failed")
+	}
+	if got := hv.Dequeue(); got.ID != 2 {
+		t.Fatalf("first dequeue = packet %d, want web packet 2", got.ID)
+	}
+	if got := hv.Dequeue(); got.ID != 1 {
+		t.Fatalf("second dequeue = packet %d, want deadline packet 1", got.ID)
+	}
+	if hv.Dequeue() != nil {
+		t.Fatal("empty scheduler should return nil")
+	}
+}
+
+func TestHypervisorBackends(t *testing.T) {
+	pf, _ := RankerByName("pfabric")
+	edf, _ := RankerByName("edf")
+	tenants := func() []*Tenant {
+		return []*Tenant{
+			{ID: 1, Name: "a", Algorithm: pf},
+			{ID: 2, Name: "b", Algorithm: edf},
+		}
+	}
+	for _, b := range []Backend{BackendPIFO, BackendSPQueues, BackendSPPIFO, BackendAIFO, BackendCalendar, BackendFIFO} {
+		hv, err := New(tenants(), "a >> b", Options{Backend: b})
+		if err != nil {
+			t.Fatalf("backend %v: %v", b, err)
+		}
+		p := &Packet{Tenant: 1, Rank: 10, Size: 100}
+		if !hv.Enqueue(p) {
+			t.Fatalf("backend %v: enqueue failed", b)
+		}
+		if hv.Dequeue() == nil {
+			t.Fatalf("backend %v: packet lost", b)
+		}
+	}
+}
+
+func TestHypervisorErrors(t *testing.T) {
+	pf, _ := RankerByName("pfabric")
+	if _, err := New(nil, ">>", Options{}); err == nil {
+		t.Fatal("bad policy should fail")
+	}
+	if _, err := New([]*Tenant{{ID: 1, Name: "a", Algorithm: pf}}, "a >> ghost", Options{}); err == nil {
+		t.Fatal("undefined tenant should fail")
+	}
+	if _, err := New([]*Tenant{{ID: 1, Name: "a", Algorithm: pf}}, "a", Options{
+		Backend: Backend(99),
+	}); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+}
+
+func TestProcessRewritesRank(t *testing.T) {
+	pf, _ := RankerByName("pfabric")
+	edf, _ := RankerByName("edf")
+	hv, err := New([]*Tenant{
+		{ID: 1, Name: "a", Algorithm: pf},
+		{ID: 2, Name: "b", Algorithm: edf},
+	}, "a >> b", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := hv.Policy.TransformOf("a")
+	tb, _ := hv.Policy.TransformOf("b")
+	// All of a's outputs precede all of b's: strict isolation.
+	if ta.OutputBounds().Hi >= tb.OutputBounds().Lo {
+		t.Fatalf("bands overlap: %v vs %v", ta.OutputBounds(), tb.OutputBounds())
+	}
+	p := &Packet{Tenant: 2, Rank: 0}
+	if !hv.Process(p) {
+		t.Fatal("process failed")
+	}
+	if !tb.OutputBounds().Contains(p.Rank) {
+		t.Fatalf("rank %d outside tenant band %v", p.Rank, tb.OutputBounds())
+	}
+}
+
+func TestParsePolicyFacade(t *testing.T) {
+	spec, err := ParsePolicy("T1 >> T2 + T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Tiers) != 2 {
+		t.Fatalf("tiers = %d", len(spec.Tiers))
+	}
+	if _, err := ParsePolicy("++"); err == nil {
+		t.Fatal("bad policy should fail")
+	}
+}
+
+func TestNewSchedulerFacade(t *testing.T) {
+	s, err := NewScheduler("sppifo:4", SchedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sppifo4" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if _, err := NewScheduler("nope", SchedConfig{}); err == nil {
+		t.Fatal("unknown scheduler should fail")
+	}
+}
+
+func TestControllerFacade(t *testing.T) {
+	pf, _ := RankerByName("pfabric")
+	spec, _ := ParsePolicy("a")
+	ctl, pp, err := NewController([]*Tenant{{ID: 1, Name: "a", Algorithm: pf}}, spec, ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Version() != 1 || pp.Policy() == nil {
+		t.Fatal("controller not initialized")
+	}
+}
+
+func TestFacadeComposite(t *testing.T) {
+	fq, _ := RankerByName("fq")
+	pf, _ := RankerByName("pfabric")
+	c, err := NewComposite(1024, []Ranker{fq, pf}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Flow{ID: 1, Size: 1000}
+	if r := c.Rank(0, f, 100); !c.Bounds().Contains(r) {
+		t.Fatalf("composite rank %d outside bounds", r)
+	}
+}
+
+func TestFacadePIFOTree(t *testing.T) {
+	tree, err := NewHPFQ(SchedConfig{}, []string{"a", "b"}, func(p *Packet) string {
+		if p.Tenant == 1 {
+			return "a"
+		}
+		return "b"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Enqueue(&Packet{Tenant: 1, Flow: 1, Size: 10})
+	tree.Enqueue(&Packet{Tenant: 2, Flow: 2, Size: 10})
+	if tree.Dequeue() == nil || tree.Dequeue() == nil {
+		t.Fatal("tree lost packets")
+	}
+	t2 := NewPIFOTree(SchedConfig{}, nil, func(*Packet) string { return "x" })
+	if err := t2.AddLeaf("root", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !t2.Enqueue(&Packet{Size: 1}) {
+		t.Fatal("plain tree rejected packet")
+	}
+}
+
+func TestFacadeFabricPlan(t *testing.T) {
+	pf, _ := RankerByName("pfabric")
+	edf, _ := RankerByName("edf")
+	hv, err := New([]*Tenant{
+		{ID: 1, Name: "a", Algorithm: pf},
+		{ID: 2, Name: "b", Algorithm: edf},
+	}, "a >> b", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := PlanFabric(hv.Policy, []Device{
+		{Name: "leaf0", Role: "leaf", Target: Target{Name: "pifo", Sorted: true, RankRewrite: true}},
+		{Name: "spine0", Role: "spine", Target: Target{Name: "8q", Queues: 8, RankRewrite: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Feasible {
+		t.Fatal("fabric should be feasible")
+	}
+}
+
+func TestFacadeCompileTo(t *testing.T) {
+	pf, _ := RankerByName("pfabric")
+	hv, err := New([]*Tenant{{ID: 1, Name: "a", Algorithm: pf}}, "a", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := hv.Policy.CompileTo(Target{Name: "t", Queues: 4, RankRewrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("single tenant on 4 queues should be feasible")
+	}
+}
