@@ -27,22 +27,29 @@ func benchCfg() experiments.Config {
 
 func ms(t sim.Time) float64 { return float64(t) / float64(sim.Millisecond) }
 
-// benchFig4 runs all six schemes at the given load and reports the chosen
-// bin's mean FCT per scheme.
+// benchFig4 runs all six schemes at the given load — fanned out over the
+// worker pool, one scheme per worker — and reports the chosen bin's mean
+// FCT per scheme. The pooled sweep is bit-identical to the serial one (see
+// experiments.RunPoints), so the metrics are unchanged from the serial
+// harness; only the wall clock shrinks.
 func benchFig4(b *testing.B, bin experiments.Bin, load float64) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		for _, s := range experiments.Schemes {
-			r, err := experiments.Run(cfg, s, load)
-			if err != nil {
-				b.Fatalf("%v: %v", s, err)
-			}
+		results, err := experiments.SweepParallel(cfg, experiments.Schemes,
+			[]float64{load}, experiments.RunnerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != b.N-1 {
+			continue
+		}
+		for _, r := range results {
 			sum := r.Small
 			if bin == experiments.BinLarge {
 				sum = r.Large
 			}
-			if sum.Count > 0 && i == b.N-1 {
-				b.ReportMetric(ms(sum.Mean), fmt.Sprintf("msFCT/%d", int(s)))
+			if sum.Count > 0 {
+				b.ReportMetric(ms(sum.Mean), fmt.Sprintf("msFCT/%d", int(r.Scheme)))
 			}
 		}
 	}
@@ -60,6 +67,28 @@ func BenchmarkFig4aSmallFlows(b *testing.B) {
 func BenchmarkFig4bLargeFlows(b *testing.B) {
 	benchFig4(b, experiments.BinLarge, 0.6)
 }
+
+// benchSweep measures a two-load Fig-4 sweep (12 runs) at a fixed worker
+// count; comparing Serial vs Parallel below gives the sweep runner's
+// wall-clock speedup on this machine.
+func benchSweep(b *testing.B, workers int) {
+	cfg := benchCfg()
+	cfg.Horizon = 20 * sim.Millisecond
+	loads := []float64{0.3, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SweepParallel(cfg, experiments.Schemes, loads,
+			experiments.RunnerConfig{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4SweepSerial is the old single-core sweep (workers=1).
+func BenchmarkFig4SweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkFig4SweepParallel is the pooled sweep at GOMAXPROCS workers.
+func BenchmarkFig4SweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // BenchmarkFig3Transformations measures the pre-processor on the paper's
 // Figure-3 joint policy: the per-packet cost of the rank rewrite that runs

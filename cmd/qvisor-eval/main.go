@@ -11,6 +11,12 @@
 // fig4a/fig4b sweep all six schemes over loads 0.2–0.8 on the scaled
 // topology (12 hosts, 1% flow sizes; see DESIGN.md) and print one table row
 // per scheme. Pass -paper for the paper-scale topology (slow: hours).
+//
+// Sweeps fan out over a worker pool (-workers, default GOMAXPROCS); the
+// parallel sweep is bit-identical to -workers=1. Pass -seeds N to repeat
+// every (scheme, load) cell over N derived workload seeds and report
+// mean±stderr instead of a single trial. -progress=false silences the
+// per-run progress lines on stderr.
 package main
 
 import (
@@ -45,8 +51,17 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	loadsFlag := fs.String("loads", "0.2,0.3,0.4,0.5,0.6,0.7,0.8", "comma-separated loads")
 	csvPath := fs.String("csv", "", "also write the raw series to a CSV file (fig4a/fig4b)")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	seeds := fs.Int("seeds", 1, "trials per (scheme, load) cell, over derived seeds (fig4a/fig4b)")
+	progress := fs.Bool("progress", true, "report per-run sweep progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, have %d", *seeds)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), have %d", *workers)
 	}
 
 	cfg := experiments.ScaledConfig()
@@ -67,7 +82,30 @@ func run(args []string) error {
 		if *exp == "fig4b" {
 			bin = experiments.BinLarge
 		}
-		results, err := experiments.Sweep(cfg, experiments.Schemes, loads)
+		rc := experiments.RunnerConfig{Workers: *workers}
+		start := time.Now()
+		if *progress {
+			rc.Progress = func(done, total int, p experiments.Point) {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %v (%.1fs)\n",
+					done, total, p, time.Since(start).Seconds())
+			}
+		}
+		if *seeds > 1 {
+			trialSeeds := experiments.TrialSeeds(cfg.Seed, *seeds)
+			trials, err := experiments.RunTrials(cfg, experiments.Schemes, loads, trialSeeds, rc)
+			if err != nil {
+				return err
+			}
+			experiments.WriteTrialTable(os.Stdout, trials, bin, loads)
+			if *csvPath != "" {
+				if err := writeTrialCSV(*csvPath, trials); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+			}
+			return nil
+		}
+		results, err := experiments.SweepParallel(cfg, experiments.Schemes, loads, rc)
 		if err != nil {
 			return err
 		}
@@ -248,6 +286,46 @@ func writeCSV(path string, results []experiments.Result) error {
 				ms(row.sum.P50),
 				ms(row.sum.P95),
 				ms(row.sum.P99),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// writeTrialCSV dumps every (scheme, load, bin) aggregate of a
+// repeated-trial sweep as mean ± stderr rows, for external plotting with
+// error bars.
+func writeTrialCSV(path string, trials []experiments.Trial) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"scheme", "load", "bin", "trials", "mean_ms", "stderr_ms"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, t := range trials {
+		for _, row := range []struct {
+			bin string
+			sum stats.Sample
+		}{
+			{"small", t.SmallMs},
+			{"large", t.LargeMs},
+		} {
+			rec := []string{
+				t.Scheme.String(),
+				strconv.FormatFloat(t.Load, 'f', 2, 64),
+				row.bin,
+				strconv.Itoa(row.sum.N),
+				ff(row.sum.Mean),
+				ff(row.sum.Stderr),
 			}
 			if err := w.Write(rec); err != nil {
 				return err

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -35,5 +38,56 @@ func TestRunFig3(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus"}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig4Parallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	csv := filepath.Join(t.TempDir(), "fig4a.csv")
+	err := run([]string{
+		"-experiment", "fig4a", "-loads", "0.4", "-horizon", "5ms",
+		"-workers", "4", "-progress=false", "-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "scheme,load,bin") {
+		t.Fatalf("csv header missing:\n%s", data)
+	}
+}
+
+func TestRunFig4Trials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	csv := filepath.Join(t.TempDir(), "trials.csv")
+	err := run([]string{
+		"-experiment", "fig4b", "-loads", "0.4", "-horizon", "5ms",
+		"-workers", "4", "-seeds", "2", "-progress=false", "-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "stderr_ms") {
+		t.Fatalf("trial csv header missing:\n%s", data)
+	}
+}
+
+func TestRunRejectsBadSeeds(t *testing.T) {
+	if err := run([]string{"-experiment", "fig4a", "-seeds", "0"}); err == nil {
+		t.Fatal("-seeds 0 accepted")
+	}
+	if err := run([]string{"-experiment", "fig4a", "-workers", "-3"}); err == nil {
+		t.Fatal("negative -workers accepted")
 	}
 }

@@ -33,9 +33,23 @@ type InversionResult struct {
 // interleaving) through each scheduler and measures its inversion rate
 // against a rank oracle. The ideal PIFO scores zero by construction;
 // approximations trade inversions for hardware simplicity (§3.4).
+//
+// The trace is drawn from a private deterministic source derived from seed,
+// so concurrent studies never share RNG state; use InversionStudyRng to
+// inject the source explicitly.
 func InversionStudy(packets int, seed int64) ([]InversionResult, error) {
+	return InversionStudyRng(packets, rand.New(rand.NewSource(seed)))
+}
+
+// InversionStudyRng is InversionStudy with an explicit random source. The
+// caller owns rng; passing sources seeded identically yields byte-identical
+// results.
+func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 	if packets <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive packet count")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("experiments: nil rng")
 	}
 	// Joint policy: two sharing tenants with heterogeneous rank scales.
 	tenants := []*core.Tenant{
@@ -50,7 +64,6 @@ func InversionStudy(packets int, seed int64) ([]InversionResult, error) {
 
 	// Pre-generate the transformed trace so every scheduler sees
 	// identical input.
-	rng := rand.New(rand.NewSource(seed))
 	trace := make([]*pkt.Packet, packets)
 	for i := range trace {
 		p := &pkt.Packet{

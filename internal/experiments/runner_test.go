@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"qvisor/internal/sim"
+)
+
+// TestParallelSweepMatchesSerial is the determinism regression test: a
+// parallel sweep (workers=8) must produce byte-identical Results to the
+// serial sweep (workers=1) for every scheme at two loads. Run is a pure
+// function of (Config, Scheme, load) and the runner aggregates
+// order-independently, so any divergence means shared state leaked in.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	cfg := ciConfig()
+	cfg.Horizon = 10 * sim.Millisecond
+	loads := []float64{0.3, 0.6}
+
+	serial, err := SweepParallel(cfg, Schemes, loads, RunnerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepParallel(cfg, Schemes, loads, RunnerConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(Schemes)*len(loads) || len(serial) != len(parallel) {
+		t.Fatalf("result counts: serial %d parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d (%v load %v): parallel result diverged from serial\nserial:   %+v\nparallel: %+v",
+				i, serial[i].Scheme, serial[i].Load, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestPointsOrder(t *testing.T) {
+	pts := Points([]Scheme{FIFOBoth, PIFOIdeal}, []float64{0.2, 0.4}, []int64{1, 2})
+	want := []Point{
+		{FIFOBoth, 0.2, 1}, {FIFOBoth, 0.2, 2},
+		{FIFOBoth, 0.4, 1}, {FIFOBoth, 0.4, 2},
+		{PIFOIdeal, 0.2, 1}, {PIFOIdeal, 0.2, 2},
+		{PIFOIdeal, 0.4, 1}, {PIFOIdeal, 0.4, 2},
+	}
+	if !reflect.DeepEqual(pts, want) {
+		t.Fatalf("points = %v, want %v", pts, want)
+	}
+	if s := pts[0].String(); !strings.Contains(s, "load=0.20") || !strings.Contains(s, "seed=1") {
+		t.Fatalf("point string = %q", s)
+	}
+}
+
+func TestTrialSeeds(t *testing.T) {
+	if TrialSeeds(7, 0) != nil {
+		t.Fatal("zero trials must yield no seeds")
+	}
+	seeds := TrialSeeds(7, 5)
+	if len(seeds) != 5 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	if seeds[0] != 7 {
+		t.Fatalf("first trial seed %d must equal the base so one-trial runs match plain sweeps", seeds[0])
+	}
+	seen := map[int64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d in %v", s, seeds)
+		}
+		seen[s] = true
+		// seed+1 is reserved for the CBR tenant; derived seeds must not
+		// collide with any trial's CBR seed.
+		if s != 7 && seen[s+1] {
+			t.Fatalf("seed %d collides with another trial's CBR offset", s)
+		}
+	}
+	if !reflect.DeepEqual(seeds, TrialSeeds(7, 5)) {
+		t.Fatal("TrialSeeds must be deterministic")
+	}
+	if reflect.DeepEqual(seeds[1:], TrialSeeds(8, 5)[1:]) {
+		t.Fatal("different bases must derive different seed tails")
+	}
+}
+
+func TestRunPointsErrorIsDeterministic(t *testing.T) {
+	cfg := ciConfig()
+	cfg.Horizon = 5 * sim.Millisecond
+	cfg.Workload = "bogus" // every point fails in workload selection
+	pts := Points([]Scheme{PIFOIdeal, FIFOBoth}, []float64{0.3, 0.5}, []int64{1})
+	for _, workers := range []int{1, 4} {
+		_, err := RunPoints(cfg, pts, RunnerConfig{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		// Lowest-indexed failing point wins regardless of worker count.
+		if !strings.Contains(err.Error(), "load 0.3") || !strings.Contains(err.Error(), pts[0].Scheme.String()) {
+			t.Fatalf("workers=%d: error %q is not the lowest-indexed point's", workers, err)
+		}
+	}
+}
+
+func TestRunPointsProgress(t *testing.T) {
+	cfg := ciConfig()
+	cfg.Horizon = 5 * sim.Millisecond
+	pts := Points([]Scheme{PIFOIdeal}, []float64{0.3, 0.5}, []int64{1, 2})
+	var mu sync.Mutex
+	var calls []int
+	_, err := RunPoints(cfg, pts, RunnerConfig{
+		Workers: 4,
+		Progress: func(done, total int, p Point) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != len(pts) {
+				t.Errorf("total = %d, want %d", total, len(pts))
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(pts) {
+		t.Fatalf("progress calls = %d, want %d", len(calls), len(pts))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("done sequence %v must count up monotonically", calls)
+		}
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	cfg := ciConfig()
+	cfg.Horizon = 10 * sim.Millisecond
+	seeds := TrialSeeds(cfg.Seed, 3)
+	loads := []float64{0.4}
+	trials, err := RunTrials(cfg, []Scheme{PIFOIdeal, QvisorShare}, loads, seeds, RunnerConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("trials = %d, want 2", len(trials))
+	}
+	for _, tr := range trials {
+		if tr.Load != 0.4 || len(tr.Seeds) != 3 || len(tr.Results) != 3 {
+			t.Fatalf("trial cell malformed: %+v", tr)
+		}
+		if tr.SmallMs.N == 0 || tr.SmallMs.Mean <= 0 {
+			t.Fatalf("%v: no small-flow aggregate: %+v", tr.Scheme, tr.SmallMs)
+		}
+		if tr.Flows.N != 3 || tr.Flows.Mean <= 0 {
+			t.Fatalf("%v: flow aggregate wrong: %+v", tr.Scheme, tr.Flows)
+		}
+		for i, r := range tr.Results {
+			if r.Scheme != tr.Scheme || r.Load != tr.Load {
+				t.Fatalf("result %d mislabeled: %+v", i, r)
+			}
+		}
+	}
+	// Trial order within a cell is seed order, and the first trial equals
+	// a plain single run at the base seed.
+	single, err := Run(cfg, PIFOIdeal, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trials[0].Results[0], single) {
+		t.Fatal("first trial at base seed must equal the plain run")
+	}
+	var b strings.Builder
+	WriteTrialTable(&b, trials, BinSmall, loads)
+	out := b.String()
+	if !strings.Contains(out, "3 trials") || !strings.Contains(out, "±") {
+		t.Fatalf("trial table:\n%s", out)
+	}
+}

@@ -12,19 +12,10 @@ import (
 var DefaultLoads = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
 
 // Sweep runs every scheme at every load and returns results in
-// scheme-major order.
+// scheme-major order. It is the single-worker case of SweepParallel; use
+// that (or RunPoints) to saturate all cores.
 func Sweep(cfg Config, schemes []Scheme, loads []float64) ([]Result, error) {
-	var out []Result
-	for _, s := range schemes {
-		for _, l := range loads {
-			r, err := Run(cfg, s, l)
-			if err != nil {
-				return nil, fmt.Errorf("scheme %v load %v: %w", s, l, err)
-			}
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return SweepParallel(cfg, schemes, loads, RunnerConfig{Workers: 1})
 }
 
 // Bin selects which Figure-4 panel a table reports.
@@ -83,6 +74,54 @@ func WriteTable(w io.Writer, results []Result, bin Bin, loads []float64) {
 				fmt.Fprint(tw, "\tn/a")
 			} else {
 				fmt.Fprintf(tw, "\t%.3f", float64(sum.Mean)/float64(sim.Millisecond))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// WriteTrialTable renders a repeated-trial sweep as one row per scheme and
+// one "mean±stderr" column per load, in milliseconds, for the chosen bin.
+func WriteTrialTable(w io.Writer, trials []Trial, bin Bin, loads []float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	n := 0
+	if len(trials) > 0 {
+		n = len(trials[0].Seeds)
+	}
+	fmt.Fprintf(tw, "pFabric %v, %d trials (mean±stderr)\n", bin, n)
+	fmt.Fprint(tw, "scheme")
+	for _, l := range loads {
+		fmt.Fprintf(tw, "\t%.1f", l)
+	}
+	fmt.Fprintln(tw)
+	byCell := make(map[Scheme]map[float64]Trial)
+	for _, t := range trials {
+		if byCell[t.Scheme] == nil {
+			byCell[t.Scheme] = make(map[float64]Trial)
+		}
+		byCell[t.Scheme][t.Load] = t
+	}
+	for _, s := range Schemes {
+		row, ok := byCell[s]
+		if !ok {
+			continue
+		}
+		fmt.Fprint(tw, s)
+		for _, l := range loads {
+			t, ok := row[l]
+			if !ok {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			sum := t.SmallMs
+			if bin == BinLarge {
+				sum = t.LargeMs
+			}
+			if sum.N == 0 {
+				fmt.Fprint(tw, "\tn/a")
+			} else {
+				fmt.Fprintf(tw, "\t%.3f±%.3f", sum.Mean, sum.Stderr)
 			}
 		}
 		fmt.Fprintln(tw)

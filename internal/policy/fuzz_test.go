@@ -9,19 +9,7 @@ import (
 // produce valid specs, and that accepted specs survive a canonical-form
 // round trip.
 func FuzzParse(f *testing.F) {
-	seeds := []string{
-		"T1",
-		"T1 >> T2",
-		"T1 >> T2 > T3 + T4 >> T5",
-		"a+b+c",
-		"x > y > z",
-		"",
-		">>",
-		"T1 +",
-		"tenant_1.web-frontend >> _x",
-		"T1>>T2+T3>T4",
-	}
-	for _, s := range seeds {
+	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, input string) {
@@ -38,6 +26,85 @@ func FuzzParse(f *testing.F) {
 		}
 		if !reflect.DeepEqual(spec, again) {
 			t.Fatalf("round trip changed the spec: %q", input)
+		}
+	})
+}
+
+// fuzzSeeds is the shared corpus: well-formed specs, weighted shares,
+// malformed fragments, and lexer edge cases.
+var fuzzSeeds = []string{
+	"T1",
+	"T1 >> T2",
+	"T1 >> T2 > T3 + T4 >> T5",
+	"a+b+c",
+	"x > y > z",
+	"",
+	">>",
+	"T1 +",
+	"tenant_1.web-frontend >> _x",
+	"T1>>T2+T3>T4",
+	"a*3 + b*2",
+	"a*0 + b",
+	"a >> a",
+	"a * 9999999999999999999",
+	"a\t+\nb",
+	"\x00",
+	"a >",
+	"* 2",
+}
+
+// FuzzSpecOps goes one layer deeper than FuzzParse: for every accepted
+// spec it exercises the Spec methods the runtime controller calls
+// (Tenants, Find, Relate, Demote) and checks they never panic and keep the
+// spec's invariants — a demoted spec must stay valid, still round-trip
+// through the canonical form, and place the demoted tenant strictly below
+// every other.
+func FuzzSpecOps(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(input)
+		if err != nil {
+			return
+		}
+		tenants := spec.Tenants()
+		for _, a := range tenants {
+			if _, ok := spec.Find(a); !ok {
+				t.Fatalf("listed tenant %q not found (input %q)", a, input)
+			}
+			for _, b := range tenants {
+				if _, err := spec.Relate(a, b); err != nil {
+					t.Fatalf("relate %q/%q failed on valid spec: %v (input %q)", a, b, err, input)
+				}
+			}
+		}
+		if _, err := spec.Relate("\x00absent", tenants[0]); err == nil {
+			t.Fatalf("relate with absent tenant succeeded (input %q)", input)
+		}
+		demoted := spec.Demote(tenants[0])
+		if err := demoted.Validate(); err != nil {
+			t.Fatalf("demoted spec invalid: %v (input %q)", err, input)
+		}
+		again, err := Parse(demoted.String())
+		if err != nil {
+			t.Fatalf("demoted canonical form %q does not re-parse: %v", demoted.String(), err)
+		}
+		if !reflect.DeepEqual(demoted, again) {
+			t.Fatalf("demoted round trip changed the spec (input %q)", input)
+		}
+		for _, other := range demoted.Tenants() {
+			if other == tenants[0] {
+				continue
+			}
+			rel, err := demoted.Relate(tenants[0], other)
+			if err != nil {
+				t.Fatalf("relate after demote: %v (input %q)", err, input)
+			}
+			if rel != StrictlyBelow {
+				t.Fatalf("demoted tenant %q is %v relative to %q, want strictly below (input %q)",
+					tenants[0], rel, other, input)
+			}
 		}
 	})
 }

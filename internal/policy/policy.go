@@ -220,6 +220,19 @@ func (s *Spec) Demote(tenant string) *Spec {
 					nl.Weights = append(nl.Weights, lvl.WeightOf(i))
 				}
 			}
+			// Normalize: a level whose surviving weights are all the
+			// default 1 is represented with a nil slice, as Parse would
+			// build it, so demoted specs round-trip canonically.
+			allDefault := true
+			for _, w := range nl.Weights {
+				if w != 1 {
+					allDefault = false
+					break
+				}
+			}
+			if allDefault {
+				nl.Weights = nil
+			}
 			if len(nl.Tenants) > 0 {
 				nt.Levels = append(nt.Levels, nl)
 			}

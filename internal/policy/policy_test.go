@@ -420,6 +420,26 @@ func TestDemoteKeepsWeights(t *testing.T) {
 	}
 }
 
+// TestDemoteNormalizesDefaultWeights is the regression for a fuzzer
+// finding (FuzzSpecOps, input "A*2+B"): demoting the only weighted tenant
+// used to leave an all-ones Weights slice behind, so the demoted spec no
+// longer round-tripped through its canonical form, which prints weight-1
+// shares bare.
+func TestDemoteNormalizesDefaultWeights(t *testing.T) {
+	s := MustParse("A*2+B")
+	d := s.Demote("A")
+	if got := d.String(); got != "B >> A" {
+		t.Fatalf("Demote = %q", got)
+	}
+	again, err := Parse(d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, again) {
+		t.Fatalf("demoted spec does not round-trip: %#v vs %#v", d, again)
+	}
+}
+
 func TestValidateWeightMismatch(t *testing.T) {
 	bad := &Spec{Tiers: []Tier{{Levels: []Level{{
 		Tenants: []string{"a", "b"},

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qvisor/internal/pkt"
+)
+
+// Property tests pinning the approximation guarantees the experiment
+// harness (internal/experiments/inversions.go) measures empirically: the
+// ideal PIFO is an exact sort oracle, the calendar queue's inversions are
+// bounded by its bucket width, and SP-PIFO's queue bounds keep the
+// strict-priority invariant its push-up/push-down adaptation maintains.
+// All randomness is drawn from fixed-seed local sources, so failures
+// reproduce deterministically.
+
+func randomPackets(rng *rand.Rand, n int, maxRank int64) []*pkt.Packet {
+	ps := make([]*pkt.Packet, n)
+	for i := range ps {
+		ps[i] = &pkt.Packet{
+			ID:   uint64(i),
+			Rank: rng.Int63n(maxRank),
+			Size: 100,
+		}
+	}
+	return ps
+}
+
+// TestPropertyPIFOSortsExactly: batch-enqueue a random sequence, then
+// drain; the ideal PIFO must emit every packet in non-decreasing rank
+// order — zero inversions by construction.
+func TestPropertyPIFOSortsExactly(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomPackets(rng, 1000, 1<<20)
+		q := NewPIFO(Config{CapacityBytes: 1 << 30})
+		for _, p := range ps {
+			if !q.Enqueue(p) {
+				t.Fatalf("seed %d: enqueue rejected", seed)
+			}
+		}
+		want := make([]int64, len(ps))
+		for i, p := range ps {
+			want[i] = p.Rank
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := 0; i < len(ps); i++ {
+			p := q.Dequeue()
+			if p == nil {
+				t.Fatalf("seed %d: queue drained early at %d", seed, i)
+			}
+			if p.Rank != want[i] {
+				t.Fatalf("seed %d: dequeue %d rank %d, sorted oracle %d", seed, i, p.Rank, want[i])
+			}
+		}
+		if q.Dequeue() != nil {
+			t.Fatalf("seed %d: extra packet", seed)
+		}
+	}
+}
+
+// TestPropertyCalendarBucketBound: in batch mode (all enqueues before any
+// dequeue, base at 0) the calendar drains buckets in ascending index, so
+// for any two packets below the clamp horizon dequeued in order (a, b),
+// rank(a) - rank(b) < width — an inversion can never exceed one bucket's
+// rank span. Packets at or beyond the horizon clamp to the last bucket and
+// are exempt from the bound (they share a bucket by design).
+func TestPropertyCalendarBucketBound(t *testing.T) {
+	const (
+		buckets = 32
+		width   = int64(1 << 15)
+		horizon = int64(buckets-1) * width
+	)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomPackets(rng, 2000, buckets*width+width) // includes clamped ranks
+		q := NewCalendar(Config{CapacityBytes: 1 << 30}, buckets, width)
+		for _, p := range ps {
+			if !q.Enqueue(p) {
+				t.Fatalf("seed %d: enqueue rejected", seed)
+			}
+		}
+		var order []int64
+		for p := q.Dequeue(); p != nil; p = q.Dequeue() {
+			order = append(order, p.Rank)
+		}
+		if len(order) != len(ps) {
+			t.Fatalf("seed %d: drained %d of %d", seed, len(order), len(ps))
+		}
+		// Bucket indices must be non-decreasing, which implies the width
+		// bound for non-clamped pairs.
+		prevBucket := int64(-1)
+		for i, r := range order {
+			b := r / width
+			if b > int64(buckets-1) {
+				b = int64(buckets - 1)
+			}
+			if b < prevBucket {
+				t.Fatalf("seed %d: dequeue %d went back a bucket (%d after %d)", seed, i, b, prevBucket)
+			}
+			prevBucket = b
+		}
+		for i := 0; i < len(order); i++ {
+			if order[i] >= horizon {
+				continue
+			}
+			for j := i + 1; j < len(order); j++ {
+				if order[j] >= horizon {
+					continue
+				}
+				if inv := order[i] - order[j]; inv >= width {
+					t.Fatalf("seed %d: inversion magnitude %d >= bucket width %d (pos %d,%d)",
+						seed, inv, width, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySPPIFOBoundInvariant: SP-PIFO's queue bounds must stay
+// monotone non-decreasing from the highest-priority queue (index 0) to the
+// lowest (index n-1) after every operation — the invariant that makes the
+// push-up scan well-defined and that push-down's uniform subtraction
+// preserves.
+func TestPropertySPPIFOBoundInvariant(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewSPPIFO(Config{CapacityBytes: 1 << 30}, 8)
+		check := func(step int) {
+			for i := 0; i+1 < q.NumQueues(); i++ {
+				if q.Bound(i) > q.Bound(i + 1) {
+					t.Fatalf("seed %d step %d: bounds not monotone: q%d=%d > q%d=%d",
+						seed, step, i, q.Bound(i), i+1, q.Bound(i+1))
+				}
+			}
+		}
+		for step := 0; step < 5000; step++ {
+			if rng.Intn(3) != 0 || q.Len() == 0 {
+				q.Enqueue(&pkt.Packet{ID: uint64(step), Rank: rng.Int63n(1 << 16), Size: 100})
+			} else {
+				q.Dequeue()
+			}
+			check(step)
+		}
+	}
+}
+
+// countInversions replays a batch trace through a scheduler and counts
+// rank inversions against a min-rank oracle over the still-queued packets
+// (the SP-PIFO paper's "unpifoness" metric).
+func countInversions(t *testing.T, s Scheduler, ps []*pkt.Packet) int {
+	t.Helper()
+	queued := map[int64]int{}
+	for _, p := range ps {
+		cp := *p
+		if !s.Enqueue(&cp) {
+			t.Fatal("enqueue rejected")
+		}
+		queued[cp.Rank]++
+	}
+	minQueued := func() (int64, bool) {
+		found := false
+		var m int64
+		for r, c := range queued {
+			if c > 0 && (!found || r < m) {
+				m, found = r, true
+			}
+		}
+		return m, found
+	}
+	inv := 0
+	for p := s.Dequeue(); p != nil; p = s.Dequeue() {
+		if m, ok := minQueued(); ok && p.Rank > m {
+			inv++
+		}
+		queued[p.Rank]--
+		if queued[p.Rank] == 0 {
+			delete(queued, p.Rank)
+		}
+	}
+	return inv
+}
+
+// TestPropertyApproximationsBeatFIFO: on a random heavy trace the ideal
+// PIFO has zero inversions, and both approximations (SP-PIFO, calendar)
+// stay strictly below the FIFO baseline's inversion count — they must buy
+// ordering fidelity with their structure, not merely relabel a FIFO.
+func TestPropertyApproximationsBeatFIFO(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomPackets(rng, 2000, 1<<16)
+		pifoInv := countInversions(t, NewPIFO(Config{CapacityBytes: 1 << 30}), ps)
+		if pifoInv != 0 {
+			t.Fatalf("seed %d: ideal PIFO has %d inversions", seed, pifoInv)
+		}
+		fifoInv := countInversions(t, NewFIFO(Config{CapacityBytes: 1 << 30}), ps)
+		sppifoInv := countInversions(t, NewSPPIFO(Config{CapacityBytes: 1 << 30}, 32), ps)
+		calInv := countInversions(t, NewCalendar(Config{CapacityBytes: 1 << 30}, 32, 1<<11), ps)
+		if sppifoInv >= fifoInv {
+			t.Errorf("seed %d: sppifo32 %d inversions, fifo %d", seed, sppifoInv, fifoInv)
+		}
+		if calInv >= fifoInv {
+			t.Errorf("seed %d: calendar32 %d inversions, fifo %d", seed, calInv, fifoInv)
+		}
+	}
+}

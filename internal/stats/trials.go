@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample aggregates repeated scalar observations — one value per trial of a
+// repeated-seed experiment run — into the mean ± stderr form the evaluation
+// tables report.
+type Sample struct {
+	// N is the number of observations.
+	N int
+	// Mean is the arithmetic mean.
+	Mean float64
+	// Stddev is the sample standard deviation (Bessel-corrected; zero for
+	// N < 2).
+	Stddev float64
+	// Stderr is the standard error of the mean, Stddev / sqrt(N).
+	Stderr float64
+	// Min and Max bound the observations.
+	Min, Max float64
+}
+
+// NewSample aggregates the observations. An empty input yields the zero
+// Sample.
+func NewSample(xs []float64) Sample {
+	if len(xs) == 0 {
+		return Sample{}
+	}
+	s := Sample{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N >= 2 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+		s.Stderr = s.Stddev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// String implements fmt.Stringer as "mean±stderr (n=N)".
+func (s Sample) String() string {
+	if s.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.6g±%.2g (n=%d)", s.Mean, s.Stderr, s.N)
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSampleEmpty(t *testing.T) {
+	s := NewSample(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stderr != 0 {
+		t.Fatalf("empty sample = %+v", s)
+	}
+	if s.String() != "n/a" {
+		t.Fatalf("empty sample string = %q", s.String())
+	}
+}
+
+func TestNewSampleSingle(t *testing.T) {
+	s := NewSample([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single sample = %+v", s)
+	}
+	if s.Stddev != 0 || s.Stderr != 0 {
+		t.Fatalf("single-observation spread must be zero: %+v", s)
+	}
+}
+
+func TestNewSampleKnownValues(t *testing.T) {
+	// 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample stddev sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := NewSample(xs)
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("sample = %+v", s)
+	}
+	wantSD := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, wantSD)
+	}
+	wantSE := wantSD / math.Sqrt(8)
+	if math.Abs(s.Stderr-wantSE) > 1e-12 {
+		t.Fatalf("stderr = %v, want %v", s.Stderr, wantSE)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := NewSample([]float64{1, 3})
+	if got := s.String(); got == "" || got == "n/a" {
+		t.Fatalf("string = %q", got)
+	}
+}

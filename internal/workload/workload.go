@@ -9,6 +9,20 @@
 // which are not public; the published CDFs are the community's standard
 // stand-in and preserve the property Figure 4 depends on — most flows are
 // small while most bytes belong to giant flows.
+//
+// # Determinism and seeding
+//
+// Nothing in this package touches the global math/rand source: every
+// generator draws from an explicit per-call *rand.Rand, either injected via
+// the config's Rng field or constructed locally from the config's Seed as
+// rand.New(rand.NewSource(seed)). Two calls with the same config therefore
+// produce byte-identical flow sets, and concurrent calls never share RNG
+// state — the property the parallel sweep runner in internal/experiments
+// relies on for bit-identical parallel-vs-serial results. By convention the
+// experiment harness seeds the pFabric tenant with the run seed and the CBR
+// tenant with seed+1; repeated-trial seeds are derived with a SplitMix64
+// mix (see experiments.TrialSeeds) so trials are decorrelated without
+// colliding with the seed+1 offset.
 package workload
 
 import (
@@ -223,8 +237,22 @@ type PoissonConfig struct {
 	Sizes SizeDist
 	// Horizon is the time range over which arrivals are generated.
 	Horizon sim.Time
-	// Seed seeds the generator.
+	// Seed seeds the generator when Rng is nil.
 	Seed int64
+	// Rng, when non-nil, is the random source used for generation and
+	// takes precedence over Seed. Callers running concurrent generations
+	// must pass distinct Rng instances (or rely on Seed, which constructs
+	// a private source per call).
+	Rng *rand.Rand
+}
+
+// rngFor returns the explicit source if given, else a fresh deterministic
+// source derived from seed.
+func rngFor(rng *rand.Rand, seed int64) *rand.Rand {
+	if rng != nil {
+		return rng
+	}
+	return rand.New(rand.NewSource(seed))
 }
 
 // Poisson generates open-loop Poisson flow arrivals: each host sources
@@ -246,7 +274,7 @@ func Poisson(cfg PoissonConfig) ([]FlowSpec, error) {
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("workload: non-positive horizon")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rngFor(cfg.Rng, cfg.Seed)
 	bytesPerSec := cfg.AccessBitsPerSec / 8
 	lambda := cfg.Load * bytesPerSec / cfg.Sizes.Mean() // flows per second per host
 	meanGapNs := float64(sim.Second) / lambda
@@ -290,8 +318,11 @@ type CBRConfig struct {
 	DeadlineBudget sim.Time
 	// Stop ends the flows (zero = simulation horizon).
 	Stop sim.Time
-	// Seed seeds the host-pair selection.
+	// Seed seeds the host-pair selection when Rng is nil.
 	Seed int64
+	// Rng, when non-nil, is the random source for host-pair selection and
+	// takes precedence over Seed.
+	Rng *rand.Rand
 }
 
 // CBR generates the constant-bit-rate flow set.
@@ -305,7 +336,7 @@ func CBR(cfg CBRConfig) ([]FlowSpec, error) {
 	if cfg.Flows > 0 && cfg.BitsPerSec <= 0 {
 		return nil, fmt.Errorf("workload: non-positive CBR rate")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rngFor(cfg.Rng, cfg.Seed)
 	flows := make([]FlowSpec, 0, cfg.Flows)
 	for i := 0; i < cfg.Flows; i++ {
 		src := rng.Intn(cfg.Hosts)

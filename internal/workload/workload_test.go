@@ -191,6 +191,51 @@ func TestPoissonDeterministic(t *testing.T) {
 	}
 }
 
+// TestExplicitRngMatchesSeed pins the injection contract the parallel
+// sweep runner relies on: passing Rng seeded with S is byte-identical to
+// passing Seed S, and an injected Rng takes precedence over the seed.
+func TestExplicitRngMatchesSeed(t *testing.T) {
+	pcfg := PoissonConfig{
+		Hosts: 4, Load: 0.5, AccessBitsPerSec: 1e9,
+		Sizes: DataMining(), Horizon: 50 * sim.Millisecond, Seed: 42,
+	}
+	bySeed, err := Poisson(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg.Seed = 999 // must be ignored when Rng is set
+	pcfg.Rng = rand.New(rand.NewSource(42))
+	byRng, err := Poisson(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bySeed) != len(byRng) {
+		t.Fatalf("flow counts differ: seed %d rng %d", len(bySeed), len(byRng))
+	}
+	for i := range bySeed {
+		if bySeed[i] != byRng[i] {
+			t.Fatalf("flow %d differs between Seed and equivalent Rng", i)
+		}
+	}
+
+	ccfg := CBRConfig{Hosts: 16, Flows: 10, BitsPerSec: 1e8, Seed: 7}
+	cbrSeed, err := CBR(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Seed = 999
+	ccfg.Rng = rand.New(rand.NewSource(7))
+	cbrRng, err := CBR(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cbrSeed {
+		if cbrSeed[i] != cbrRng[i] {
+			t.Fatalf("CBR flow %d differs between Seed and equivalent Rng", i)
+		}
+	}
+}
+
 func TestPoissonErrors(t *testing.T) {
 	good := PoissonConfig{Hosts: 4, Load: 0.5, AccessBitsPerSec: 1e9, Sizes: Fixed(1), Horizon: 1}
 	cases := []func(*PoissonConfig){
