@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 
 	"qvisor"
 	"qvisor/internal/experiments"
+	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
@@ -54,6 +56,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	seeds := fs.Int("seeds", 1, "trials per (scheme, load) cell, over derived seeds (fig4a/fig4b)")
 	progress := fs.Bool("progress", true, "report per-run sweep progress on stderr")
+	metricsPath := fs.String("metrics", "",
+		`write a JSON metrics snapshot after the experiment ("-" = stdout; sweeps aggregate across runs)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +74,14 @@ func run(args []string) error {
 	}
 	cfg.Horizon = sim.Time(*horizon)
 	cfg.Seed = *seed
+	if *metricsPath != "" {
+		cfg.Registry = obs.NewRegistry()
+		defer func() {
+			if werr := writeSnapshot(*metricsPath, cfg.Registry); werr != nil {
+				fmt.Fprintln(os.Stderr, "qvisor-eval: metrics snapshot:", werr)
+			}
+		}()
+	}
 
 	loads, err := parseLoads(*loadsFlag)
 	if err != nil {
@@ -334,6 +346,23 @@ func writeTrialCSV(path string, trials []experiments.Trial) error {
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// writeSnapshot dumps the registry as indented JSON to path ("-" =
+// stdout).
+func writeSnapshot(path string, reg *obs.Registry) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reg.Snapshot())
 }
 
 func parseLoads(s string) ([]float64, error) {

@@ -11,6 +11,7 @@
 //	qvisorctl [-server URL] monitor <name>
 //	qvisorctl [-server URL] check
 //	qvisorctl [-server URL] compile <queues> [sorted|rewrite|admission ...]
+//	qvisorctl [-server URL] metrics
 package main
 
 import (
@@ -138,6 +139,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("redeployed=%v version=%d\n", res.Redeployed, res.Version)
+		return nil
+	case "metrics":
+		text, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
 		return nil
 	case "compile":
 		if len(rest) < 2 {

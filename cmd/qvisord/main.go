@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"qvisor"
 	"qvisor/internal/api"
 	"qvisor/internal/core"
+	"qvisor/internal/obs"
 )
 
 type tenantFlags []string
@@ -56,6 +58,7 @@ func run(args []string) error {
 	var tenants tenantFlags
 	fs.Var(&tenants, "tenant", "initial tenant name=algorithm:id (repeatable)")
 	quarantine := fs.Bool("quarantine", false, "demote adversarial tenants automatically")
+	metricsPath := fs.String("metrics", "", `write a JSON metrics snapshot on shutdown ("-" = stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,11 +80,15 @@ func run(args []string) error {
 		return err
 	}
 	logger := log.New(os.Stderr, "qvisord: ", log.LstdFlags|log.Lmicroseconds)
+	// The registry is always created so GET /v1/metrics works; -metrics
+	// additionally dumps a JSON snapshot on shutdown.
+	reg := obs.NewRegistry()
 	ctl, _, err := core.NewController(defs, spec, core.ControllerOptions{
 		Quarantine: *quarantine,
 		OnEvent: func(e core.Event) {
 			logger.Printf("event %v tenant=%q %s", e.Kind, e.Tenant, e.Detail)
 		},
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
@@ -111,7 +118,30 @@ func run(args []string) error {
 	logger.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return srv.Shutdown(shutdownCtx)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if *metricsPath != "" {
+		return writeSnapshot(*metricsPath, reg)
+	}
+	return nil
+}
+
+// writeSnapshot dumps the registry as indented JSON to path ("-" =
+// stdout).
+func writeSnapshot(path string, reg *obs.Registry) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reg.Snapshot())
 }
 
 // parseTenant parses name=algorithm:id.

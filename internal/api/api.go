@@ -5,7 +5,7 @@
 // The API is plain HTTP+JSON on the standard library:
 //
 //	GET    /v1/policy               the deployed joint policy
-//	GET    /v1/spec                 the operator specification
+//	GET    /v1/spec                 the operator specification + version
 //	PUT    /v1/spec                 replace the specification (re-synthesize)
 //	GET    /v1/tenants              registered tenants
 //	POST   /v1/tenants              register a tenant (join + new spec)
@@ -14,7 +14,22 @@
 //	POST   /v1/check                run one control-loop iteration
 //	POST   /v1/compile              guarantee analysis for a target device
 //	POST   /v1/fabric               network-wide plan over heterogeneous devices
+//	GET    /v1/analyze              worst-case interference analysis
+//	GET    /v1/metrics              Prometheus text exposition (internal/obs)
 //	GET    /v1/healthz              liveness
+//
+// Every non-2xx response carries the JSON error envelope
+//
+//	{"error": {"code": "unknown_tenant", "message": "..."}}
+//
+// where code is one of the Code* constants — machine-readable, stable
+// across message rewording. Client decodes the envelope into *APIError.
+//
+// Mutating requests (PUT /v1/spec, POST /v1/tenants, DELETE
+// /v1/tenants/{name}) accept an optional If-Match header naming the spec
+// version from GET /v1/spec (bare or ETag-quoted); a stale version yields
+// 409 with code version_conflict, implementing optimistic concurrency for
+// read-modify-write spec updates.
 package api
 
 import (
@@ -58,6 +73,15 @@ type JoinRequest struct {
 // SpecRequest replaces the operator specification.
 type SpecRequest struct {
 	Spec string `json:"spec"`
+}
+
+// SpecResponse is the operator specification together with its version —
+// the number of compilations performed, monotonically increasing with
+// every accepted mutation. Echo the version in If-Match to make a
+// read-modify-write update conditional.
+type SpecResponse struct {
+	Spec    string `json:"spec"`
+	Version uint64 `json:"version"`
 }
 
 // LeaveRequest carries the post-departure specification as a query
@@ -170,9 +194,43 @@ type AnalyzeResponse struct {
 	Isolated []string           `json:"isolated,omitempty"`
 }
 
+// Machine-readable error codes carried in the error envelope. Clients
+// should branch on these, not on message text.
+const (
+	// CodeParseError: a request body or spec string failed to parse.
+	CodeParseError = "parse_error"
+	// CodeBadRequest: the request was well-formed but invalid (missing
+	// parameter, malformed If-Match, ...).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownTenant: the named tenant is not registered.
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeTenantExists: a registration named an already-present tenant.
+	CodeTenantExists = "tenant_exists"
+	// CodeSynthFailed: the joint policy could not be re-synthesized for
+	// the requested configuration; the previous policy remains deployed.
+	CodeSynthFailed = "synth_failed"
+	// CodeVersionConflict: If-Match named a stale spec version.
+	CodeVersionConflict = "version_conflict"
+	// CodeInvalidTarget: a compile/fabric target description was invalid.
+	CodeInvalidTarget = "invalid_target"
+	// CodeNotFound: no route matched the request path.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for this method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the payload of the error envelope: a stable machine-readable
+// code plus a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
 
 // toTenant converts a wire registration to a core tenant.

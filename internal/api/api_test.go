@@ -259,8 +259,11 @@ func TestBadJSONRejected(t *testing.T) {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
 	}
 	var er ErrorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error.Message == "" {
 		t.Fatalf("error body missing: %v %+v", err, er)
+	}
+	if er.Error.Code != CodeParseError {
+		t.Fatalf("code = %q, want %q", er.Error.Code, CodeParseError)
 	}
 	// Unknown fields are rejected too.
 	resp2, err := http.Post(ts.URL+"/v1/check", "application/json", nil)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 )
 
@@ -26,18 +27,32 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// APIError is a non-2xx reply.
+// APIError is a decoded non-2xx reply. Code is one of the Code* constants
+// (empty when the server sent no envelope); branch on it with errors.As:
+//
+//	var ae *api.APIError
+//	if errors.As(err, &ae) && ae.Code == api.CodeVersionConflict { ... }
 type APIError struct {
 	Status  int
+	Code    string
 	Message string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
-	return fmt.Sprintf("api: HTTP %d: %s", e.Status, e.Message)
+	if e.Code == "" {
+		return fmt.Sprintf("api: HTTP %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("api: HTTP %d (%s): %s", e.Status, e.Code, e.Message)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doIfMatch(ctx, method, path, "", in, out)
+}
+
+// doIfMatch is do with an optional If-Match header carrying a spec version
+// for optimistic concurrency (empty sends no header).
+func (c *Client) doIfMatch(ctx context.Context, method, path, ifMatch string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -53,23 +68,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if ifMatch != "" {
+		req.Header.Set("If-Match", ifMatch)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{Status: resp.StatusCode, Message: resp.Status}
 		var er ErrorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			msg = er.Error
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error.Message != "" {
+			ae.Code = er.Error.Code
+			ae.Message = er.Error.Message
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return ae
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func ifMatchValue(version uint64) string {
+	return strconv.FormatUint(version, 10)
 }
 
 // Health checks liveness.
@@ -86,14 +109,31 @@ func (c *Client) Policy(ctx context.Context) (PolicyResponse, error) {
 
 // Spec fetches the operator specification.
 func (c *Client) Spec(ctx context.Context) (string, error) {
-	var out SpecRequest
-	err := c.do(ctx, http.MethodGet, "/v1/spec", nil, &out)
+	out, err := c.SpecVersion(ctx)
 	return out.Spec, err
 }
 
-// SetSpec replaces the operator specification.
+// SpecVersion fetches the operator specification together with its version
+// for use in If-Match-conditional updates.
+func (c *Client) SpecVersion(ctx context.Context) (SpecResponse, error) {
+	var out SpecResponse
+	err := c.do(ctx, http.MethodGet, "/v1/spec", nil, &out)
+	return out, err
+}
+
+// SetSpec replaces the operator specification unconditionally.
 func (c *Client) SetSpec(ctx context.Context, spec string) error {
 	return c.do(ctx, http.MethodPut, "/v1/spec", SpecRequest{Spec: spec}, nil)
+}
+
+// SetSpecIfMatch replaces the operator specification only if the deployed
+// version still equals version; a concurrent change yields an *APIError
+// with CodeVersionConflict.
+func (c *Client) SetSpecIfMatch(ctx context.Context, spec string, version uint64) (SpecResponse, error) {
+	var out SpecResponse
+	err := c.doIfMatch(ctx, http.MethodPut, "/v1/spec", ifMatchValue(version),
+		SpecRequest{Spec: spec}, &out)
+	return out, err
 }
 
 // Tenants lists the registered tenants.
@@ -108,10 +148,23 @@ func (c *Client) Join(ctx context.Context, t TenantInfo, spec string) error {
 	return c.do(ctx, http.MethodPost, "/v1/tenants", JoinRequest{Tenant: t, Spec: spec}, nil)
 }
 
+// JoinIfMatch is Join conditional on the spec version (see SetSpecIfMatch).
+func (c *Client) JoinIfMatch(ctx context.Context, t TenantInfo, spec string, version uint64) error {
+	return c.doIfMatch(ctx, http.MethodPost, "/v1/tenants", ifMatchValue(version),
+		JoinRequest{Tenant: t, Spec: spec}, nil)
+}
+
 // Leave deregisters a tenant; spec is the specification after departure.
 func (c *Client) Leave(ctx context.Context, name, spec string) error {
 	path := "/v1/tenants/" + url.PathEscape(name) + "?spec=" + url.QueryEscape(spec)
 	return c.do(ctx, http.MethodDelete, path, nil, nil)
+}
+
+// LeaveIfMatch is Leave conditional on the spec version (see
+// SetSpecIfMatch).
+func (c *Client) LeaveIfMatch(ctx context.Context, name, spec string, version uint64) error {
+	path := "/v1/tenants/" + url.PathEscape(name) + "?spec=" + url.QueryEscape(spec)
+	return c.doIfMatch(ctx, http.MethodDelete, path, ifMatchValue(version), nil, nil)
 }
 
 // Monitor fetches a tenant's observed rank distribution.
@@ -148,4 +201,29 @@ func (c *Client) Fabric(ctx context.Context, devices []DeviceInfo) (FabricRespon
 	var out FabricResponse
 	err := c.do(ctx, http.MethodPost, "/v1/fabric", FabricRequest{Devices: devices}, &out)
 	return out, err
+}
+
+// Metrics fetches the server's metrics in Prometheus text exposition
+// format.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{Status: resp.StatusCode, Message: resp.Status}
+		var er ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error.Message != "" {
+			ae.Code = er.Error.Code
+			ae.Message = er.Error.Message
+		}
+		return "", ae
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"qvisor/internal/core"
+	"qvisor/internal/obs"
 	"qvisor/internal/orchestrator"
 	"qvisor/internal/policy"
 	"qvisor/internal/sim"
@@ -47,12 +49,55 @@ func NewServer(ctl *core.Controller, clock func() sim.Time) *Server {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/fabric", s.handleFabric)
 	mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The mux's built-in 404/405 fallbacks
+// write plain text; envelopeWriter rewrites them into the JSON error
+// envelope so every non-2xx response has the same shape.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+}
+
+// envelopeWriter intercepts 404/405 status writes that are not already
+// JSON (i.e. the mux's plain-text fallbacks, never our own enveloped
+// replies) and substitutes the error envelope.
+type envelopeWriter struct {
+	http.ResponseWriter
+	intercepted bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	ct := w.Header().Get("Content-Type")
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(ct, "application/json") {
+		w.intercepted = true
+		code := CodeNotFound
+		msg := "api: no route matched the request path"
+		if status == http.StatusMethodNotAllowed {
+			code = CodeMethodNotAllowed
+			msg = "api: method not allowed for this route"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options") // set by http.Error
+		w.ResponseWriter.WriteHeader(status)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(ErrorResponse{
+			Error: ErrorBody{Code: code, Message: msg},
+		})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// Write drops the plain-text body of an intercepted fallback response.
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -60,8 +105,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+// writeError sends the uniform error envelope: a machine-readable code (one
+// of the Code* constants) plus err's message.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
 func readJSON(r *http.Request, v any) error {
@@ -97,30 +144,63 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// checkIfMatch enforces optimistic concurrency: when the request carries
+// an If-Match header, the mutation proceeds only if it names the current
+// spec version (as returned by GET /v1/spec; bare or ETag-quoted, "*"
+// matches anything). It writes the error response and returns false on
+// mismatch. The caller must hold s.mu.
+func (s *Server) checkIfMatch(w http.ResponseWriter, r *http.Request) bool {
+	raw := r.Header.Get("If-Match")
+	if raw == "" || raw == "*" {
+		return true
+	}
+	v, err := strconv.ParseUint(strings.Trim(raw, `"`), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("api: malformed If-Match %q: want a spec version", raw))
+		return false
+	}
+	if cur := s.ctl.Version(); v != cur {
+		writeError(w, http.StatusConflict, CodeVersionConflict,
+			fmt.Errorf("api: spec version is %d, If-Match named %d", cur, v))
+		return false
+	}
+	return true
+}
+
+func (s *Server) specResponse(w http.ResponseWriter, status int) {
+	v := s.ctl.Version()
+	w.Header().Set("ETag", `"`+strconv.FormatUint(v, 10)+`"`)
+	writeJSON(w, status, SpecResponse{Spec: s.ctl.Spec().String(), Version: v})
+}
+
 func (s *Server) handleGetSpec(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	writeJSON(w, http.StatusOK, SpecRequest{Spec: s.ctl.Spec().String()})
+	s.specResponse(w, http.StatusOK)
 }
 
 func (s *Server) handlePutSpec(w http.ResponseWriter, r *http.Request) {
 	var req SpecRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	spec, err := policy.Parse(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.ctl.UpdateSpec(s.clock(), spec); err != nil {
-		writeErr(w, http.StatusConflict, err)
+	if !s.checkIfMatch(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, SpecRequest{Spec: s.ctl.Spec().String()})
+	if err := s.ctl.UpdateSpec(s.clock(), spec); err != nil {
+		writeError(w, http.StatusConflict, CodeSynthFailed, err)
+		return
+	}
+	s.specResponse(w, http.StatusOK)
 }
 
 func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
@@ -136,24 +216,30 @@ func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	t, err := req.Tenant.toTenant()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	spec, err := policy.Parse(req.Spec)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.checkIfMatch(w, r) {
+		return
+	}
 	if err := s.ctl.Join(s.clock(), t, spec); err != nil {
-		status := http.StatusConflict
-		writeErr(w, status, err)
+		code := CodeSynthFailed
+		if errors.Is(err, core.ErrTenantExists) {
+			code = CodeTenantExists
+		}
+		writeError(w, http.StatusConflict, code, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, tenantInfo(t, false, false))
@@ -163,22 +249,26 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	specText := r.URL.Query().Get("spec")
 	if specText == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("api: missing spec query parameter"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			errors.New("api: missing spec query parameter"))
 		return
 	}
 	spec, err := policy.Parse(specText)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.checkIfMatch(w, r) {
+		return
+	}
 	if err := s.ctl.Leave(s.clock(), name, spec); err != nil {
-		status := http.StatusConflict
-		if strings.Contains(err.Error(), "not present") {
-			status = http.StatusNotFound
+		if errors.Is(err, core.ErrTenantNotFound) {
+			writeError(w, http.StatusNotFound, CodeUnknownTenant, err)
+			return
 		}
-		writeErr(w, status, err)
+		writeError(w, http.StatusConflict, CodeSynthFailed, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -190,7 +280,8 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	m := s.ctl.Monitor(name)
 	if m == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("api: no monitor for tenant %q", name))
+		writeError(w, http.StatusNotFound, CodeUnknownTenant,
+			fmt.Errorf("api: no monitor for tenant %q", name))
 		return
 	}
 	resp := MonitorResponse{
@@ -214,7 +305,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	changed, err := s.ctl.Check(s.clock())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckResponse{Redeployed: changed, Version: s.ctl.Version()})
@@ -223,7 +314,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req CompileRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	s.mu.Lock()
@@ -236,7 +327,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Admission:   req.Admission,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidTarget, err)
 		return
 	}
 	resp := CompileResponse{Feasible: plan.Feasible, Downgrades: plan.Downgrades}
@@ -270,7 +361,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 	var req FabricRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeParseError, err)
 		return
 	}
 	devices := make([]orchestrator.Device, len(req.Devices))
@@ -291,7 +382,7 @@ func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	fp, err := orchestrator.Plan(s.ctl.Policy(), devices)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidTarget, err)
 		return
 	}
 	resp := FabricResponse{
@@ -314,4 +405,18 @@ func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.ctl.Registry()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			errors.New("api: metrics not enabled (controller built without a registry)"))
+		return
+	}
+	// No s.mu: the registry's instruments are independently atomic, which
+	// is the standard scrape consistency contract.
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WritePrometheus(w)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 )
 
@@ -69,6 +70,68 @@ type Preprocessor struct {
 	jp     *JointPolicy
 	action UnknownTenantAction
 	stats  PreprocStats
+	obs    *preprocObs
+}
+
+// Metric families exported by an instrumented pre-processor.
+const (
+	MetricPreprocProcessed = "qvisor_preproc_processed_total"
+	MetricPreprocClamped   = "qvisor_preproc_clamped_total"
+	MetricPreprocUnknown   = "qvisor_preproc_unknown_total"
+	MetricPreprocRankShift = "qvisor_preproc_rank_shift"
+)
+
+// preprocObs holds the registry-backed instruments of one pre-processor:
+// per-tenant counters plus a rank-shift magnitude histogram, resolved to
+// direct handles per tenant ID so the per-packet cost is one map lookup.
+type preprocObs struct {
+	reg     *obs.Registry
+	nameOf  func(pkt.TenantID) string
+	unknown *obs.Counter
+	tenants map[pkt.TenantID]preprocTenantObs
+}
+
+type preprocTenantObs struct {
+	processed *obs.Counter
+	clamped   *obs.Counter
+	shift     *obs.Histogram
+}
+
+// EnableMetrics mirrors the pre-processor's counters into reg, labeled per
+// tenant. nameOf maps tenant IDs to the names used as label values; nil
+// falls back to "tenant-<id>". A nil registry disables instrumentation
+// (the default, zero-overhead state). The instrument table is rebuilt on
+// every Update so re-synthesized policies keep their series.
+func (pp *Preprocessor) EnableMetrics(reg *obs.Registry, nameOf func(pkt.TenantID) string) {
+	if reg == nil {
+		pp.obs = nil
+		return
+	}
+	if nameOf == nil {
+		nameOf = func(id pkt.TenantID) string { return fmt.Sprintf("tenant-%d", id) }
+	}
+	pp.obs = &preprocObs{
+		reg:    reg,
+		nameOf: nameOf,
+		unknown: reg.Counter(MetricPreprocUnknown,
+			"Packets whose tenant label has no transformation."),
+	}
+	pp.obs.rebuild(pp.jp)
+}
+
+func (o *preprocObs) rebuild(jp *JointPolicy) {
+	o.tenants = make(map[pkt.TenantID]preprocTenantObs, len(jp.Transforms))
+	for id := range jp.Transforms {
+		l := obs.L("tenant", o.nameOf(id))
+		o.tenants[id] = preprocTenantObs{
+			processed: o.reg.Counter(MetricPreprocProcessed,
+				"Packets whose rank the pre-processor rewrote.", l),
+			clamped: o.reg.Counter(MetricPreprocClamped,
+				"Packets whose incoming rank fell outside the tenant's declared bounds.", l),
+			shift: o.reg.Histogram(MetricPreprocRankShift,
+				"Absolute rank-rewrite magnitude |joint - tenant| (log2 buckets).", l),
+		}
+	}
 }
 
 // NewPreprocessor returns a pre-processor executing the given joint policy.
@@ -81,7 +144,12 @@ func (pp *Preprocessor) Policy() *JointPolicy { return pp.jp }
 
 // Update deploys a new joint policy. Packets processed afterwards use the
 // new transformations — the event-driven reconfiguration of §2 (Idea 2).
-func (pp *Preprocessor) Update(jp *JointPolicy) { pp.jp = jp }
+func (pp *Preprocessor) Update(jp *JointPolicy) {
+	pp.jp = jp
+	if pp.obs != nil {
+		pp.obs.rebuild(jp)
+	}
+}
 
 // Stats returns a snapshot of the counters.
 func (pp *Preprocessor) Stats() PreprocStats { return pp.stats }
@@ -92,6 +160,9 @@ func (pp *Preprocessor) Process(p *pkt.Packet) bool {
 	tr, ok := pp.jp.Transforms[p.Tenant]
 	if !ok {
 		pp.stats.Unknown++
+		if pp.obs != nil {
+			pp.obs.unknown.Inc()
+		}
 		switch pp.action {
 		case UnknownPass:
 			return true
@@ -102,11 +173,26 @@ func (pp *Preprocessor) Process(p *pkt.Packet) bool {
 			return true
 		}
 	}
-	if p.Rank < tr.Lo || p.Rank > tr.Hi {
+	clamped := p.Rank < tr.Lo || p.Rank > tr.Hi
+	if clamped {
 		pp.stats.Clamped++
 	}
+	in := p.Rank
 	p.Rank = tr.Apply(p.Rank)
 	pp.stats.Processed++
+	if pp.obs != nil {
+		if to, ok := pp.obs.tenants[p.Tenant]; ok {
+			to.processed.Inc()
+			if clamped {
+				to.clamped.Inc()
+			}
+			shift := p.Rank - in
+			if shift < 0 {
+				shift = -shift
+			}
+			to.shift.Observe(shift)
+		}
+	}
 	return true
 }
 

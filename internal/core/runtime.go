@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 	"qvisor/internal/policy"
 	"qvisor/internal/sim"
@@ -76,6 +78,11 @@ type ControllerOptions struct {
 	Quarantine bool
 	// OnEvent, if non-nil, observes controller events.
 	OnEvent func(Event)
+	// Metrics, if non-nil, exports controller activity (adaptation
+	// events, re-synthesis count, quarantine transitions) and the
+	// pre-processor's per-tenant counters into this registry; the
+	// API server serves it at GET /v1/metrics.
+	Metrics *obs.Registry
 }
 
 func (o ControllerOptions) defaults() ControllerOptions {
@@ -113,7 +120,78 @@ type Controller struct {
 	active    map[string]bool
 	pp        *Preprocessor
 	version   uint64
+	obs       *controllerObs
 }
+
+// Metric families exported by an instrumented controller.
+const (
+	MetricCtlResyntheses = "qvisor_controller_resyntheses_total"
+	MetricCtlEvents      = "qvisor_controller_events_total"
+	MetricCtlVersion     = "qvisor_controller_policy_version"
+	MetricCtlTenants     = "qvisor_controller_tenants"
+	MetricCtlFlagged     = "qvisor_controller_flagged_tenants"
+	MetricCtlQuarantined = "qvisor_controller_quarantined_tenants"
+)
+
+// controllerObs holds the controller's registry-backed instruments. Event
+// counters are pre-registered for every EventKind so the exported series
+// set is stable from startup.
+type controllerObs struct {
+	resyntheses *obs.Counter
+	events      map[EventKind]*obs.Counter
+	version     *obs.Gauge
+	tenants     *obs.Gauge
+	flagged     *obs.Gauge
+	quarantined *obs.Gauge
+}
+
+func newControllerObs(reg *obs.Registry) *controllerObs {
+	if reg == nil {
+		return nil
+	}
+	o := &controllerObs{
+		resyntheses: reg.Counter(MetricCtlResyntheses,
+			"Joint-policy compilations performed."),
+		events: make(map[EventKind]*obs.Counter),
+		version: reg.Gauge(MetricCtlVersion,
+			"Version of the currently deployed joint policy."),
+		tenants: reg.Gauge(MetricCtlTenants,
+			"Tenants currently registered."),
+		flagged: reg.Gauge(MetricCtlFlagged,
+			"Tenants currently flagged as adversarial."),
+		quarantined: reg.Gauge(MetricCtlQuarantined,
+			"Tenants currently demoted to the bottom tier."),
+	}
+	for _, k := range []EventKind{
+		EventResynthesized, EventTenantJoined, EventTenantLeft,
+		EventAdversarial, EventQuarantined,
+	} {
+		o.events[k] = reg.Counter(MetricCtlEvents,
+			"Controller adaptation events by kind.", obs.L("kind", k.String()))
+	}
+	return o
+}
+
+// sync refreshes the controller gauges after any state change.
+func (c *Controller) syncObs() {
+	if c.obs == nil {
+		return
+	}
+	c.obs.version.Set(float64(c.version))
+	c.obs.tenants.Set(float64(len(c.tenants)))
+	c.obs.flagged.Set(float64(len(c.flagged)))
+	c.obs.quarantined.Set(float64(len(c.quarantined)))
+}
+
+// Typed sentinel errors reported by Join and Leave, so callers (notably
+// the API server) can map failures to status codes with errors.Is instead
+// of string matching.
+var (
+	// ErrTenantExists: Join with a name that is already registered.
+	ErrTenantExists = errors.New("tenant already present")
+	// ErrTenantNotFound: Leave (or a lookup) named an unknown tenant.
+	ErrTenantNotFound = errors.New("tenant not present")
+)
 
 // NewController compiles the initial joint policy and returns the
 // controller together with the pre-processor executing it.
@@ -128,6 +206,7 @@ func NewController(tenants []*Tenant, spec *policy.Spec, opts ControllerOptions)
 		quarantined: make(map[string]bool),
 		lastCount:   make(map[string]uint64),
 		active:      make(map[string]bool),
+		obs:         newControllerObs(opts.Metrics),
 	}
 	for _, t := range tenants {
 		c.tenants[t.Name] = t
@@ -137,8 +216,25 @@ func NewController(tenants []*Tenant, spec *policy.Spec, opts ControllerOptions)
 		return nil, nil, err
 	}
 	c.pp = NewPreprocessor(jp, UnknownWorst)
+	c.pp.EnableMetrics(opts.Metrics, c.tenantName)
 	c.resetMonitors()
+	c.syncObs()
 	return c, c.pp, nil
+}
+
+// Registry returns the metrics registry the controller was built with, or
+// nil when uninstrumented. The API server exposes it at GET /v1/metrics.
+func (c *Controller) Registry() *obs.Registry { return c.opts.Metrics }
+
+// tenantName maps a tenant ID back to its registered name for metric
+// labels; unregistered IDs fall back to a synthetic name.
+func (c *Controller) tenantName(id pkt.TenantID) string {
+	for name, t := range c.tenants {
+		if t.ID == id {
+			return name
+		}
+	}
+	return fmt.Sprintf("tenant-%d", id)
 }
 
 // Policy returns the currently deployed joint policy.
@@ -186,6 +282,9 @@ func (c *Controller) compile() (*JointPolicy, error) {
 	}
 	c.version++
 	jp.Version = c.version
+	if c.obs != nil {
+		c.obs.resyntheses.Inc()
+	}
 	return jp, nil
 }
 
@@ -210,6 +309,10 @@ func (c *Controller) resetMonitors() {
 }
 
 func (c *Controller) emit(e Event) {
+	if c.obs != nil {
+		c.obs.events[e.Kind].Inc()
+		c.syncObs()
+	}
 	if c.opts.OnEvent != nil {
 		c.opts.OnEvent(e)
 	}
@@ -219,7 +322,7 @@ func (c *Controller) emit(e Event) {
 // re-synthesizes.
 func (c *Controller) Join(now sim.Time, t *Tenant, spec *policy.Spec) error {
 	if _, dup := c.tenants[t.Name]; dup {
-		return fmt.Errorf("core: tenant %q already present", t.Name)
+		return fmt.Errorf("core: tenant %q: %w", t.Name, ErrTenantExists)
 	}
 	c.tenants[t.Name] = t
 	c.spec = spec
@@ -240,7 +343,7 @@ func (c *Controller) Join(now sim.Time, t *Tenant, spec *policy.Spec) error {
 func (c *Controller) Leave(now sim.Time, name string, spec *policy.Spec) error {
 	t, ok := c.tenants[name]
 	if !ok {
-		return fmt.Errorf("core: tenant %q not present", name)
+		return fmt.Errorf("core: tenant %q: %w", name, ErrTenantNotFound)
 	}
 	delete(c.tenants, name)
 	delete(c.monitors, name)

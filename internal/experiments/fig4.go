@@ -12,6 +12,7 @@ import (
 
 	"qvisor/internal/core"
 	"qvisor/internal/netsim"
+	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 	"qvisor/internal/policy"
 	"qvisor/internal/rank"
@@ -120,6 +121,11 @@ type Config struct {
 	// FlowsCSV, when set, replaces the generated pFabric workload with
 	// the flow trace read from this CSV file (see workload.ReadCSV).
 	FlowsCSV string
+	// Registry, when non-nil, collects metrics (internal/obs) from the
+	// run's pre-processor, port schedulers, and fabric. The registry is
+	// safe for concurrent use, so sweeps may share one across runs — the
+	// counters then aggregate over every run.
+	Registry *obs.Registry
 }
 
 func (c Config) sizes() (workload.SizeDist, error) {
@@ -283,9 +289,10 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 	ncfg := netsim.Config{
 		Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
 		AccessBps: cfg.AccessBps, FabricBps: cfg.FabricBps,
-		Tenants: tenants,
-		Horizon: cfg.Horizon,
-		Trace:   cfg.Trace,
+		Tenants:  tenants,
+		Horizon:  cfg.Horizon,
+		Trace:    cfg.Trace,
+		Registry: cfg.Registry,
 	}
 
 	switch scheme {
@@ -316,6 +323,7 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 			return Result{}, err
 		}
 		ncfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+		ncfg.Preprocessor.EnableMetrics(cfg.Registry, tenantNames(tenants))
 		backend := cfg.Backend // zero value is BackendPIFO
 		dep, err := jp.Deploy(backend, core.DeployOptions{Queues: cfg.Queues})
 		if err != nil {
@@ -375,4 +383,18 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 func (c Config) SmallBinFor() (int64, int64) {
 	return int64(float64(stats.SmallFlowMax) * c.SizeScale),
 		int64(float64(stats.LargeFlowMin) * c.SizeScale)
+}
+
+// tenantNames builds the tenant-ID → name lookup used for metric labels.
+func tenantNames(defs []netsim.TenantDef) func(pkt.TenantID) string {
+	byID := make(map[pkt.TenantID]string, len(defs))
+	for _, td := range defs {
+		byID[td.ID] = td.Name
+	}
+	return func(id pkt.TenantID) string {
+		if name, ok := byID[id]; ok {
+			return name
+		}
+		return fmt.Sprintf("tenant-%d", id)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"qvisor/internal/core"
+	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 	"qvisor/internal/rank"
 	"qvisor/internal/sched"
@@ -70,6 +71,13 @@ type Config struct {
 	// Trace, when non-nil, records packet events (emit, deliver, drop)
 	// as JSON lines.
 	Trace *trace.Recorder
+	// Registry, when non-nil, exports fabric telemetry (internal/obs):
+	// per-role tx/drop counters, per-port utilization and high-water-mark
+	// gauges, and the sched.Metrics families (aggregated per device role)
+	// on every port scheduler that implements sched.MetricsSetter. All of
+	// it is staged on the data path and published by Run/PortStats/
+	// FlushMetrics, so instrumentation costs no atomics per packet.
+	Registry *obs.Registry
 	// MSS is the payload bytes per packet. Zero means 1460.
 	MSS int
 	// HeaderBytes is the per-packet overhead on the wire. Zero means 64
@@ -167,8 +175,43 @@ type Network struct {
 	fcts   *stats.Collector
 	count  Counters
 
+	// roleMetrics shares one sched.Metrics bundle per (device role,
+	// scheduler name), so the scheduler families aggregate across the
+	// role's ports.
+	roleMetrics map[string]*sched.Metrics
+
 	nextPktID  uint64
 	nextFlowID uint64
+}
+
+// Metric families exported by an instrumented network.
+const (
+	MetricPortTxBytes     = "qvisor_netsim_tx_bytes_total"
+	MetricPortTxPackets   = "qvisor_netsim_tx_packets_total"
+	MetricPortDrops       = "qvisor_netsim_drops_total"
+	MetricPortUtilization = "qvisor_netsim_port_utilization"
+	MetricPortMaxQueued   = "qvisor_netsim_port_max_queued_bytes"
+)
+
+// schedMetrics returns the shared scheduler instrument bundle for one
+// (role, scheduler) pair — nil when the network is uninstrumented. The
+// engine clock is attached so instrumented schedulers record per-packet
+// sojourn times.
+func (n *Network) schedMetrics(role, scheduler string) *sched.Metrics {
+	if n.cfg.Registry == nil {
+		return nil
+	}
+	if n.roleMetrics == nil {
+		n.roleMetrics = make(map[string]*sched.Metrics)
+	}
+	key := role + "\x00" + scheduler
+	m, ok := n.roleMetrics[key]
+	if !ok {
+		m = sched.NewMetrics(n.cfg.Registry,
+			obs.L("role", role), obs.L("scheduler", scheduler)).WithClock(n.eng.Now)
+		n.roleMetrics[key] = m
+	}
+	return m
 }
 
 // New builds the network and schedules all tenant flows. The returned
@@ -269,6 +312,7 @@ func (n *Network) Run() {
 		h.stopCBR()
 	}
 	n.eng.Run(2 * n.cfg.Horizon)
+	n.FlushMetrics()
 }
 
 // RunNoDrain executes strictly to the horizon (tests that need exact
@@ -294,25 +338,52 @@ func (n *Network) flowID() uint64 {
 	return n.nextFlowID
 }
 
+// forEachPort visits every output port in stable order: host uplinks, then
+// leaf ports, then spine ports.
+func (n *Network) forEachPort(f func(*Port)) {
+	for _, h := range n.hosts {
+		f(h.up)
+	}
+	for _, sw := range n.leaves {
+		for _, p := range sw.ports {
+			f(p)
+		}
+	}
+	for _, sw := range n.spines {
+		for _, p := range sw.ports {
+			f(p)
+		}
+	}
+}
+
 // PortStats returns the telemetry of every output port in the network, in
 // a stable order: host uplinks, then leaf ports, then spine ports.
 func (n *Network) PortStats() []PortStats {
 	elapsed := n.eng.Now()
 	var out []PortStats
-	for _, h := range n.hosts {
-		out = append(out, h.up.stats(elapsed))
-	}
-	for _, sw := range n.leaves {
-		for _, p := range sw.ports {
-			out = append(out, p.stats(elapsed))
-		}
-	}
-	for _, sw := range n.spines {
-		for _, p := range sw.ports {
-			out = append(out, p.stats(elapsed))
-		}
-	}
+	n.forEachPort(func(p *Port) {
+		out = append(out, p.stats(elapsed))
+	})
+	n.FlushMetrics()
 	return out
+}
+
+// FlushMetrics publishes the staged telemetry into the registry: per-port
+// tx/drop counter deltas, the lazily computed per-port gauges (utilization,
+// queue high-water mark), and the per-role scheduler stages. Run and
+// PortStats call it; call it directly only when scraping mid-simulation. A
+// no-op without a registry.
+func (n *Network) FlushMetrics() {
+	if n.cfg.Registry == nil {
+		return
+	}
+	elapsed := n.eng.Now()
+	n.forEachPort(func(p *Port) {
+		p.flushObs(elapsed)
+	})
+	for _, m := range n.roleMetrics {
+		m.Flush()
+	}
 }
 
 // leafOf returns the leaf index of a host.

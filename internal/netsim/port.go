@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
@@ -21,8 +22,22 @@ type Port struct {
 	// Telemetry.
 	txBytes   uint64
 	txPackets uint64
+	drops     uint64
 	busyTime  sim.Time
 	maxQueued int
+
+	// Registry-backed instruments, nil when the network is uninstrumented.
+	// Counters are shared per device role; flushObs publishes the deltas of
+	// the plain telemetry fields above (flushed* remember the high-water
+	// marks already published), so the data path itself touches no atomics.
+	obsTxBytes     *obs.Counter
+	obsTxPackets   *obs.Counter
+	obsDrops       *obs.Counter
+	obsUtil        *obs.Gauge
+	obsMaxQueued   *obs.Gauge
+	flushedTxBytes uint64
+	flushedTxPkts  uint64
+	flushedDrops   uint64
 }
 
 func (n *Network) newPort(role string, id int, name string, rateBps float64, deliver func(sim.Time, *pkt.Packet)) *Port {
@@ -32,8 +47,23 @@ func (n *Network) newPort(role string, id int, name string, rateBps float64, del
 		rateBps: rateBps,
 		deliver: deliver,
 	}
+	if reg := n.cfg.Registry; reg != nil {
+		rl := obs.L("role", role)
+		pt.obsTxBytes = reg.Counter(MetricPortTxBytes,
+			"Bytes transmitted onto the wire.", rl)
+		pt.obsTxPackets = reg.Counter(MetricPortTxPackets,
+			"Packets transmitted onto the wire.", rl)
+		pt.obsDrops = reg.Counter(MetricPortDrops,
+			"Packets dropped by port schedulers (admission drops and evictions).", rl)
+		pl := obs.L("port", name)
+		pt.obsUtil = reg.Gauge(MetricPortUtilization,
+			"Busy time over elapsed time, 0-1.", pl)
+		pt.obsMaxQueued = reg.Gauge(MetricPortMaxQueued,
+			"High-water mark of the port's queue in bytes.", pl)
+	}
 	drop := sched.DropFn(func(p *pkt.Packet) {
 		n.count.Dropped++
+		pt.drops++
 		n.cfg.Trace.Record(n.eng.Now(), "drop", name, p)
 	})
 	if n.cfg.SchedulerFor != nil {
@@ -41,6 +71,11 @@ func (n *Network) newPort(role string, id int, name string, rateBps float64, del
 	}
 	if pt.q == nil {
 		pt.q = n.cfg.Scheduler(drop)
+	}
+	if ms, ok := pt.q.(sched.MetricsSetter); ok {
+		if m := n.schedMetrics(role, pt.q.Name()); m != nil {
+			ms.SetMetrics(m)
+		}
 	}
 	return pt
 }
@@ -109,4 +144,21 @@ func (pt *Port) stats(elapsed sim.Time) PortStats {
 		Utilization:    util,
 		MaxQueuedBytes: pt.maxQueued,
 	}
+}
+
+// flushObs publishes the port's staged telemetry: counter deltas since the
+// last flush plus the current gauge values.
+func (pt *Port) flushObs(elapsed sim.Time) {
+	if pt.obsUtil == nil {
+		return
+	}
+	s := pt.stats(elapsed)
+	pt.obsUtil.Set(s.Utilization)
+	pt.obsMaxQueued.Set(float64(s.MaxQueuedBytes))
+	pt.obsTxBytes.Add(pt.txBytes - pt.flushedTxBytes)
+	pt.flushedTxBytes = pt.txBytes
+	pt.obsTxPackets.Add(pt.txPackets - pt.flushedTxPkts)
+	pt.flushedTxPkts = pt.txPackets
+	pt.obsDrops.Add(pt.drops - pt.flushedDrops)
+	pt.flushedDrops = pt.drops
 }

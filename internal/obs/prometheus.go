@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of WritePrometheus output
+// (Prometheus text exposition format, version 0.0.4).
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: families sorted by name, series sorted by label signature,
+// histograms as cumulative _bucket/_sum/_count series. A nil registry
+// writes nothing. Deterministic for a given registry state, which the
+// golden test in internal/api relies on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, f := range snap.Families {
+		b.Reset()
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type)
+		b.WriteByte('\n')
+		for _, m := range f.Metrics {
+			switch f.Type {
+			case "histogram":
+				writeHistogram(&b, f.Name, m)
+			default:
+				writeSeries(&b, f.Name, m.Labels, "", formatFloat(m.Value))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSeries emits one sample line: name{labels,extra} value.
+func writeSeries(b *strings.Builder, name string, labels map[string]string, extra, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 || extra != "" {
+		b.WriteByte('{')
+		first := true
+		for _, k := range sortedKeys(labels) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(k)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labels[k]))
+			b.WriteByte('"')
+		}
+		if extra != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extra)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func writeHistogram(b *strings.Builder, name string, m MetricValue) {
+	for _, bk := range m.Buckets {
+		le := "+Inf"
+		if !math.IsInf(bk.UpperBound, 1) {
+			le = formatFloat(bk.UpperBound)
+		}
+		writeSeries(b, name+"_bucket", m.Labels, `le="`+le+`"`,
+			strconv.FormatUint(bk.Cumulative, 10))
+	}
+	writeSeries(b, name+"_sum", m.Labels, "", strconv.FormatInt(m.Sum, 10))
+	writeSeries(b, name+"_count", m.Labels, "", strconv.FormatUint(m.Count, 10))
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros, everything else in Go's shortest representation.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

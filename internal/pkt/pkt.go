@@ -77,6 +77,10 @@ type Packet struct {
 	Tagged bool
 	// SentAt is when the transport first emitted the packet.
 	SentAt sim.Time
+	// EnqueuedAt is when the packet entered its current scheduler queue;
+	// set by instrumented schedulers (internal/sched.Metrics) to measure
+	// per-packet sojourn time.
+	EnqueuedAt sim.Time
 	// Deadline is the absolute deadline for deadline-constrained traffic.
 	Deadline sim.Time
 	// AckSeq is the cumulative acknowledgment (ack packets).

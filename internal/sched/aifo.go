@@ -70,6 +70,9 @@ func (q *AIFO) Bytes() int { return q.bytes }
 // Stats returns a snapshot of the scheduler's counters.
 func (q *AIFO) Stats() Stats { return q.stats }
 
+// SetMetrics implements MetricsSetter.
+func (q *AIFO) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
+
 // Enqueue implements Scheduler with quantile-based admission.
 func (q *AIFO) Enqueue(p *pkt.Packet) bool {
 	cap := q.cfg.capacity()
@@ -87,12 +90,14 @@ func (q *AIFO) Enqueue(p *pkt.Packet) bool {
 	q.observe(p.Rank)
 	if !admit {
 		q.stats.Dropped++
+		q.cfg.Metrics.onDrop()
 		q.cfg.drop(p)
 		return false
 	}
 	q.q.push(p)
 	q.bytes += p.Size
 	q.stats.Enqueued++
+	q.cfg.Metrics.onEnqueue(p, q.q.n, q.bytes)
 	return true
 }
 
@@ -128,5 +133,6 @@ func (q *AIFO) Dequeue() *pkt.Packet {
 	}
 	q.bytes -= p.Size
 	q.stats.Dequeued++
+	q.cfg.Metrics.onDequeue(p, q.q.n, q.bytes)
 	return p
 }

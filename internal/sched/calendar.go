@@ -60,10 +60,14 @@ func (q *Calendar) Bytes() int { return q.bytes }
 // Stats returns a snapshot of the scheduler's counters.
 func (q *Calendar) Stats() Stats { return q.stats }
 
+// SetMetrics implements MetricsSetter.
+func (q *Calendar) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
+
 // Enqueue implements Scheduler.
 func (q *Calendar) Enqueue(p *pkt.Packet) bool {
 	if q.bytes+p.Size > q.cfg.capacity() {
 		q.stats.Dropped++
+		q.cfg.Metrics.onDrop()
 		q.cfg.drop(p)
 		return false
 	}
@@ -79,6 +83,9 @@ func (q *Calendar) Enqueue(p *pkt.Packet) bool {
 	q.bbytes[i] += p.Size
 	q.bytes += p.Size
 	q.stats.Enqueued++
+	if m := q.cfg.Metrics; m != nil { // guard: Len is O(buckets)
+		m.onEnqueue(p, q.Len(), q.bytes)
+	}
 	return true
 }
 
@@ -95,6 +102,9 @@ func (q *Calendar) Dequeue() *pkt.Packet {
 	q.bbytes[q.cur] -= p.Size
 	q.bytes -= p.Size
 	q.stats.Dequeued++
+	if m := q.cfg.Metrics; m != nil { // guard: Len is O(buckets)
+		m.onDequeue(p, q.Len(), q.bytes)
+	}
 	return p
 }
 

@@ -68,17 +68,22 @@ func (q *FIFO) Bytes() int { return q.bytes }
 // Stats returns a snapshot of the scheduler's counters.
 func (q *FIFO) Stats() Stats { return q.stats }
 
+// SetMetrics implements MetricsSetter.
+func (q *FIFO) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
+
 // Enqueue implements Scheduler. Arrivals that would overflow the buffer are
 // tail-dropped.
 func (q *FIFO) Enqueue(p *pkt.Packet) bool {
 	if q.bytes+p.Size > q.cfg.capacity() {
 		q.stats.Dropped++
+		q.cfg.Metrics.onDrop()
 		q.cfg.drop(p)
 		return false
 	}
 	q.q.push(p)
 	q.bytes += p.Size
 	q.stats.Enqueued++
+	q.cfg.Metrics.onEnqueue(p, q.q.n, q.bytes)
 	return true
 }
 
@@ -90,6 +95,7 @@ func (q *FIFO) Dequeue() *pkt.Packet {
 	}
 	q.bytes -= p.Size
 	q.stats.Dequeued++
+	q.cfg.Metrics.onDequeue(p, q.q.n, q.bytes)
 	return p
 }
 

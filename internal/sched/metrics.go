@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"qvisor/internal/obs"
+	"qvisor/internal/pkt"
+	"qvisor/internal/sim"
+)
+
+// Metric families exported by instrumented schedulers. Every family carries
+// at least a scheduler label; callers may add more (netsim adds role).
+const (
+	MetricEnqueued   = "qvisor_sched_enqueued_total"
+	MetricDequeued   = "qvisor_sched_dequeued_total"
+	MetricDropped    = "qvisor_sched_dropped_total"
+	MetricEvicted    = "qvisor_sched_evicted_total"
+	MetricInversions = "qvisor_sched_inversions_total"
+	MetricDepthPkts  = "qvisor_sched_queue_depth_packets"
+	MetricDepthBytes = "qvisor_sched_queue_depth_bytes"
+	MetricSojournNs  = "qvisor_sched_sojourn_ns"
+)
+
+// metricsStage is the single-writer staging area: per-event bookkeeping is
+// plain arithmetic here, and Flush publishes the accumulated deltas to the
+// registry with a handful of atomic adds. This keeps the instrumented hot
+// path within a few nanoseconds of the uninstrumented one — per-event
+// atomics would cost more than the schedulers' own work (cf. Eiffel's
+// insistence on cheap per-packet bookkeeping).
+type metricsStage struct {
+	enqueued   uint64
+	dequeued   uint64
+	dropped    uint64
+	evicted    uint64
+	inversions uint64
+	depthPkts  int
+	depthBytes int
+	sojourn    [obs.HistogramBuckets + 1]uint64
+	sojournSum int64
+}
+
+// Metrics bundles the registry-backed instruments of one scheduler. Wire it
+// through Config.Metrics (or SetMetrics after construction); a nil *Metrics
+// — the default — keeps the hot path free of instrumentation, so
+// uninstrumented runs pay only a nil check per event. The plain Stats
+// counters stay authoritative either way; Metrics mirrors them into the
+// registry for export.
+//
+// A Metrics instance is single-writer: the goroutine driving the scheduler
+// owns it and must call Flush to publish staged counts to the registry
+// (netsim does this from Run and PortStats). Flushing uses atomic adds, so
+// instances registered with identical labels — e.g. one per parallel sweep
+// worker — aggregate into shared series safely.
+type Metrics struct {
+	enqueued   *obs.Counter
+	dequeued   *obs.Counter
+	dropped    *obs.Counter
+	evicted    *obs.Counter
+	inversions *obs.Counter
+	depthPkts  *obs.Gauge
+	depthBytes *obs.Gauge
+	sojourn    *obs.Histogram
+	clock      func() sim.Time
+
+	st metricsStage
+}
+
+// NewMetrics registers the scheduler metric families under the given labels
+// (conventionally at least obs.L("scheduler", q.Name())) and returns the
+// handle bundle. A nil registry returns nil, which every observation method
+// accepts. Two schedulers registered with identical labels share series:
+// their counters aggregate, and the depth gauges reflect the most recent
+// Flush — pass a distinguishing label (port, role) when that matters.
+func NewMetrics(r *obs.Registry, labels ...obs.Label) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		enqueued:   r.Counter(MetricEnqueued, "Packets accepted by the scheduler.", labels...),
+		dequeued:   r.Counter(MetricDequeued, "Packets transmitted by the scheduler.", labels...),
+		dropped:    r.Counter(MetricDropped, "Packets rejected on arrival.", labels...),
+		evicted:    r.Counter(MetricEvicted, "Queued packets removed to admit better-ranked arrivals.", labels...),
+		inversions: r.Counter(MetricInversions, "Dequeues that violated global rank order.", labels...),
+		depthPkts:  r.Gauge(MetricDepthPkts, "Packets queued at the last metrics flush.", labels...),
+		depthBytes: r.Gauge(MetricDepthBytes, "Bytes queued at the last metrics flush.", labels...),
+		sojourn:    r.Histogram(MetricSojournNs, "Per-packet queueing delay in simulated nanoseconds (log2 buckets).", labels...),
+	}
+}
+
+// WithClock attaches a clock used to timestamp enqueues and measure
+// per-packet sojourn time on dequeue. Without a clock the sojourn histogram
+// stays empty (schedulers have no notion of time of their own; the
+// simulator's event engine supplies it).
+func (m *Metrics) WithClock(now func() sim.Time) *Metrics {
+	if m != nil {
+		m.clock = now
+	}
+	return m
+}
+
+// Flush publishes the staged counts to the registry and resets the stage.
+// Call it at sync points (end of a run, before a stats read or scrape); the
+// registry's series lag the scheduler by at most one flush interval.
+func (m *Metrics) Flush() {
+	if m == nil {
+		return
+	}
+	st := &m.st
+	if st.enqueued != 0 {
+		m.enqueued.Add(st.enqueued)
+		st.enqueued = 0
+	}
+	if st.dequeued != 0 {
+		m.dequeued.Add(st.dequeued)
+		st.dequeued = 0
+	}
+	if st.dropped != 0 {
+		m.dropped.Add(st.dropped)
+		st.dropped = 0
+	}
+	if st.evicted != 0 {
+		m.evicted.Add(st.evicted)
+		st.evicted = 0
+	}
+	if st.inversions != 0 {
+		m.inversions.Add(st.inversions)
+		st.inversions = 0
+	}
+	m.depthPkts.Set(float64(st.depthPkts))
+	m.depthBytes.Set(float64(st.depthBytes))
+	m.sojourn.AddBuckets(st.sojourn[:], st.sojournSum)
+	st.sojourn = [obs.HistogramBuckets + 1]uint64{}
+	st.sojournSum = 0
+}
+
+// onEnqueue records an accepted packet and the post-enqueue queue depth.
+func (m *Metrics) onEnqueue(p *pkt.Packet, pkts, bytes int) {
+	if m == nil {
+		return
+	}
+	m.st.enqueued++
+	m.st.depthPkts = pkts
+	m.st.depthBytes = bytes
+	if m.clock != nil {
+		p.EnqueuedAt = m.clock()
+	}
+}
+
+// onDequeue records a transmitted packet, the post-dequeue queue depth, and
+// the packet's sojourn time when a clock is attached.
+func (m *Metrics) onDequeue(p *pkt.Packet, pkts, bytes int) {
+	if m == nil {
+		return
+	}
+	m.st.dequeued++
+	m.st.depthPkts = pkts
+	m.st.depthBytes = bytes
+	if m.clock != nil {
+		d := int64(m.clock() - p.EnqueuedAt)
+		m.st.sojourn[obs.BucketIndex(d)]++
+		m.st.sojournSum += d
+	}
+}
+
+// onDrop records an arrival rejected by the scheduler.
+func (m *Metrics) onDrop() {
+	if m == nil {
+		return
+	}
+	m.st.dropped++
+}
+
+// onEvict records a queued packet removed to admit a better-ranked arrival.
+func (m *Metrics) onEvict() {
+	if m == nil {
+		return
+	}
+	m.st.evicted++
+}
+
+// onInversion records a dequeue that violated global rank order.
+func (m *Metrics) onInversion() {
+	if m == nil {
+		return
+	}
+	m.st.inversions++
+}
+
+// MetricsSetter is implemented by every scheduler in this package: it
+// attaches an instrument bundle after construction. This lets harnesses
+// (netsim ports, experiment runners) instrument schedulers built by opaque
+// factories without changing factory signatures.
+type MetricsSetter interface {
+	SetMetrics(*Metrics)
+}

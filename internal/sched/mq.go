@@ -73,6 +73,9 @@ func (q *MQ) QueueLen(i int) int { return q.queues[i].n }
 // Stats returns a snapshot of the scheduler's counters.
 func (q *MQ) Stats() Stats { return q.stats }
 
+// SetMetrics implements MetricsSetter.
+func (q *MQ) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
+
 // Enqueue implements Scheduler. The mapper chooses the queue; out-of-range
 // indices clamp to the extremes. A full queue tail-drops.
 func (q *MQ) Enqueue(p *pkt.Packet) bool {
@@ -85,6 +88,7 @@ func (q *MQ) Enqueue(p *pkt.Packet) bool {
 	}
 	if q.qbytes[i]+p.Size > q.perQueueCap {
 		q.stats.Dropped++
+		q.cfg.Metrics.onDrop()
 		q.cfg.drop(p)
 		return false
 	}
@@ -92,6 +96,9 @@ func (q *MQ) Enqueue(p *pkt.Packet) bool {
 	q.qbytes[i] += p.Size
 	q.bytes += p.Size
 	q.stats.Enqueued++
+	if m := q.cfg.Metrics; m != nil { // guard: Len is O(queues)
+		m.onEnqueue(p, q.Len(), q.bytes)
+	}
 	return true
 }
 
@@ -105,6 +112,9 @@ func (q *MQ) Dequeue() *pkt.Packet {
 		q.qbytes[i] -= p.Size
 		q.bytes -= p.Size
 		q.stats.Dequeued++
+		if m := q.cfg.Metrics; m != nil { // guard: Len is O(queues)
+			m.onDequeue(p, q.Len(), q.bytes)
+		}
 		q.noteDequeue(p.Rank)
 		return p
 	}
@@ -118,6 +128,7 @@ func (q *MQ) Dequeue() *pkt.Packet {
 func (q *MQ) noteDequeue(rank int64) {
 	if min, ok := q.minQueuedRank(); ok && rank > min {
 		q.stats.Inversion++
+		q.cfg.Metrics.onInversion()
 	}
 }
 

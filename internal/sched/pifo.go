@@ -66,6 +66,9 @@ func (q *PIFO) Bytes() int { return q.bytes }
 // Stats returns a snapshot of the scheduler's counters.
 func (q *PIFO) Stats() Stats { return q.stats }
 
+// SetMetrics implements MetricsSetter.
+func (q *PIFO) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
+
 // Enqueue implements Scheduler.
 func (q *PIFO) Enqueue(p *pkt.Packet) bool {
 	cap := q.cfg.capacity()
@@ -76,6 +79,7 @@ func (q *PIFO) Enqueue(p *pkt.Packet) bool {
 		wi := q.worstIndex()
 		if wi < 0 || q.h[wi].p.Rank <= p.Rank {
 			q.stats.Dropped++
+			q.cfg.Metrics.onDrop()
 			q.cfg.drop(p)
 			return false
 		}
@@ -83,12 +87,14 @@ func (q *PIFO) Enqueue(p *pkt.Packet) bool {
 		heap.Remove(&q.h, wi)
 		q.bytes -= ev.Size
 		q.stats.Evicted++
+		q.cfg.Metrics.onEvict()
 		q.cfg.drop(ev)
 	}
 	heap.Push(&q.h, pifoEntry{p: p, seq: q.seq})
 	q.seq++
 	q.bytes += p.Size
 	q.stats.Enqueued++
+	q.cfg.Metrics.onEnqueue(p, len(q.h), q.bytes)
 	return true
 }
 
@@ -118,6 +124,7 @@ func (q *PIFO) Dequeue() *pkt.Packet {
 	e := heap.Pop(&q.h).(pifoEntry)
 	q.bytes -= e.p.Size
 	q.stats.Dequeued++
+	q.cfg.Metrics.onDequeue(e.p, len(q.h), q.bytes)
 	return e.p
 }
 

@@ -130,7 +130,7 @@ func TestPropertySPPIFOBoundInvariant(t *testing.T) {
 		q := NewSPPIFO(Config{CapacityBytes: 1 << 30}, 8)
 		check := func(step int) {
 			for i := 0; i+1 < q.NumQueues(); i++ {
-				if q.Bound(i) > q.Bound(i + 1) {
+				if q.Bound(i) > q.Bound(i+1) {
 					t.Fatalf("seed %d step %d: bounds not monotone: q%d=%d > q%d=%d",
 						seed, step, i, q.Bound(i), i+1, q.Bound(i+1))
 				}

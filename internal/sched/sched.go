@@ -61,6 +61,10 @@ type Config struct {
 	CapacityBytes int
 	// OnDrop, if non-nil, is invoked for every dropped or evicted packet.
 	OnDrop DropFn
+	// Metrics, if non-nil, mirrors the scheduler's counters into an
+	// observability registry (see NewMetrics). Nil — the default — keeps
+	// the hot path free of atomic operations.
+	Metrics *Metrics
 }
 
 // DefaultCapacityBytes is the per-port buffer used when Config.CapacityBytes

@@ -63,6 +63,9 @@ func (q *SPPIFO) Bytes() int { return q.bytes }
 // Stats returns a snapshot of the scheduler's counters.
 func (q *SPPIFO) Stats() Stats { return q.stats }
 
+// SetMetrics implements MetricsSetter.
+func (q *SPPIFO) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
+
 // Bound returns queue i's current rank bound (for tests and inspection).
 func (q *SPPIFO) Bound(i int) int64 { return q.bounds[i] }
 
@@ -70,6 +73,7 @@ func (q *SPPIFO) Bound(i int) int64 { return q.bounds[i] }
 func (q *SPPIFO) Enqueue(p *pkt.Packet) bool {
 	if q.bytes+p.Size > q.cfg.capacity() {
 		q.stats.Dropped++
+		q.cfg.Metrics.onDrop()
 		q.cfg.drop(p)
 		return false
 	}
@@ -86,6 +90,7 @@ func (q *SPPIFO) Enqueue(p *pkt.Packet) bool {
 	// top and push all bounds down by the inversion magnitude.
 	cost := q.bounds[0] - p.Rank
 	q.stats.Inversion++
+	q.cfg.Metrics.onInversion()
 	for i := range q.bounds {
 		q.bounds[i] -= cost
 	}
@@ -98,6 +103,9 @@ func (q *SPPIFO) put(i int, p *pkt.Packet) {
 	q.qbytes[i] += p.Size
 	q.bytes += p.Size
 	q.stats.Enqueued++
+	if m := q.cfg.Metrics; m != nil { // guard: Len is O(queues)
+		m.onEnqueue(p, q.Len(), q.bytes)
+	}
 }
 
 // Dequeue implements Scheduler: strict priority across the queue bank.
@@ -110,6 +118,9 @@ func (q *SPPIFO) Dequeue() *pkt.Packet {
 		q.qbytes[i] -= p.Size
 		q.bytes -= p.Size
 		q.stats.Dequeued++
+		if m := q.cfg.Metrics; m != nil { // guard: Len is O(queues)
+			m.onDequeue(p, q.Len(), q.bytes)
+		}
 		return p
 	}
 	return nil
