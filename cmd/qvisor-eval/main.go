@@ -33,6 +33,7 @@ import (
 	"qvisor/internal/experiments"
 	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
+	"qvisor/internal/prof"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
 	"qvisor/internal/stats"
@@ -58,9 +59,20 @@ func run(args []string) error {
 	progress := fs.Bool("progress", true, "report per-run sweep progress on stderr")
 	metricsPath := fs.String("metrics", "",
 		`write a JSON metrics snapshot after the experiment ("-" = stdout; sweeps aggregate across runs)`)
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "qvisor-eval:", perr)
+		}
+	}()
 	if *seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, have %d", *seeds)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"qvisor/internal/core"
 	"qvisor/internal/experiments"
+	"qvisor/internal/prof"
 	"qvisor/internal/sim"
 	"qvisor/internal/trace"
 )
@@ -51,9 +52,20 @@ func run(args []string) error {
 	flowsCSV := fs.String("flows", "", "replace the generated pFabric workload with this CSV flow trace")
 	tracePath := fs.String("trace", "", "write a JSON-lines packet trace to this file")
 	traceSample := fs.Uint64("trace-sample", 1, "record only flows with ID %% N == 0")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "qvisor-sim:", perr)
+		}
+	}()
 	s, ok := schemeNames[*scheme]
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", *scheme)

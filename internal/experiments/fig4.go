@@ -126,6 +126,18 @@ type Config struct {
 	// safe for concurrent use, so sweeps may share one across runs — the
 	// counters then aggregate over every run.
 	Registry *obs.Registry
+	// Pool, when non-nil, supplies the simulation's packet buffers and is
+	// kept warm across runs (see netsim.Config.Pool). Pools are
+	// single-threaded: a pool must never be shared by concurrent runs.
+	// RunPoints creates one per worker when this is nil.
+	Pool *pkt.Pool
+	// Engine, when non-nil, is reset and reused by the simulation instead
+	// of building a fresh event engine (see netsim.Config.Engine). Same
+	// single-threaded caveat as Pool.
+	Engine *sim.Engine
+	// DisablePool turns off packet pooling for A/B verification; results
+	// are byte-identical either way.
+	DisablePool bool
 }
 
 func (c Config) sizes() (workload.SizeDist, error) {
@@ -289,10 +301,13 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 	ncfg := netsim.Config{
 		Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
 		AccessBps: cfg.AccessBps, FabricBps: cfg.FabricBps,
-		Tenants:  tenants,
-		Horizon:  cfg.Horizon,
-		Trace:    cfg.Trace,
-		Registry: cfg.Registry,
+		Tenants:     tenants,
+		Horizon:     cfg.Horizon,
+		Trace:       cfg.Trace,
+		Registry:    cfg.Registry,
+		Pool:        cfg.Pool,
+		Engine:      cfg.Engine,
+		DisablePool: cfg.DisablePool,
 	}
 
 	switch scheme {

@@ -90,29 +90,44 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 
 	builders := []struct {
 		name  string
-		build func() sched.Scheduler
+		build func(drop sched.DropFn) sched.Scheduler
 	}{
-		{"pifo", func() sched.Scheduler { return sched.NewPIFO(sched.Config{CapacityBytes: 1 << 30}) }},
-		{"sppifo:8", func() sched.Scheduler { return sched.NewSPPIFO(sched.Config{CapacityBytes: 1 << 30}, 8) }},
-		{"sppifo:32", func() sched.Scheduler { return sched.NewSPPIFO(sched.Config{CapacityBytes: 1 << 30}, 32) }},
-		{"calendar:32", func() sched.Scheduler {
+		{"pifo", func(d sched.DropFn) sched.Scheduler {
+			return sched.NewPIFO(sched.Config{CapacityBytes: 1 << 30, OnDrop: d})
+		}},
+		{"sppifo:8", func(d sched.DropFn) sched.Scheduler {
+			return sched.NewSPPIFO(sched.Config{CapacityBytes: 1 << 30, OnDrop: d}, 8)
+		}},
+		{"sppifo:32", func(d sched.DropFn) sched.Scheduler {
+			return sched.NewSPPIFO(sched.Config{CapacityBytes: 1 << 30, OnDrop: d}, 32)
+		}},
+		{"calendar:32", func(d sched.DropFn) sched.Scheduler {
 			width := (jp.Output.Span() + 31) / 32
-			return sched.NewCalendar(sched.Config{CapacityBytes: 1 << 30}, 32, width)
+			return sched.NewCalendar(sched.Config{CapacityBytes: 1 << 30, OnDrop: d}, 32, width)
 		}},
-		{"aifo", func() sched.Scheduler {
-			return sched.NewAIFO(sched.AIFOConfig{Config: sched.Config{CapacityBytes: 256 * 1500}})
+		{"aifo", func(d sched.DropFn) sched.Scheduler {
+			return sched.NewAIFO(sched.AIFOConfig{Config: sched.Config{CapacityBytes: 256 * 1500, OnDrop: d}})
 		}},
-		{"fifo", func() sched.Scheduler { return sched.NewFIFO(sched.Config{CapacityBytes: 1 << 30}) }},
+		{"fifo", func(d sched.DropFn) sched.Scheduler {
+			return sched.NewFIFO(sched.Config{CapacityBytes: 1 << 30, OnDrop: d})
+		}},
 	}
+
+	// Per-run packet copies come from a pool that is drained back between
+	// schedulers: the drop callback releases refused packets, the dequeue
+	// loop releases serviced ones.
+	pool := pkt.NewPool()
+	release := func(p *pkt.Packet) { pool.Put(p) }
 
 	var out []InversionResult
 	for _, b := range builders {
-		s := b.build()
+		s := b.build(release)
 		res := InversionResult{Scheduler: b.name}
 		queued := newRankMultiset()
 		for i, p := range trace {
-			cp := *p // schedulers may be destructive; copy per run
-			if s.Enqueue(&cp) {
+			cp := pool.Get()
+			*cp = *p // schedulers may be destructive; copy per run
+			if s.Enqueue(cp) {
 				queued.add(cp.Rank)
 			} else {
 				res.Drops++
@@ -127,6 +142,7 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 					res.Inversions++
 				}
 				queued.remove(got.Rank)
+				pool.Put(got)
 			}
 		}
 		for got := s.Dequeue(); got != nil; got = s.Dequeue() {
@@ -135,7 +151,12 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 				res.Inversions++
 			}
 			queued.remove(got.Rank)
+			pool.Put(got)
 		}
+		if n := pool.Outstanding(); n != 0 {
+			return nil, fmt.Errorf("experiments: %s leaked %d packets", b.name, n)
+		}
+		pool.Reset()
 		if res.Dequeues > 0 {
 			res.Rate = float64(res.Inversions) / float64(res.Dequeues)
 		}

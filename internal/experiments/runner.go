@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"qvisor/internal/pkt"
 	"qvisor/internal/sim"
 	"qvisor/internal/stats"
 )
@@ -102,6 +103,13 @@ func (rc RunnerConfig) workers() int {
 // returned slice is byte-identical to a serial run. On failure it returns
 // the error of the lowest-indexed failing point (also worker-count
 // independent).
+//
+// When Config leaves Pool and Engine nil, each worker builds one of each
+// and reuses them across all its points, so trial N+1 runs on trial N's
+// warm free lists. Pooling never affects results (packets are zeroed on
+// release), which is what keeps Workers=N byte-identical to Workers=1.
+// Callers that set Pool or Engine themselves must use Workers == 1 —
+// neither is safe for concurrent use.
 func RunPoints(cfg Config, points []Point, rc RunnerConfig) ([]Result, error) {
 	out := make([]Result, len(points))
 	errs := make([]error, len(points))
@@ -118,10 +126,20 @@ func RunPoints(cfg Config, points []Point, rc RunnerConfig) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wcfg := cfg
+			if wcfg.Pool == nil && !wcfg.DisablePool {
+				wcfg.Pool = pkt.NewPool()
+			}
+			if wcfg.Engine == nil {
+				wcfg.Engine = sim.New()
+			}
 			for i := range jobs {
 				p := points[i]
-				runCfg := cfg
+				runCfg := wcfg
 				runCfg.Seed = p.Seed
+				// Zero the pool's accounting between trials; its free
+				// list (the warm buffers) survives.
+				runCfg.Pool.Reset()
 				r, err := Run(runCfg, p.Scheme, p.Load)
 				if err != nil {
 					errs[i] = fmt.Errorf("scheme %v load %v seed %d: %w",

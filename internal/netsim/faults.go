@@ -50,3 +50,11 @@ func (f *FaultInjector) Enqueue(p *pkt.Packet) bool {
 
 // Dequeue implements sched.Scheduler.
 func (f *FaultInjector) Dequeue() *pkt.Packet { return f.inner.Dequeue() }
+
+// Reset implements sched.Scheduler: the wrapped scheduler is reset and the
+// injected-loss counter zeroed. The drop predicate keeps whatever state it
+// carries; deterministic predicates should be rebuilt per run.
+func (f *FaultInjector) Reset() {
+	f.inner.Reset()
+	f.Injected = 0
+}

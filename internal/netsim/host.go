@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+
 	"qvisor/internal/pkt"
 	"qvisor/internal/rank"
 	"qvisor/internal/sim"
@@ -16,13 +18,19 @@ import (
 type Host struct {
 	net     *Network
 	id      int
+	name    string // precomputed "host<id>" so tracing never allocates per packet
 	up      *Port
 	sending map[uint64]*sendFlow
 	cbrStop bool
 }
 
 func newHost(n *Network, id int) *Host {
-	return &Host{net: n, id: id, sending: make(map[uint64]*sendFlow)}
+	return &Host{
+		net:     n,
+		id:      id,
+		name:    fmt.Sprintf("host%d", id),
+		sending: make(map[uint64]*sendFlow),
+	}
 }
 
 // packet send-state machine.
@@ -48,6 +56,7 @@ type sendFlow struct {
 	inflight   int
 	nAcked     int
 	timer      sim.Handle
+	rtoFn      sim.Event // onRTO bound once; a fresh method value allocates
 	completed  bool
 }
 
@@ -75,6 +84,7 @@ func (h *Host) startFlow(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
 			Arrival: now,
 		},
 	}
+	sf.rtoFn = sf.onRTO
 	h.sending[id] = sf
 	sf.trySend(now)
 }
@@ -136,49 +146,31 @@ func (sf *sendFlow) emit(now sim.Time, idx int, retx bool) {
 	if n.cfg.Controller != nil {
 		n.cfg.Controller.Observe(sf.td.ID, r)
 	}
-	p := &pkt.Packet{
-		ID:      n.pktID(),
-		Flow:    sf.id,
-		Tenant:  sf.td.ID,
-		Rank:    r,
-		Size:    payload + n.cfg.HeaderBytes,
-		Src:     sf.host.id,
-		Dst:     sf.spec.Dst,
-		Seq:     int64(idx),
-		Payload: payload,
-		Kind:    pkt.Data,
-		Retx:    retx,
-		SentAt:  now,
-	}
+	p := n.pool.Get()
+	p.ID = n.pktID()
+	p.Flow = sf.id
+	p.Tenant = sf.td.ID
+	p.Rank = r
+	p.Size = payload + n.cfg.HeaderBytes
+	p.Src = sf.host.id
+	p.Dst = sf.spec.Dst
+	p.Seq = int64(idx)
+	p.Payload = payload
+	p.Kind = pkt.Data
+	p.Retx = retx
+	p.SentAt = now
 	sf.state[idx] = stInflight
 	sf.inflight++
 	sf.armTimer(now)
-	n.cfg.Trace.Record(now, "emit", hostName(sf.host.id), p)
+	n.cfg.Trace.Record(now, "emit", sf.host.name, p)
 	sf.host.up.send(now, p)
-}
-
-func hostName(id int) string { return "host" + itoa(id) }
-
-// itoa avoids strconv in the hot path for small non-negative ints.
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 && i > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }
 
 func (sf *sendFlow) armTimer(now sim.Time) {
 	if sf.timer.Pending() || sf.completed {
 		return
 	}
-	sf.timer = sf.host.net.eng.After(sf.host.net.cfg.RTO, sf.onRTO)
+	sf.timer = sf.host.net.eng.After(sf.host.net.cfg.RTO, sf.rtoFn)
 }
 
 // onRTO requeues every in-flight packet for retransmission: the standard
@@ -197,7 +189,7 @@ func (sf *sendFlow) onRTO(now sim.Time) {
 	}
 	sf.trySend(now)
 	if !sf.completed && (sf.inflight > 0 || len(sf.retxQueue) > 0 || sf.nextUnsent < sf.npkts) {
-		sf.timer = sf.host.net.eng.After(sf.host.net.cfg.RTO, sf.onRTO)
+		sf.timer = sf.host.net.eng.After(sf.host.net.cfg.RTO, sf.rtoFn)
 	}
 }
 
@@ -261,21 +253,20 @@ func (h *Host) startCBR(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
 		if n.cfg.Controller != nil {
 			n.cfg.Controller.Observe(td.ID, r)
 		}
-		p := &pkt.Packet{
-			ID:       n.pktID(),
-			Flow:     id,
-			Tenant:   td.ID,
-			Rank:     r,
-			Size:     wire,
-			Src:      h.id,
-			Dst:      spec.Dst,
-			Payload:  n.cfg.MSS,
-			Kind:     pkt.Datagram,
-			SentAt:   tnow,
-			Deadline: fl.Deadline,
-		}
+		p := n.pool.Get()
+		p.ID = n.pktID()
+		p.Flow = id
+		p.Tenant = td.ID
+		p.Rank = r
+		p.Size = wire
+		p.Src = h.id
+		p.Dst = spec.Dst
+		p.Payload = n.cfg.MSS
+		p.Kind = pkt.Datagram
+		p.SentAt = tnow
+		p.Deadline = fl.Deadline
 		n.count.CBRSent++
-		n.cfg.Trace.Record(tnow, "emit", hostName(h.id), p)
+		n.cfg.Trace.Record(tnow, "emit", h.name, p)
 		h.up.send(tnow, p)
 		n.eng.After(interval, tick)
 	}
@@ -285,11 +276,12 @@ func (h *Host) startCBR(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
 // stopCBR halts this host's CBR sources (used when draining).
 func (h *Host) stopCBR() { h.cbrStop = true }
 
-// receive sinks packets addressed to this host.
+// receive sinks packets addressed to this host. Delivery is the packet's
+// final stop: the host releases it to the pool after consuming its fields.
 func (h *Host) receive(now sim.Time, p *pkt.Packet) {
 	n := h.net
 	n.count.Delivered++
-	n.cfg.Trace.Record(now, "deliver", hostName(h.id), p)
+	n.cfg.Trace.Record(now, "deliver", h.name, p)
 	switch p.Kind {
 	case pkt.Ack:
 		if sf, ok := h.sending[p.Flow]; ok {
@@ -304,20 +296,19 @@ func (h *Host) receive(now sim.Time, p *pkt.Packet) {
 		// Ack every data packet; the sender deduplicates. Acks carry the
 		// tenant's best rank (0) so they are never starved within the
 		// tenant's band — mirroring pFabric's highest-priority acks.
-		ack := &pkt.Packet{
-			ID:     n.pktID(),
-			Flow:   p.Flow,
-			Tenant: p.Tenant,
-			Rank:   0,
-			Size:   n.cfg.HeaderBytes,
-			Src:    h.id,
-			Dst:    p.Src,
-			Kind:   pkt.Ack,
-			SentAt: now,
-			AckSeq: p.Seq,
-		}
+		ack := n.pool.Get()
+		ack.ID = n.pktID()
+		ack.Flow = p.Flow
+		ack.Tenant = p.Tenant
+		ack.Size = n.cfg.HeaderBytes
+		ack.Src = h.id
+		ack.Dst = p.Src
+		ack.Kind = pkt.Ack
+		ack.SentAt = now
+		ack.AckSeq = p.Seq
 		n.count.AcksSent++
-		n.cfg.Trace.Record(now, "emit", hostName(h.id), ack)
+		n.cfg.Trace.Record(now, "emit", h.name, ack)
 		h.up.send(now, ack)
 	}
+	n.pool.Put(p)
 }

@@ -78,6 +78,23 @@ type Config struct {
 	// it is staged on the data path and published by Run/PortStats/
 	// FlushMetrics, so instrumentation costs no atomics per packet.
 	Registry *obs.Registry
+	// Pool, when non-nil, supplies the packet buffers: the network
+	// acquires every packet from it and releases each one exactly once —
+	// at final delivery or at the drop that removes it from the network.
+	// Nil builds a private pool. Sweep harnesses pass one pool per worker
+	// so the free list stays warm across trials.
+	Pool *pkt.Pool
+	// DisablePool turns pooling off: every packet is a fresh allocation
+	// left to the garbage collector. Simulation results are byte-identical
+	// with pooling on or off (pooled packets are zeroed on release), so
+	// this exists for A/B verification and allocation profiling.
+	// DisablePool overrides Pool.
+	DisablePool bool
+	// Engine, when non-nil, is Reset and reused instead of building a new
+	// event engine, keeping its item free list and heap capacity warm
+	// across trials. The engine must not be shared between concurrently
+	// running networks.
+	Engine *sim.Engine
 	// MSS is the payload bytes per packet. Zero means 1460.
 	MSS int
 	// HeaderBytes is the per-packet overhead on the wire. Zero means 64
@@ -169,6 +186,7 @@ type Counters struct {
 type Network struct {
 	cfg    Config
 	eng    *sim.Engine
+	pool   *pkt.Pool // nil when pooling is disabled (nil-safe methods)
 	hosts  []*Host
 	leaves []*Switch
 	spines []*Switch
@@ -220,9 +238,22 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.New()
+	} else {
+		eng.Reset()
+	}
+	var pool *pkt.Pool
+	if !cfg.DisablePool {
+		if pool = cfg.Pool; pool == nil {
+			pool = pkt.NewPool()
+		}
+	}
 	n := &Network{
 		cfg:  cfg,
-		eng:  sim.New(),
+		eng:  eng,
+		pool: pool,
 		fcts: stats.NewCollector(),
 	}
 	hostCount := cfg.Leaves * cfg.HostsPerLeaf
@@ -293,6 +324,11 @@ func New(cfg Config) (*Network, error) {
 
 // Engine exposes the event engine (for tests and custom scenarios).
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Pool exposes the packet pool — nil when pooling is disabled. Its
+// Outstanding count is the number of packets still inside the network
+// (queued or on the wire); after a fully drained run it is zero.
+func (n *Network) Pool() *pkt.Pool { return n.pool }
 
 // Hosts returns the number of hosts.
 func (n *Network) Hosts() int { return len(n.hosts) }

@@ -108,6 +108,14 @@ func TestPacketConservation(t *testing.T) {
 	if c.Dropped == 0 {
 		t.Fatal("test meant to exercise drops but none occurred")
 	}
+	// Pool ownership: after a fully drained run every pooled packet has
+	// been released exactly once, so none remain outstanding.
+	if out := n.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pool outstanding = %d after drain, want 0 (leak or double release)", out)
+	}
+	if gets := n.Pool().Stats().Gets; gets != sent {
+		t.Fatalf("pool gets = %d, wire packets = %d: some packets bypassed the pool", gets, sent)
+	}
 }
 
 func TestPFabricSmallFlowPreemptsLarge(t *testing.T) {

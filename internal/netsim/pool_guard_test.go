@@ -1,0 +1,23 @@
+//go:build pktdebug
+
+package netsim
+
+import (
+	"testing"
+)
+
+// TestOwnershipUnderGuard replays the lossy workload with the pktdebug
+// live-set guard active: any double release or foreign Put anywhere in the
+// data plane panics, and the accounting must still balance. This is the
+// strongest ownership check the simulator has — CI runs it with
+// `go test -tags pktdebug`.
+func TestOwnershipUnderGuard(t *testing.T) {
+	n, err := New(lossyPoisson(t, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run() // panics on any ownership violation under pktdebug
+	if out := n.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pool outstanding = %d after drain, want 0", out)
+	}
+}

@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+	"qvisor/internal/workload"
+)
+
+// lossyPoisson returns a moderately overloaded random workload config on
+// the tiny topology, used by the pooling equivalence tests.
+func lossyPoisson(t testing.TB, seed int64) Config {
+	t.Helper()
+	flows, err := workload.Poisson(workload.PoissonConfig{
+		Hosts: 4, Load: 0.7, AccessBitsPerSec: 1e9,
+		Sizes: workload.DataMining().Scaled(0.001), Horizon: 20 * sim.Millisecond, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny([]TenantDef{{ID: 1, Name: "t1", Ranker: &rank.PFabric{}, Flows: flows}},
+		20*sim.Millisecond)
+	cfg.Scheduler = func(drop sched.DropFn) sched.Scheduler {
+		return sched.NewPIFO(sched.Config{CapacityBytes: 15000, OnDrop: drop})
+	}
+	return cfg
+}
+
+// TestPooledVsUnpooledIdentical: packet pooling must be invisible to the
+// simulation — identical counters and flow records with pooling on or off.
+// This holds because Pool.Put zeroes packets, so a pooled Get returns the
+// same zero state a fresh allocation would.
+func TestPooledVsUnpooledIdentical(t *testing.T) {
+	run := func(disable bool) (Counters, []struct {
+		id   uint64
+		fct  sim.Time
+		size int64
+	}) {
+		cfg := lossyPoisson(t, 11)
+		cfg.DisablePool = disable
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		if disable && n.Pool() != nil {
+			t.Fatal("DisablePool did not disable the pool")
+		}
+		var recs []struct {
+			id   uint64
+			fct  sim.Time
+			size int64
+		}
+		for _, r := range n.FCTs().Records() {
+			recs = append(recs, struct {
+				id   uint64
+				fct  sim.Time
+				size int64
+			}{r.ID, r.FCT(), r.Size})
+		}
+		return n.Counters(), recs
+	}
+	cp, rp := run(false)
+	cu, ru := run(true)
+	if cp != cu {
+		t.Fatalf("counters diverge:\npooled   %+v\nunpooled %+v", cp, cu)
+	}
+	if len(rp) != len(ru) {
+		t.Fatalf("record counts diverge: %d vs %d", len(rp), len(ru))
+	}
+	for i := range rp {
+		if rp[i] != ru[i] {
+			t.Fatalf("record %d diverges: pooled %+v unpooled %+v", i, rp[i], ru[i])
+		}
+	}
+}
+
+// TestEngineAndPoolReuse: passing a warm engine and pool into New must
+// reproduce a fresh run exactly — the cross-trial reuse contract the sweep
+// runner depends on.
+func TestEngineAndPoolReuse(t *testing.T) {
+	fresh := func() Counters {
+		n, err := New(lossyPoisson(t, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		return n.Counters()
+	}
+	want := fresh()
+
+	eng := sim.New()
+	pool := pkt.NewPool()
+	for trial := 0; trial < 3; trial++ {
+		cfg := lossyPoisson(t, 5)
+		cfg.Engine = eng
+		cfg.Pool = pool
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		if got := n.Counters(); got != want {
+			t.Fatalf("trial %d with reused engine+pool diverges:\ngot  %+v\nwant %+v", trial, got, want)
+		}
+		if out := pool.Outstanding(); out != 0 {
+			t.Fatalf("trial %d leaked %d packets", trial, out)
+		}
+		pool.Reset() // zero the stats between trials; keeps the free list
+	}
+	if eng.Now() == 0 {
+		t.Fatal("reused engine never ran")
+	}
+}
+
+// steadyState builds a network whose traffic never ends: two CBR sources
+// crossing the fabric in opposite directions. Advancing the engine clock
+// exercises the full per-packet path — emit, preprocess-free switching,
+// scheduling, transmission, delivery, release — forever.
+func steadyState(tb testing.TB) *Network {
+	tb.Helper()
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "cbr", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{
+			{Start: 0, Src: 0, Dst: 2, Rate: 400e6},
+			{Start: 0, Src: 2, Dst: 0, Rate: 400e6},
+		},
+	}}, sim.MaxTime/4)
+	n, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return n
+}
+
+// TestAllocBudgetSimSteadyState: after warmup, advancing the simulation
+// must not allocate — the tentpole guarantee of the zero-allocation data
+// plane. A window-limited data flow (with its ack stream) runs alongside
+// the CBR sources so the transport's send/ack path is covered too.
+func TestAllocBudgetSimSteadyState(t *testing.T) {
+	cfg := tiny([]TenantDef{{
+		ID: 1, Name: "mix", Ranker: &rank.PFabric{},
+		Flows: []workload.FlowSpec{
+			{Start: 0, Src: 0, Dst: 2, Rate: 300e6},
+			{Start: 0, Src: 1, Dst: 3, Size: 64 << 20}, // outlasts the measured window
+		},
+	}}, sim.MaxTime/4)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := n.Engine()
+	now := 5 * sim.Millisecond
+	eng.Run(now) // warm: pools, rings, heaps all at steady capacity
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 50 * sim.Microsecond
+		eng.Run(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state slice allocates %.1f objects/op, budget is 0", allocs)
+	}
+}
+
+// BenchmarkSimSteadyState measures the per-packet hot path: each iteration
+// advances a warmed, infinitely-running simulation by a fixed slice of
+// simulated time (~8 packet services). allocs/op must report 0.
+func BenchmarkSimSteadyState(b *testing.B) {
+	n := steadyState(b)
+	eng := n.Engine()
+	now := 5 * sim.Millisecond
+	eng.Run(now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 100 * sim.Microsecond
+		eng.Run(now)
+	}
+	b.StopTimer()
+	perSlice := float64(eng.Fired()) / float64(b.N)
+	b.ReportMetric(perSlice, "events/op")
+}

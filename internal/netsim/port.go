@@ -19,6 +19,16 @@ type Port struct {
 	busy    bool
 	deliver func(now sim.Time, p *pkt.Packet)
 
+	// inflight holds packets serialized onto the wire but not yet
+	// delivered, in transmission order. Because the propagation delay is
+	// constant and transmissions never overlap, arrivals occur in exactly
+	// that order, so two persistent event callbacks (txDone, arrive) can
+	// replace the pair of per-packet closures the transmit path used to
+	// allocate.
+	inflight pktRing
+	txDone   sim.Event
+	arrive   sim.Event
+
 	// Telemetry.
 	txBytes   uint64
 	txPackets uint64
@@ -61,11 +71,23 @@ func (n *Network) newPort(role string, id int, name string, rateBps float64, del
 		pt.obsMaxQueued = reg.Gauge(MetricPortMaxQueued,
 			"High-water mark of the port's queue in bytes.", pl)
 	}
+	// The scheduler's drop callback is the single release point for
+	// refused and evicted packets (see the ownership contract on
+	// sched.Scheduler): nothing downstream sees them again.
 	drop := sched.DropFn(func(p *pkt.Packet) {
 		n.count.Dropped++
 		pt.drops++
 		n.cfg.Trace.Record(n.eng.Now(), "drop", name, p)
+		n.pool.Put(p)
 	})
+	pt.arrive = func(now sim.Time) {
+		pt.deliver(now, pt.inflight.pop())
+	}
+	pt.txDone = func(end sim.Time) {
+		pt.busy = false
+		pt.net.eng.After(pt.net.cfg.PropDelay, pt.arrive)
+		pt.kick(end)
+	}
 	if n.cfg.SchedulerFor != nil {
 		pt.q = n.cfg.SchedulerFor(role, id, drop)
 	}
@@ -103,17 +125,49 @@ func (pt *Port) kick(now sim.Time) {
 	}
 	pt.busy = true
 	tx := txTime(p.Size, pt.rateBps)
-	prop := pt.net.cfg.PropDelay
 	pt.txBytes += uint64(p.Size)
 	pt.txPackets++
 	pt.busyTime += tx
-	pt.net.eng.After(tx, func(end sim.Time) {
-		pt.busy = false
-		pt.net.eng.After(prop, func(arrive sim.Time) {
-			pt.deliver(arrive, p)
-		})
-		pt.kick(end)
-	})
+	pt.inflight.push(p)
+	pt.net.eng.After(tx, pt.txDone)
+}
+
+// pktRing is a growable FIFO of packets on the wire.
+type pktRing struct {
+	buf  []*pkt.Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) push(p *pkt.Packet) {
+	if r.n == len(r.buf) {
+		next := make([]*pkt.Packet, maxInt(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			next[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = next
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *pkt.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Queue exposes the port's scheduler for inspection in tests.

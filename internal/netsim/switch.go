@@ -36,12 +36,14 @@ func (sw *Switch) receive(now sim.Time, p *pkt.Packet) {
 		p.Tagged = true
 		if !pp.Process(p) {
 			sw.net.count.Dropped++
+			sw.net.pool.Put(p)
 			return
 		}
 	}
 	out := sw.route(p)
 	if out == nil {
 		sw.net.count.Dropped++
+		sw.net.pool.Put(p)
 		return
 	}
 	out.send(now, p)

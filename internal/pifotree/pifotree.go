@@ -19,7 +19,6 @@
 package pifotree
 
 import (
-	"container/heap"
 	"fmt"
 
 	"qvisor/internal/pkt"
@@ -55,37 +54,70 @@ type entry struct {
 	child *node       // interior entries
 }
 
+// entryHeap is a hand-rolled binary min-heap of value entries ordered by
+// (rank, seq). The stdlib container/heap would box every entry through its
+// `any` interface on push and pop — one allocation per tree level per
+// packet — so the sift operations are written out directly.
 type entryHeap []entry
 
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
+func (h entryHeap) less(i, j int) bool {
 	if h[i].rank != h[j].rank {
 		return h[i].rank < h[j].rank
 	}
 	return h[i].seq < h[j].seq
 }
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)   { *h = append(*h, x.(entry)) }
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = entry{}
-	*h = old[:n-1]
-	return e
+
+func (h entryHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h entryHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }
 
 func (n *node) push(e entry) {
 	e.seq = n.seq
 	n.seq++
-	heap.Push(&n.h, e)
+	n.h = append(n.h, e)
+	n.h.up(len(n.h) - 1)
 }
 
 func (n *node) pop() (entry, bool) {
 	if len(n.h) == 0 {
 		return entry{}, false
 	}
-	return heap.Pop(&n.h).(entry), true
+	old := n.h
+	last := len(old) - 1
+	e := old[0]
+	old[0] = old[last]
+	old[last] = entry{}
+	n.h = old[:last]
+	if last > 0 {
+		n.h.down(0)
+	}
+	return e, true
 }
 
 // Tree is a PIFO tree. Build one with NewTree and AddLeaf/AddInterior,
@@ -249,6 +281,24 @@ func (t *Tree) Dequeue() *pkt.Packet {
 		}
 		n = e.child
 	}
+}
+
+// Reset implements sched.Scheduler: every node's PIFO is emptied (heap
+// slices kept warm) and the counters zeroed. The topology and path cache
+// survive. State held outside the tree — e.g. the virtual time and finish
+// tags inside FairTx closures — is NOT reset; callers needing a pristine
+// fair-queuing state must rebuild those transactions.
+func (t *Tree) Reset() {
+	for _, n := range t.nodes {
+		for i := range n.h {
+			n.h[i] = entry{}
+		}
+		n.h = n.h[:0]
+		n.seq = 0
+	}
+	t.bytes = 0
+	t.count = 0
+	t.stats = sched.Stats{}
 }
 
 // SetPopHook attaches a virtual-time hook to a node: it observes the rank

@@ -1,0 +1,111 @@
+package pkt
+
+// Pool is a free-list allocator for Packets, the backbone of the
+// zero-allocation data plane: a steady-state simulation acquires every
+// packet from a Pool at emit time and releases it exactly once — at
+// delivery or at the drop/evict point — so the per-packet hot path touches
+// the Go allocator only while the free list warms up.
+//
+// A Pool is intentionally single-threaded: the discrete-event simulator is
+// single-threaded per run, and the parallel sweep runner gives each worker
+// its own Pool (see internal/experiments). Sharing one Pool across
+// goroutines is a data race.
+//
+// All methods are nil-safe: a nil *Pool degrades to plain allocation
+// (Get returns a fresh Packet, Put is a no-op), so "pooling off" is just a
+// nil pool — behaviourally byte-identical because Put zeroes packets
+// before reuse.
+//
+// Building with -tags pktdebug arms a double-free guard: Put panics on a
+// packet that is already free or that never came from the pool. See
+// pool_guard_on.go.
+type Pool struct {
+	free  []*Packet
+	stats PoolStats
+	dbg   poolDebug
+}
+
+// PoolStats counts pool activity.
+type PoolStats struct {
+	// Gets counts packets handed out.
+	Gets uint64
+	// Puts counts packets returned.
+	Puts uint64
+	// News counts Gets that missed the free list and hit the allocator.
+	News uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet, reusing a freed one when available. On a
+// nil pool it falls back to plain allocation.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return new(Packet)
+	}
+	pl.stats.Gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.dbg.onGet(p)
+		return p
+	}
+	pl.stats.News++
+	p := new(Packet)
+	pl.dbg.onGet(p)
+	return p
+}
+
+// Put returns p to the pool, zeroing it so the next Get observes a fresh
+// packet (this is what makes pooled and unpooled runs byte-identical).
+// Putting the same packet twice without an intervening Get corrupts the
+// free list; build with -tags pktdebug to turn that into a panic. On a nil
+// pool Put is a no-op.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.dbg.onPut(p)
+	pl.stats.Puts++
+	*p = Packet{}
+	pl.free = append(pl.free, p)
+}
+
+// Stats returns a snapshot of the pool's counters (zero value on nil).
+func (pl *Pool) Stats() PoolStats {
+	if pl == nil {
+		return PoolStats{}
+	}
+	return pl.stats
+}
+
+// Outstanding is the number of packets currently checked out: Gets minus
+// Puts. A drained simulation must end at zero — the packet-conservation
+// invariant the netsim tests assert.
+func (pl *Pool) Outstanding() int {
+	if pl == nil {
+		return 0
+	}
+	return int(pl.stats.Gets - pl.stats.Puts)
+}
+
+// FreeLen reports the current free-list length (for tests).
+func (pl *Pool) FreeLen() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.free)
+}
+
+// Reset zeroes the counters while keeping the free list warm, so a pool
+// reused across sweep trials starts each trial with Outstanding() == 0 and
+// no cold-start allocations.
+func (pl *Pool) Reset() {
+	if pl == nil {
+		return
+	}
+	pl.stats = PoolStats{}
+	pl.dbg.reset()
+}

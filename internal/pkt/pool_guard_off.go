@@ -1,0 +1,14 @@
+//go:build !pktdebug
+
+package pkt
+
+// PoolDebug reports whether the pktdebug double-free guard is compiled in.
+const PoolDebug = false
+
+// poolDebug is a zero-cost stub; build with -tags pktdebug for the real
+// guard.
+type poolDebug struct{}
+
+func (poolDebug) onGet(*Packet) {}
+func (poolDebug) onPut(*Packet) {}
+func (poolDebug) reset()        {}

@@ -1,0 +1,34 @@
+//go:build pktdebug
+
+package pkt
+
+import "fmt"
+
+// PoolDebug reports whether the pktdebug double-free guard is compiled in.
+const PoolDebug = true
+
+// poolDebug tracks the checked-out set so ownership bugs fail loudly:
+// returning a packet twice, or returning one the pool never handed out,
+// panics at the faulty Put instead of silently corrupting the free list.
+type poolDebug struct {
+	live map[*Packet]bool
+}
+
+func (d *poolDebug) onGet(p *Packet) {
+	if d.live == nil {
+		d.live = make(map[*Packet]bool)
+	}
+	if d.live[p] {
+		panic(fmt.Sprintf("pkt: pool handed out a live packet %p (free-list corruption)", p))
+	}
+	d.live[p] = true
+}
+
+func (d *poolDebug) onPut(p *Packet) {
+	if !d.live[p] {
+		panic(fmt.Sprintf("pkt: double free or foreign packet %p returned to pool", p))
+	}
+	delete(d.live, p)
+}
+
+func (d *poolDebug) reset() { d.live = nil }

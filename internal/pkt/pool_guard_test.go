@@ -1,0 +1,42 @@
+//go:build pktdebug
+
+package pkt
+
+import "testing"
+
+// The ownership guard only exists under -tags pktdebug; these tests pin
+// down the exact failure modes it must catch.
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic under pktdebug", what)
+		}
+	}()
+	f()
+}
+
+func TestGuardDoubleFreePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	pl.Put(p)
+	mustPanic(t, "double Put", func() { pl.Put(p) })
+}
+
+func TestGuardForeignPacketPanics(t *testing.T) {
+	pl := NewPool()
+	mustPanic(t, "Put of a packet the pool never issued", func() { pl.Put(&Packet{}) })
+}
+
+func TestGuardCleanLifecyclePasses(t *testing.T) {
+	pl := NewPool()
+	for i := 0; i < 100; i++ {
+		a, b := pl.Get(), pl.Get()
+		pl.Put(b)
+		pl.Put(a)
+	}
+	if pl.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d, want 0", pl.Outstanding())
+	}
+}

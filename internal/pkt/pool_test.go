@@ -1,0 +1,93 @@
+package pkt
+
+import "testing"
+
+func TestPoolReusesPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.ID = 42
+	p.Rank = 7
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not reuse the freed packet")
+	}
+	if *q != (Packet{}) {
+		t.Fatalf("reused packet not zeroed: %+v", *q)
+	}
+	st := pl.Stats()
+	if st.Gets != 2 || st.Puts != 1 || st.News != 1 {
+		t.Fatalf("stats = %+v, want Gets=2 Puts=1 News=1", st)
+	}
+	if pl.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", pl.Outstanding())
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var pl *Pool
+	p := pl.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pl.Put(p) // must not panic
+	if pl.Outstanding() != 0 || pl.FreeLen() != 0 {
+		t.Fatal("nil pool should report zeroes")
+	}
+	if pl.Stats() != (PoolStats{}) {
+		t.Fatal("nil pool stats non-zero")
+	}
+	pl.Reset() // must not panic
+}
+
+func TestPoolPutNilIsNoop(t *testing.T) {
+	pl := NewPool()
+	pl.Put(nil)
+	if pl.Stats().Puts != 0 || pl.FreeLen() != 0 {
+		t.Fatal("Put(nil) must be a no-op")
+	}
+}
+
+func TestPoolLIFOOrder(t *testing.T) {
+	// LIFO reuse keeps the hottest packet in cache; assert the order so a
+	// refactor to FIFO (worse locality) is a conscious choice.
+	pl := NewPool()
+	a, b := pl.Get(), pl.Get()
+	pl.Put(a)
+	pl.Put(b)
+	if got := pl.Get(); got != b {
+		t.Fatal("pool is not LIFO")
+	}
+}
+
+func TestPoolResetKeepsFreeList(t *testing.T) {
+	pl := NewPool()
+	pl.Put(pl.Get())
+	pl.Reset()
+	if pl.FreeLen() != 1 {
+		t.Fatalf("free list length = %d after Reset, want 1", pl.FreeLen())
+	}
+	if pl.Stats() != (PoolStats{}) {
+		t.Fatalf("stats not zeroed: %+v", pl.Stats())
+	}
+	pl.Get()
+	if pl.Stats().News != 0 {
+		t.Fatal("Get after Reset should hit the warm free list, not the allocator")
+	}
+}
+
+// TestAllocBudgetPool: a warmed Get/Put cycle must not touch the Go
+// allocator at all — this is the per-packet budget the whole data plane
+// builds on.
+func TestAllocBudgetPool(t *testing.T) {
+	pl := NewPool()
+	pl.Put(pl.Get()) // warm the free list
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := pl.Get()
+		p.Size = 1500
+		pl.Put(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("pool Get/Put cycle allocates %.1f objects/op, budget is 0", allocs)
+	}
+}

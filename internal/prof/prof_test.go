@@ -1,0 +1,51 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile isn't degenerate.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartEmptyPathsNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), ""); err == nil {
+		t.Fatal("expected error for uncreatable cpu profile path")
+	}
+}

@@ -125,6 +125,16 @@ func (q *AIFO) quantile(r int64) float64 {
 	return float64(smaller) / float64(q.wfill)
 }
 
+// Reset implements Scheduler: the queue, the rank window, and the counters
+// all return to their freshly-constructed state (window buffer kept warm).
+func (q *AIFO) Reset() {
+	q.q.reset()
+	q.bytes = 0
+	q.wpos = 0
+	q.wfill = 0
+	q.stats = Stats{}
+}
+
 // Dequeue implements Scheduler.
 func (q *AIFO) Dequeue() *pkt.Packet {
 	p := q.q.pop()

@@ -112,3 +112,16 @@ func (q *Calendar) rotate() {
 	q.cur = (q.cur + 1) % q.n
 	q.base += q.width
 }
+
+// Reset implements Scheduler: buckets are emptied and the rotation rewinds
+// to bucket 0 / base rank 0, with the ring buffers kept warm.
+func (q *Calendar) Reset() {
+	for i := range q.buckets {
+		q.buckets[i].reset()
+		q.bbytes[i] = 0
+	}
+	q.cur = 0
+	q.base = 0
+	q.bytes = 0
+	q.stats = Stats{}
+}

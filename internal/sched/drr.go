@@ -24,6 +24,7 @@ type DRR struct {
 
 	queues map[uint64]*drrQueue
 	active []*drrQueue // round-robin ring of backlogged queues
+	free   []*drrQueue // recycled queue structs, reused for new keys
 	cur    int
 	bytes  int
 	count  int
@@ -93,7 +94,14 @@ func (d *DRR) Enqueue(p *pkt.Packet) bool {
 	key := d.keyOf(p)
 	q, ok := d.queues[key]
 	if !ok {
-		q = &drrQueue{key: key}
+		if n := len(d.free); n > 0 {
+			q = d.free[n-1]
+			d.free[n-1] = nil
+			d.free = d.free[:n-1]
+			q.key = key
+		} else {
+			q = &drrQueue{key: key}
+		}
 		d.queues[key] = q
 	}
 	q.q.push(p)
@@ -149,7 +157,10 @@ func (d *DRR) Dequeue() *pkt.Packet {
 			// Empty queues forfeit their deficit (standard DRR).
 			d.unlink(q)
 			if len(d.queues) > 1024 {
-				delete(d.queues, q.key) // bound idle-state growth
+				// Bound idle-state growth; the struct (and its warm ring)
+				// is recycled for the next fresh key.
+				delete(d.queues, q.key)
+				d.free = append(d.free, q)
 			}
 		}
 		return p
@@ -162,6 +173,29 @@ func (d *DRR) unlink(q *drrQueue) {
 	q.visited = false
 	q.deficit = 0
 	d.active = append(d.active[:d.cur], d.active[d.cur+1:]...)
+}
+
+// Reset implements Scheduler: all per-key queues are emptied and returned
+// to the struct free list, so a reused DRR serves fresh keys without
+// touching the allocator.
+func (d *DRR) Reset() {
+	for key, q := range d.queues {
+		q.q.reset()
+		q.bytes = 0
+		q.deficit = 0
+		q.queued = false
+		q.visited = false
+		delete(d.queues, key)
+		d.free = append(d.free, q)
+	}
+	for i := range d.active {
+		d.active[i] = nil
+	}
+	d.active = d.active[:0]
+	d.cur = 0
+	d.bytes = 0
+	d.count = 0
+	d.stats = Stats{}
 }
 
 // String implements fmt.Stringer for debugging.

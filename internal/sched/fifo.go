@@ -56,6 +56,17 @@ func (r *ring) peek() *pkt.Packet {
 	return r.buf[r.head]
 }
 
+// reset empties the ring, dropping packet references but keeping the
+// backing buffer so a reused scheduler starts with a warm ring.
+func (r *ring) reset() {
+	for r.n > 0 {
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.head = 0
+}
+
 // Name implements Scheduler.
 func (q *FIFO) Name() string { return "fifo" }
 
@@ -101,3 +112,10 @@ func (q *FIFO) Dequeue() *pkt.Packet {
 
 // Peek returns the head packet without removing it, or nil when empty.
 func (q *FIFO) Peek() *pkt.Packet { return q.q.peek() }
+
+// Reset implements Scheduler.
+func (q *FIFO) Reset() {
+	q.q.reset()
+	q.bytes = 0
+	q.stats = Stats{}
+}

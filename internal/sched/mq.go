@@ -121,6 +121,18 @@ func (q *MQ) Dequeue() *pkt.Packet {
 	return nil
 }
 
+// Reset implements Scheduler.
+func (q *MQ) Reset() {
+	for i := range q.queues {
+		q.queues[i].reset()
+		q.qbytes[i] = 0
+	}
+	q.bytes = 0
+	q.lastRank = 0
+	q.hasLast = false
+	q.stats = Stats{}
+}
+
 // noteDequeue counts rank inversions: a dequeue whose rank exceeds a rank
 // still queued anywhere. For efficiency we approximate with the classic
 // "scheduled after a better packet arrived earlier" check against the

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"container/heap"
-
 	"qvisor/internal/pkt"
 )
 
@@ -34,24 +32,80 @@ type pifoEntry struct {
 	seq uint64
 }
 
+// pifoHeap is a hand-rolled binary min-heap of value entries. The stdlib
+// container/heap is avoided on purpose: pushing a value type through its
+// `any` interface boxes the entry on every Enqueue — one heap allocation
+// per packet — which would break the zero-allocation data-plane budget.
 type pifoHeap []pifoEntry
 
-func (h pifoHeap) Len() int { return len(h) }
-func (h pifoHeap) Less(i, j int) bool {
+func (h pifoHeap) less(i, j int) bool {
 	if h[i].p.Rank != h[j].p.Rank {
 		return h[i].p.Rank < h[j].p.Rank
 	}
 	return h[i].seq < h[j].seq
 }
-func (h pifoHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pifoHeap) Push(x any)   { *h = append(*h, x.(pifoEntry)) }
-func (h *pifoHeap) Pop() any {
+
+func (h pifoHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h pifoHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (h *pifoHeap) push(e pifoEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *pifoHeap) pop() pifoEntry {
 	old := *h
 	n := len(old)
-	e := old[n-1]
+	e := old[0]
+	old[0] = old[n-1]
 	old[n-1] = pifoEntry{}
 	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
 	return e
+}
+
+// remove deletes the entry at index i, preserving heap order.
+func (h *pifoHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old[i] = old[n]
+	}
+	old[n] = pifoEntry{}
+	*h = old[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
 }
 
 // Name implements Scheduler.
@@ -84,13 +138,13 @@ func (q *PIFO) Enqueue(p *pkt.Packet) bool {
 			return false
 		}
 		ev := q.h[wi].p
-		heap.Remove(&q.h, wi)
+		q.h.remove(wi)
 		q.bytes -= ev.Size
 		q.stats.Evicted++
 		q.cfg.Metrics.onEvict()
 		q.cfg.drop(ev)
 	}
-	heap.Push(&q.h, pifoEntry{p: p, seq: q.seq})
+	q.h.push(pifoEntry{p: p, seq: q.seq})
 	q.seq++
 	q.bytes += p.Size
 	q.stats.Enqueued++
@@ -121,11 +175,23 @@ func (q *PIFO) Dequeue() *pkt.Packet {
 	if len(q.h) == 0 {
 		return nil
 	}
-	e := heap.Pop(&q.h).(pifoEntry)
+	e := q.h.pop()
 	q.bytes -= e.p.Size
 	q.stats.Dequeued++
 	q.cfg.Metrics.onDequeue(e.p, len(q.h), q.bytes)
 	return e.p
+}
+
+// Reset implements Scheduler: it empties the heap and zeroes the counters
+// while keeping the heap slice's capacity for the next run.
+func (q *PIFO) Reset() {
+	for i := range q.h {
+		q.h[i] = pifoEntry{}
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+	q.bytes = 0
+	q.stats = Stats{}
 }
 
 // Peek returns the next packet without removing it, or nil when empty.

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"qvisor/internal/pkt"
+)
+
+// resetCases enumerates every scheduler in the package, so the Reset
+// contract and the per-packet allocation budget are pinned down uniformly.
+// A new entry here is the price of adding a scheduler — intentional.
+func resetCases() []struct {
+	name  string
+	build func() Scheduler
+} {
+	return []struct {
+		name  string
+		build func() Scheduler
+	}{
+		{"pifo", func() Scheduler { return NewPIFO(Config{}) }},
+		{"fifo", func() Scheduler { return NewFIFO(Config{}) }},
+		{"sppifo", func() Scheduler { return NewSPPIFO(Config{}, 8) }},
+		{"aifo", func() Scheduler { return NewAIFO(AIFOConfig{}) }},
+		{"calendar", func() Scheduler { return NewCalendar(Config{}, 16, 100) }},
+		{"mq", func() Scheduler {
+			return NewMQ(Config{}, 4, func(p *pkt.Packet) int { return int(p.Rank % 4) })
+		}},
+		{"drr", func() Scheduler { return NewDRR(DRRConfig{}) }},
+	}
+}
+
+// replay runs a deterministic mixed enqueue/dequeue workload and returns
+// the dequeue trace as (rank, size) pairs.
+func replay(s Scheduler, seed int64) [][2]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	var trace [][2]int64
+	for i := 0; i < 500; i++ {
+		p := &pkt.Packet{
+			Rank: rng.Int63n(1000),
+			Size: 100 + rng.Intn(1400),
+			Flow: uint64(rng.Intn(8)),
+		}
+		s.Enqueue(p)
+		if rng.Intn(3) == 0 {
+			if q := s.Dequeue(); q != nil {
+				trace = append(trace, [2]int64{q.Rank, int64(q.Size)})
+			}
+		}
+	}
+	for q := s.Dequeue(); q != nil; q = s.Dequeue() {
+		trace = append(trace, [2]int64{q.Rank, int64(q.Size)})
+	}
+	return trace
+}
+
+// TestResetRoundTrip: after Reset, a scheduler must be indistinguishable
+// from a freshly constructed one — same dequeue trace for the same
+// workload, empty queue, zeroed byte count.
+func TestResetRoundTrip(t *testing.T) {
+	for _, tc := range resetCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			reused := tc.build()
+			replay(reused, 1) // dirty it with one full workload
+			// Leave packets queued, then Reset mid-backlog.
+			for i := 0; i < 50; i++ {
+				reused.Enqueue(&pkt.Packet{Rank: int64(i), Size: 200, Flow: uint64(i % 4)})
+			}
+			reused.Reset()
+			if reused.Len() != 0 || reused.Bytes() != 0 {
+				t.Fatalf("after Reset: Len=%d Bytes=%d, want 0/0", reused.Len(), reused.Bytes())
+			}
+			if got := reused.Dequeue(); got != nil {
+				t.Fatalf("Dequeue after Reset returned %+v, want nil", got)
+			}
+
+			fresh := tc.build()
+			got := replay(reused, 42)
+			want := replay(fresh, 42)
+			if len(got) != len(want) {
+				t.Fatalf("trace lengths differ: reused=%d fresh=%d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trace diverges at %d: reused=%v fresh=%v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestResetDoesNotInvokeDropCallback: Reset discards queued packets
+// silently; the drop callback is reserved for refused/evicted packets.
+func TestResetDoesNotInvokeDropCallback(t *testing.T) {
+	drops := 0
+	q := NewPIFO(Config{OnDrop: func(*pkt.Packet) { drops++ }})
+	for i := 0; i < 10; i++ {
+		q.Enqueue(mkpkt(int64(i), 100))
+	}
+	q.Reset()
+	if drops != 0 {
+		t.Fatalf("Reset invoked the drop callback %d times, want 0", drops)
+	}
+}
+
+// TestAllocBudgetSchedulers: once warmed, a steady-state enqueue/dequeue
+// cycle must not allocate for any scheduler. This is the per-packet budget
+// the zero-allocation data plane depends on.
+func TestAllocBudgetSchedulers(t *testing.T) {
+	for _, tc := range resetCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build()
+			p := &pkt.Packet{Rank: 5, Size: 1000, Flow: 3}
+			// Warm internal buffers: rings, heap slices, DRR queue structs.
+			for i := 0; i < 64; i++ {
+				p.Rank = int64(i % 7)
+				s.Enqueue(p)
+				if q := s.Dequeue(); q == nil {
+					t.Fatal("warmup dequeue failed")
+				}
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				s.Enqueue(p)
+				s.Dequeue()
+			})
+			if allocs != 0 {
+				t.Fatalf("%s enqueue/dequeue allocates %.1f objects/op, budget is 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestDRRReusesQueueStructs: Reset returns per-key queue structs to the
+// free list; serving the same keys again must not hit the allocator.
+func TestDRRReusesQueueStructs(t *testing.T) {
+	d := NewDRR(DRRConfig{})
+	for flow := uint64(0); flow < 16; flow++ {
+		d.Enqueue(&pkt.Packet{Flow: flow, Size: 100})
+	}
+	for d.Dequeue() != nil {
+	}
+	d.Reset()
+	// Pre-build the packets so the measurement sees only scheduler
+	// internals, not the test's own allocations.
+	pkts := make([]*pkt.Packet, 16)
+	for i := range pkts {
+		pkts[i] = &pkt.Packet{Flow: uint64(i), Size: 100, Rank: 1}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, p := range pkts {
+			d.Enqueue(p)
+		}
+		for d.Dequeue() != nil {
+		}
+		d.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("DRR re-serving known keys after Reset allocates %.1f objects/op, budget is 0", allocs)
+	}
+}

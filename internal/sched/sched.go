@@ -19,6 +19,28 @@ import (
 //
 // Implementations are not safe for concurrent use; the simulator is
 // single-threaded per the discrete-event engine.
+//
+// # Packet ownership
+//
+// Packets may come from a pkt.Pool, so exactly one party must release each
+// one. The contract every implementation follows:
+//
+//   - Enqueue(p) == true: the scheduler owns p until it hands it back —
+//     either from Dequeue (ownership returns to the caller) or through the
+//     configured drop callback when p is evicted to admit a better packet.
+//   - Enqueue(p) == false: p was refused. The scheduler invokes the drop
+//     callback with p before returning; by convention the drop callback is
+//     the single release point for refused and evicted packets, so the
+//     enqueueing caller must NOT release p again on a false return.
+//   - Dequeue: the returned packet belongs to the caller.
+//   - Reset: discards queued packets without invoking the drop callback.
+//     Callers that pool packets must drain the scheduler first (or reset
+//     the pool alongside), otherwise the queued packets leak from the
+//     pool's accounting.
+//
+// Schedulers never retain a packet after handing it out and never release
+// packets to a pool themselves — release policy belongs to the layer that
+// acquired the packet (see internal/netsim).
 type Scheduler interface {
 	// Enqueue offers p to the scheduler. It returns false when p was
 	// dropped (buffer overflow or admission control). The scheduler may
@@ -33,6 +55,11 @@ type Scheduler interface {
 	Bytes() int
 	// Name returns a short identifier for logs and experiment output.
 	Name() string
+	// Reset empties the scheduler and zeroes its counters while keeping
+	// internal buffers (rings, heap slices, node free lists) warm, so one
+	// scheduler instance can be reused across simulation trials without
+	// reallocating. See the ownership notes above for queued packets.
+	Reset()
 }
 
 // DropFn observes packets dropped by a scheduler (on arrival or by

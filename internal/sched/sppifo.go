@@ -108,6 +108,18 @@ func (q *SPPIFO) put(i int, p *pkt.Packet) {
 	}
 }
 
+// Reset implements Scheduler: queues are emptied and all bounds return to
+// zero, as if freshly constructed, with the ring buffers kept warm.
+func (q *SPPIFO) Reset() {
+	for i := range q.queues {
+		q.queues[i].reset()
+		q.qbytes[i] = 0
+		q.bounds[i] = 0
+	}
+	q.bytes = 0
+	q.stats = Stats{}
+}
+
 // Dequeue implements Scheduler: strict priority across the queue bank.
 func (q *SPPIFO) Dequeue() *pkt.Packet {
 	for i := range q.queues {

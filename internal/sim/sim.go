@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -55,57 +54,101 @@ func (t Time) String() string {
 // Event is a callback scheduled to run at a point in simulated time.
 type Event func(now Time)
 
-// item is a scheduled event in the priority queue.
+// item is a scheduled event in the priority queue. Items are recycled
+// through the engine's free list: the gen counter is bumped on every
+// recycle so stale Handles (held across a fire or a Reset) can never
+// cancel an unrelated reincarnation of their item.
 type item struct {
 	at   Time
 	seq  uint64 // insertion order; breaks ties deterministically
 	fn   Event
-	idx  int // heap index, -1 once popped or cancelled
+	gen  uint64 // recycle generation; Handles must match to act
 	dead bool
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ it *item }
+// Handle identifies a scheduled event so it can be cancelled. A Handle is
+// pinned to one generation of its item, so holding a Handle past the
+// event's firing (or past Engine.Reset) is safe: it simply goes inert.
+type Handle struct {
+	it  *item
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Returns true if the event was pending.
+// already-cancelled event is a no-op. Returns true if the event was
+// pending. The callback is released immediately so a cancelled event does
+// not pin its captures until the queue drains past it.
 func (h Handle) Cancel() bool {
-	if h.it == nil || h.it.dead {
+	if h.it == nil || h.it.gen != h.gen || h.it.dead {
 		return false
 	}
 	h.it.dead = true
+	h.it.fn = nil
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.it != nil && !h.it.dead }
+func (h Handle) Pending() bool {
+	return h.it != nil && h.it.gen == h.gen && !h.it.dead
+}
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap is avoided deliberately: its interface indirection costs
+// two dynamic calls per sift step on the hottest loop in the simulator.
 type eventHeap []*item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.idx = len(*h)
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (h *eventHeap) push(it *item) {
 	*h = append(*h, it)
+	h.up(len(*h) - 1)
 }
-func (h *eventHeap) Pop() any {
+
+func (h *eventHeap) pop() *item {
 	old := *h
 	n := len(old)
-	it := old[n-1]
+	it := old[0]
+	old[0] = old[n-1]
 	old[n-1] = nil
-	it.idx = -1
 	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
 	return it
 }
 
@@ -113,12 +156,19 @@ func (h *eventHeap) Pop() any {
 //
 // The zero value is ready to use. Engine is not safe for concurrent use;
 // all scheduling must happen from event callbacks or before Run.
+//
+// Popped and cancelled items are recycled through an internal free list,
+// so a steady-state schedule/fire cycle performs no allocations; Reset
+// rewinds the clock for a fresh run while keeping that free list (and the
+// heap's capacity) warm, which is what lets sweep harnesses reuse one
+// engine across trials instead of rebuilding it.
 type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
 	fired   uint64
 	stopped bool
+	free    []*item
 }
 
 // New returns an engine with simulated time starting at zero.
@@ -143,10 +193,28 @@ func (e *Engine) At(at Time, fn Event) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: At(%v) before now=%v: %v", at, e.now, ErrPastEvent))
 	}
-	it := &item{at: at, seq: e.seq, fn: fn}
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		it = &item{}
+	}
+	it.at, it.seq, it.fn, it.dead = at, e.seq, fn, false
 	e.seq++
-	heap.Push(&e.heap, it)
-	return Handle{it}
+	e.heap.push(it)
+	return Handle{it: it, gen: it.gen}
+}
+
+// recycle returns a popped item to the free list. Bumping the generation
+// first makes every outstanding Handle to it inert; the callback is
+// dropped so recycled items never pin event captures.
+func (e *Engine) recycle(it *item) {
+	it.gen++
+	it.fn = nil
+	it.dead = true
+	e.free = append(e.free, it)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -166,21 +234,24 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		it := heap.Pop(&e.heap).(*item)
+		it := e.heap.pop()
 		if it.dead {
+			e.recycle(it)
 			continue
 		}
 		if it.at > horizon {
 			// Beyond the horizon: put the event back (a later Run with a
-			// larger horizon resumes it) and stop at the horizon.
-			heap.Push(&e.heap, it)
+			// larger horizon resumes it) and stop at the horizon. The item
+			// keeps its generation, so outstanding Handles stay valid.
+			e.heap.push(it)
 			e.now = horizon
 			return e.now
 		}
 		e.now = it.at
-		it.dead = true
+		fn := it.fn
+		e.recycle(it) // before fn: the callback may schedule (and reuse) freely
 		e.fired++
-		it.fn(e.now)
+		fn(e.now)
 	}
 	return e.now
 }
@@ -189,15 +260,29 @@ func (e *Engine) Run(horizon Time) Time {
 // remain. Useful for tests that need fine-grained control.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		it := heap.Pop(&e.heap).(*item)
+		it := e.heap.pop()
 		if it.dead {
+			e.recycle(it)
 			continue
 		}
 		e.now = it.at
-		it.dead = true
+		fn := it.fn
+		e.recycle(it)
 		e.fired++
-		it.fn(e.now)
+		fn(e.now)
 		return true
 	}
 	return false
+}
+
+// Reset rewinds the engine to its initial state — time zero, empty queue,
+// zero counters — while keeping the item free list and heap capacity, so a
+// harness can reuse one engine across many runs without reallocating its
+// internals. Every outstanding Handle is invalidated.
+func (e *Engine) Reset() {
+	for _, it := range e.heap {
+		e.recycle(it)
+	}
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
 }

@@ -81,6 +81,12 @@ type (
 	Packet = pkt.Packet
 	// Label is the 16-byte wire encoding of (tenant, rank).
 	Label = pkt.Label
+	// PacketPool is a single-threaded packet free list; Get/Put in the
+	// data-plane loop instead of allocating per packet. See DESIGN.md
+	// ("Memory model & ownership") for the ownership contract.
+	PacketPool = pkt.Pool
+	// PacketPoolStats is the pool's Get/Put/miss accounting.
+	PacketPoolStats = pkt.PoolStats
 
 	// Bounds is a closed rank interval.
 	Bounds = rank.Bounds
@@ -164,6 +170,10 @@ func NewController(tenants []*Tenant, spec *Spec, opts ControllerOptions) (*Cont
 // RankerByName constructs a tenant rank function: pfabric, srpt, sjf, las,
 // edf, lstf, fifo+, fcfs, stfq, or fq.
 func RankerByName(name string) (Ranker, error) { return rank.ByName(name) }
+
+// NewPacketPool returns an empty packet free list. Pools are not safe for
+// concurrent use; give each worker its own.
+func NewPacketPool() *PacketPool { return pkt.NewPool() }
 
 // NewComposite blends several rank functions into one multi-objective
 // policy (§5), normalizing each component over its bounds and combining
