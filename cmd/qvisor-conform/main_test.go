@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenarios", "5", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS: no violations") {
+		t.Fatalf("missing PASS line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pifotree") {
+		t.Fatalf("missing backend rows:\n%s", out.String())
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-scenarios", "4", "-seed", "11"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenarios", "4", "-seed", "11"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same flags, different output:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunBackendFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenarios", "3", "-backend", "fifo,pifo"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "drr") {
+		t.Fatalf("unselected backend in output:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-backend", "bogus"}, &out); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package conform
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/rank"
+)
+
+// TestRunClean is the conformance suite's main entry: a batch of random
+// scenarios across every backend must produce zero violations.
+func TestRunClean(t *testing.T) {
+	opts := Options{Scenarios: 40, Seed: 1}
+	if testing.Short() {
+		opts.Scenarios = 8
+	}
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Fatalf("conformance violations:\n%s", r.Summary())
+	}
+	if r.Scenarios != opts.Scenarios {
+		t.Fatalf("executed %d scenarios, want %d", r.Scenarios, opts.Scenarios)
+	}
+	if r.Packets == 0 || r.TransformChecks == 0 || r.MetamorphicChecks == 0 {
+		t.Fatalf("degenerate run: %+v", r)
+	}
+	for _, bs := range r.Backends {
+		if bs.Enqueued == 0 {
+			t.Errorf("backend %s never enqueued a packet", bs.Backend)
+		}
+		// Only the rank-order-exact backends must be inversion-free;
+		// fifo/drr/sp-queues are exact w.r.t. their own discipline but
+		// invert ranks by design.
+		if (bs.Backend == "pifo" || bs.Backend == "pifotree") && bs.Inversions != 0 {
+			t.Errorf("backend %s recorded %d inversions", bs.Backend, bs.Inversions)
+		}
+	}
+}
+
+// TestRunDeterministic: identical options must reproduce the identical
+// report, including the rendered summary.
+func TestRunDeterministic(t *testing.T) {
+	opts := Options{Scenarios: 6, Seed: 42}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("non-deterministic reports:\n--- first\n%s\n--- second\n%s", a.Summary(), b.Summary())
+	}
+}
+
+// TestRunBackendSelection: restricting Options.Backends runs only the
+// named targets, and unknown names error.
+func TestRunBackendSelection(t *testing.T) {
+	r, err := Run(Options{Scenarios: 3, Seed: 7, Backends: []string{"fifo", "drr"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Backends) != 2 || r.Backends[0].Backend != "fifo" || r.Backends[1].Backend != "drr" {
+		t.Fatalf("unexpected backend selection: %+v", r.Backends)
+	}
+	if !r.Passed() {
+		t.Fatalf("violations:\n%s", r.Summary())
+	}
+	if _, err := Run(Options{Scenarios: 1, Backends: []string{"nope"}}); err == nil {
+		t.Fatal("unknown backend name accepted")
+	}
+}
+
+// TestRefPIFOSortedOrder cross-checks the oracle itself against plain
+// sorting: without buffer pressure, draining a RefPIFO yields ranks in
+// non-decreasing order and equal ranks in arrival order.
+func TestRefPIFOSortedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := NewRefPIFO(1<<30, nil)
+	type key struct {
+		rank int64
+		id   uint64
+	}
+	var want []key
+	for i := 0; i < 500; i++ {
+		p := &pkt.Packet{ID: uint64(i), Rank: int64(rng.Intn(40)), Size: 100}
+		if !ref.Enqueue(p) {
+			t.Fatalf("packet %d refused without pressure", i)
+		}
+		want = append(want, key{p.Rank, p.ID})
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].rank < want[j].rank })
+	for i := 0; ; i++ {
+		p := ref.Dequeue()
+		if p == nil {
+			if i != len(want) {
+				t.Fatalf("drained %d packets, want %d", i, len(want))
+			}
+			break
+		}
+		if p.Rank != want[i].rank || p.ID != want[i].id {
+			t.Fatalf("dequeue %d: packet %d rank %d, want packet %d rank %d",
+				i, p.ID, p.Rank, want[i].id, want[i].rank)
+		}
+	}
+	if ref.Len() != 0 || ref.Bytes() != 0 {
+		t.Fatalf("drained oracle reports len=%d bytes=%d", ref.Len(), ref.Bytes())
+	}
+}
+
+// TestRefPIFOEviction pins the oracle's buffer semantics: evict the worst
+// queued packet when a better packet arrives, drop the arrival otherwise,
+// ties favoring the queued packet.
+func TestRefPIFOEviction(t *testing.T) {
+	var dropped []uint64
+	ref := NewRefPIFO(300, func(p *pkt.Packet) { dropped = append(dropped, p.ID) })
+	mk := func(id uint64, rank int64) *pkt.Packet {
+		return &pkt.Packet{ID: id, Rank: rank, Size: 100}
+	}
+	for id, rank := range map[uint64]int64{0: 5, 1: 7, 2: 3} {
+		if !ref.Enqueue(mk(id, rank)) {
+			t.Fatalf("packet %d refused", id)
+		}
+	}
+	// Full. A worse arrival (rank 9 >= worst 7) is dropped.
+	if ref.Enqueue(mk(3, 9)) {
+		t.Fatal("rank-9 arrival accepted over rank-7 worst")
+	}
+	// An equal arrival loses the tie to the queued packet.
+	if ref.Enqueue(mk(4, 7)) {
+		t.Fatal("tie arrival accepted")
+	}
+	// A better arrival evicts the worst (packet 1, rank 7).
+	if !ref.Enqueue(mk(5, 4)) {
+		t.Fatal("better arrival refused")
+	}
+	wantDropped := []uint64{3, 4, 1}
+	if len(dropped) != len(wantDropped) {
+		t.Fatalf("dropped %v, want %v", dropped, wantDropped)
+	}
+	for i := range dropped {
+		if dropped[i] != wantDropped[i] {
+			t.Fatalf("dropped %v, want %v", dropped, wantDropped)
+		}
+	}
+	var got []int64
+	for p := ref.Dequeue(); p != nil; p = ref.Dequeue() {
+		got = append(got, p.Rank)
+	}
+	want := []int64{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRefApplyMatchesTransform spot-checks the big-integer reference
+// against the production transform across the exact integer regime.
+func TestRefApplyMatchesTransform(t *testing.T) {
+	trs := []core.Transform{
+		{Lo: 0, Hi: 100, Levels: 10, Stride: 1, Weight: 1},
+		{Lo: -50, Hi: 50, Levels: 64, Stride: 3, Phase: 1, Weight: 2, Offset: 1000},
+		{Lo: 7, Hi: 7, Levels: 1, Stride: 5, Weight: 1, Offset: 3},
+	}
+	for _, tr := range trs {
+		for _, in := range TransformSamples(tr) {
+			want, exact := RefApply(tr, in)
+			if !exact {
+				t.Fatalf("transform %v unexpectedly inexact", tr)
+			}
+			if got := tr.Apply(in); got != want {
+				t.Fatalf("transform %v: Apply(%d)=%d, reference %d", tr, in, got, want)
+			}
+		}
+	}
+}
+
+// TestRefApplyInexactRegime: extreme spans must be flagged as inexact so
+// the checker falls back to monotonicity and range containment.
+func TestRefApplyInexactRegime(t *testing.T) {
+	tr := core.Transform{Lo: 0, Hi: 1 << 45, Levels: 1 << 20, Stride: 1, Weight: 1}
+	if _, exact := RefApply(tr, 12345); exact {
+		t.Fatal("2^45-span transform reported exact")
+	}
+	if v := CheckTransform(tr, TransformSamples(tr)); v != nil {
+		t.Fatalf("monotone/range check failed in inexact regime: %s", v.Detail)
+	}
+}
+
+// TestCheckTransformCatchesBugs plants deliberately broken transforms and
+// expects CheckTransform to flag them.
+func TestCheckTransformCatchesBugs(t *testing.T) {
+	// Stride narrower than the weight makes the slot placement overlap
+	// the next cycle: output escapes the declared bounds or loses
+	// monotonicity, depending on the probe points.
+	broken := core.Transform{Lo: 0, Hi: 100, Levels: 50, Stride: 1, Weight: 5}
+	if v := CheckTransform(broken, TransformSamples(broken)); v == nil {
+		t.Fatal("broken transform passed CheckTransform")
+	}
+}
+
+// TestGenScenarioShapes sanity-checks the generator across many seeds:
+// valid specs, non-empty traces, ranks inside the joint output range
+// (plus the UnknownWorst sentinel).
+func TestGenScenarioShapes(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(scenarioSeed(seed, 0)))
+		sc, err := GenScenario(int(seed), rng, 400)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(sc.Trace) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+		if len(sc.Trace) > 400 {
+			t.Fatalf("seed %d: trace %d exceeds cap", seed, len(sc.Trace))
+		}
+		if err := sc.Spec.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid spec %q: %v", seed, sc.Spec, err)
+		}
+		out := rank.Bounds{Lo: sc.Joint.Output.Lo, Hi: sc.Joint.Output.Hi + 1}
+		for _, p := range sc.Trace {
+			if p.Rank < out.Lo || p.Rank > out.Hi {
+				t.Fatalf("seed %d: packet %d rank %d outside joint output %v (+unknown)",
+					seed, p.ID, p.Rank, sc.Joint.Output)
+			}
+		}
+	}
+}
+
+// TestScenarioSeedDecorrelated: the SplitMix64 derivation must give
+// distinct streams per scenario index.
+func TestScenarioSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := scenarioSeed(1, i)
+		if seen[s] {
+			t.Fatalf("scenario seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if scenarioSeed(1, 0) == scenarioSeed(2, 0) {
+		t.Fatal("base seed does not influence scenario seeds")
+	}
+}

@@ -1,0 +1,182 @@
+package conform
+
+import (
+	"reflect"
+
+	"qvisor/internal/core"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+// checkMetamorphic verifies the synthesizer's metamorphic properties on
+// the scenario's inputs: re-synthesis idempotence, rank-shift invariance,
+// and tier-composition congruence. These are theorems of the §3.2
+// construction — synthesis depends only on bound spans and spec shape, and
+// processes strict tiers sequentially — so any failure is a synthesizer
+// bug, not an approximation artifact.
+func checkMetamorphic(r *Report, sc *Scenario) {
+	checkIdempotence(r, sc)
+	checkShiftInvariance(r, sc)
+	checkTierCongruence(r, sc)
+}
+
+func metaViolation(r *Report, sc *Scenario, detail string) {
+	r.addViolation(Violation{Scenario: sc.Index, Kind: ViolationMetamorphic, Detail: detail})
+}
+
+// checkIdempotence re-synthesizes the identical inputs and requires a
+// deep-equal joint policy: the synthesizer must be a pure function of its
+// arguments.
+func checkIdempotence(r *Report, sc *Scenario) {
+	r.MetamorphicChecks++
+	jp2, err := core.Synthesize(sc.Tenants, sc.Spec, sc.Opts)
+	if err != nil {
+		metaViolation(r, sc, violationf("re-synthesis failed: %v", err))
+		return
+	}
+	switch {
+	case !reflect.DeepEqual(jp2.Transforms, sc.Joint.Transforms):
+		metaViolation(r, sc, "re-synthesis produced different transforms")
+	case !reflect.DeepEqual(jp2.Tiers, sc.Joint.Tiers):
+		metaViolation(r, sc, "re-synthesis produced different tier plans")
+	case jp2.Output != sc.Joint.Output:
+		metaViolation(r, sc, violationf("re-synthesis produced output bounds %v, originally %v",
+			jp2.Output, sc.Joint.Output))
+	}
+}
+
+// shiftDelta picks the scenario's deterministic bound shift: varied across
+// scenarios, sign-alternating, never zero.
+func shiftDelta(index int) int64 {
+	c := int64(index%7+1) * 977
+	if index%2 == 1 {
+		c = -c
+	}
+	return c
+}
+
+// checkShiftInvariance shifts one tenant's rank bounds by a constant and
+// re-synthesizes: the synthesizer only analyzes bound *spans*, so the
+// shifted tenant's transform must satisfy T'(r+c) == T(r) and every other
+// tenant's transform must be unchanged.
+func checkShiftInvariance(r *Report, sc *Scenario) {
+	for k, tk := range sc.Tenants {
+		r.MetamorphicChecks++
+		c := shiftDelta(sc.Index + k)
+		b, err := tk.EffectiveBounds()
+		if err != nil {
+			metaViolation(r, sc, violationf("tenant %q bounds: %v", tk.Name, err))
+			continue
+		}
+		shifted := rank.Bounds{Lo: b.Lo + c, Hi: b.Hi + c}
+		if shifted == (rank.Bounds{}) {
+			// The zero Bounds value means "ask the algorithm"; nudge off it.
+			c++
+			shifted = rank.Bounds{Lo: b.Lo + c, Hi: b.Hi + c}
+		}
+		tenants2 := make([]*core.Tenant, len(sc.Tenants))
+		copy(tenants2, sc.Tenants)
+		tk2 := *tk
+		tk2.Bounds = shifted
+		tenants2[k] = &tk2
+		jp2, err := core.Synthesize(tenants2, sc.Spec, sc.Opts)
+		if err != nil {
+			metaViolation(r, sc, violationf("synthesis with tenant %q shifted by %d failed: %v", tk.Name, c, err))
+			continue
+		}
+		for j, tj := range sc.Tenants {
+			t1 := sc.Joint.Transforms[tj.ID]
+			t2, ok := jp2.Transforms[tj.ID]
+			if !ok {
+				metaViolation(r, sc, violationf("shifted synthesis lost tenant %q", tj.Name))
+				break
+			}
+			if j != k {
+				if t1 != t2 {
+					metaViolation(r, sc, violationf(
+						"shifting tenant %q by %d changed tenant %q's transform: %v -> %v",
+						tk.Name, c, tj.Name, t1, t2))
+					break
+				}
+				continue
+			}
+			bad := false
+			for _, in := range TransformSamples(t1) {
+				if got, want := t2.Apply(in+c), t1.Apply(in); got != want {
+					metaViolation(r, sc, violationf(
+						"shift invariance: tenant %q shifted by %d: T'(%d)=%d, T(%d)=%d",
+						tk.Name, c, in+c, got, in, want))
+					bad = true
+					break
+				}
+			}
+			if bad {
+				break
+			}
+		}
+	}
+}
+
+// checkTierCongruence synthesizes each strict tier as a standalone policy
+// and requires the full policy's transforms to be the standalone ones
+// translated by the tier's base offset: ">>" composition must not change
+// anything about a tier's internal layout except where it starts.
+func checkTierCongruence(r *Report, sc *Scenario) {
+	for ti, tier := range sc.Spec.Tiers {
+		r.MetamorphicChecks++
+		sub := &policy.Spec{Tiers: []policy.Tier{tier}}
+		jpSub, err := core.Synthesize(sc.Tenants, sub, sc.Opts)
+		if err != nil {
+			metaViolation(r, sc, violationf("standalone synthesis of tier %d failed: %v", ti, err))
+			continue
+		}
+		// Every tenant in the tier must be translated by the same delta.
+		var delta int64
+		haveDelta := false
+		bad := false
+		for _, lvl := range tier.Levels {
+			for _, name := range lvl.Tenants {
+				tFull, ok1 := sc.Joint.TransformOf(name)
+				tSub, ok2 := jpSub.TransformOf(name)
+				if !ok1 || !ok2 {
+					metaViolation(r, sc, violationf("tier %d tenant %q missing a transform", ti, name))
+					bad = true
+					break
+				}
+				d := tFull.Offset - tSub.Offset
+				if !haveDelta {
+					delta, haveDelta = d, true
+				} else if d != delta {
+					metaViolation(r, sc, violationf(
+						"tier %d: tenant %q translated by %d, tier translated by %d", ti, name, d, delta))
+					bad = true
+					break
+				}
+				norm := tFull
+				norm.Offset = tSub.Offset
+				if norm != tSub {
+					metaViolation(r, sc, violationf(
+						"tier %d: tenant %q layout differs beyond translation: full %v, standalone %v",
+						ti, name, tFull, tSub))
+					bad = true
+					break
+				}
+				for _, in := range TransformSamples(tSub) {
+					if got, want := tFull.Apply(in), tSub.Apply(in)+delta; got != want {
+						metaViolation(r, sc, violationf(
+							"tier %d tenant %q: full Apply(%d)=%d, standalone+%d=%d",
+							ti, name, in, got, delta, want))
+						bad = true
+						break
+					}
+				}
+				if bad {
+					break
+				}
+			}
+			if bad {
+				break
+			}
+		}
+	}
+}

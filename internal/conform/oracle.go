@@ -1,0 +1,204 @@
+package conform
+
+import (
+	"math/big"
+	"sort"
+
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+)
+
+// RefPIFO is the reference oracle for the ideal PIFO: a sorted list kept in
+// non-decreasing (rank, arrival) order by plain insertion. It is O(n) per
+// enqueue and makes no attempt to be fast — its only job is to be obviously
+// correct, so the production heap-based sched.PIFO (and every approximation)
+// can be differentially tested against it.
+//
+// The buffer semantics mirror sched.PIFO exactly, clause for clause:
+// when an arrival would overflow the byte capacity, the worst queued packet
+// (highest rank, most recent among ties) is evicted if the arrival beats it,
+// otherwise the arrival is dropped; ties favor the queued packet.
+type RefPIFO struct {
+	capacity int
+	entries  []refEntry // sorted ascending by (rank, seq)
+	seq      uint64
+	bytes    int
+	onDrop   func(p *pkt.Packet)
+}
+
+type refEntry struct {
+	p   *pkt.Packet
+	seq uint64
+}
+
+// NewRefPIFO returns an empty reference PIFO with the given byte capacity.
+// onDrop, if non-nil, observes dropped and evicted packets — the same
+// callback contract as sched.Config.OnDrop.
+func NewRefPIFO(capacityBytes int, onDrop func(p *pkt.Packet)) *RefPIFO {
+	return &RefPIFO{capacity: capacityBytes, onDrop: onDrop}
+}
+
+// Len returns the number of queued packets.
+func (r *RefPIFO) Len() int { return len(r.entries) }
+
+// Bytes returns the number of queued bytes.
+func (r *RefPIFO) Bytes() int { return r.bytes }
+
+func (r *RefPIFO) drop(p *pkt.Packet) {
+	if r.onDrop != nil {
+		r.onDrop(p)
+	}
+}
+
+// Enqueue offers p; it returns false when p was dropped. The semantics
+// match sched.PIFO: evict-worst under overflow, ties favor the queued
+// packet (FIFO among equal ranks).
+func (r *RefPIFO) Enqueue(p *pkt.Packet) bool {
+	for r.bytes+p.Size > r.capacity {
+		n := len(r.entries)
+		if n == 0 {
+			r.drop(p)
+			return false
+		}
+		// The worst packet (max rank, max seq among ties) is the last
+		// entry of the sorted list by construction.
+		worst := r.entries[n-1]
+		if worst.p.Rank <= p.Rank {
+			r.drop(p)
+			return false
+		}
+		r.entries[n-1] = refEntry{}
+		r.entries = r.entries[:n-1]
+		r.bytes -= worst.p.Size
+		r.drop(worst.p)
+	}
+	e := refEntry{p: p, seq: r.seq}
+	r.seq++
+	// Insertion sort: find the first entry ordered after e. New arrivals
+	// have the highest seq, so among equal ranks they insert last — FIFO
+	// order among equals.
+	i := sort.Search(len(r.entries), func(i int) bool {
+		q := r.entries[i]
+		if q.p.Rank != e.p.Rank {
+			return q.p.Rank > e.p.Rank
+		}
+		return q.seq > e.seq
+	})
+	r.entries = append(r.entries, refEntry{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = e
+	r.bytes += p.Size
+	return true
+}
+
+// Dequeue removes and returns the lowest-(rank, arrival) packet, or nil.
+func (r *RefPIFO) Dequeue() *pkt.Packet {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	e := r.entries[0]
+	copy(r.entries, r.entries[1:])
+	r.entries[len(r.entries)-1] = refEntry{}
+	r.entries = r.entries[:len(r.entries)-1]
+	r.bytes -= e.p.Size
+	return e.p
+}
+
+// RefApply is the brute-force reference evaluator for a rank
+// transformation (§3.2): it recomputes clamp → quantize → slot placement
+// with arbitrary-precision integer arithmetic instead of the production
+// code's overflow-guarded int64 fast path.
+//
+// The returned exact flag reports whether the transform is in the regime
+// where the production Quantize uses exact integer math. Outside it
+// (extreme spans where d*(Levels-1) would overflow int64) the production
+// code documents only a monotone float fallback, so the oracle value and
+// the production value may legitimately differ; callers must then check
+// monotonicity and range containment instead of equality.
+func RefApply(t core.Transform, r int64) (out int64, exact bool) {
+	// Clamp, textually following the §3.2 bounding primitive.
+	if r < t.Lo {
+		r = t.Lo
+	}
+	if r > t.Hi {
+		r = t.Hi
+	}
+	span := t.Hi - t.Lo
+	var lvl int64
+	if span <= 0 || t.Levels <= 1 {
+		lvl = 0
+		exact = true
+	} else {
+		m := t.Levels - 1
+		exact = m <= (1<<62)/(span+1)
+		// lvl = floor((r-Lo) * (Levels-1) / span), computed exactly.
+		num := new(big.Int).Mul(big.NewInt(r-t.Lo), big.NewInt(m))
+		num.Quo(num, big.NewInt(span))
+		lvl = num.Int64()
+	}
+	if max := t.Levels - 1; lvl > max {
+		lvl = max
+	}
+	w := t.Weight
+	if w <= 0 {
+		w = 1
+	}
+	// Slot placement: the tenant owns w consecutive slots per Stride-wide
+	// cycle, starting at Phase.
+	return t.Offset + (lvl/w)*t.Stride + t.Phase + lvl%w, exact
+}
+
+// CheckTransform verifies a production Transform against the reference
+// evaluator on a deterministic sample of input ranks spanning (and
+// exceeding) its input bounds. It returns the first disagreement found,
+// or nil. In the exact integer regime outputs must be identical; in the
+// float-fallback regime only monotonicity and output-bounds containment
+// are required (matching the production contract).
+func CheckTransform(t core.Transform, samples []int64) *Violation {
+	ob := t.OutputBounds()
+	prev := int64(-1 << 62)
+	prevIn := int64(0)
+	for i, r := range samples {
+		got := t.Apply(r)
+		want, exact := RefApply(t, r)
+		if exact && got != want {
+			return &Violation{
+				Kind:   ViolationTransformMismatch,
+				Detail: violationf("Apply(%d) = %d, reference %d (transform %v)", r, got, want, t),
+			}
+		}
+		if got < ob.Lo || got > ob.Hi {
+			return &Violation{
+				Kind:   ViolationTransformRange,
+				Detail: violationf("Apply(%d) = %d outside declared output bounds %v", r, got, ob),
+			}
+		}
+		if i > 0 && r >= prevIn && got < prev {
+			return &Violation{
+				Kind:   ViolationTransformMonotone,
+				Detail: violationf("Apply not monotone: Apply(%d)=%d after Apply(%d)=%d", r, got, prevIn, prev),
+			}
+		}
+		prev, prevIn = got, r
+	}
+	return nil
+}
+
+// TransformSamples returns a deterministic set of probe ranks for a
+// transform: the bounds, points outside them, and a spread of interior
+// points including quantization-level edges.
+func TransformSamples(t core.Transform) []int64 {
+	span := t.Hi - t.Lo
+	s := []int64{t.Lo - 1000, t.Lo - 1, t.Lo, t.Hi, t.Hi + 1, t.Hi + 1000}
+	for i := int64(1); i <= 16; i++ {
+		s = append(s, t.Lo+span*i/17)
+	}
+	// Level-boundary probes: the first few exact quantization edges.
+	if t.Levels > 1 && span > 0 {
+		for l := int64(1); l <= 4 && l < t.Levels; l++ {
+			s = append(s, t.Lo+span*l/(t.Levels-1))
+		}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}

@@ -1,0 +1,269 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sim"
+	"qvisor/internal/workload"
+)
+
+// Scenario is one randomized conformance case: a tenant set, an operator
+// policy, the synthesized joint policy, and a pre-processed packet trace
+// with a service pattern, all derived deterministically from the
+// scenario's private random source.
+type Scenario struct {
+	// Index is the scenario's position in the run.
+	Index int
+	// Tenants are the per-tenant policies (random rank bounds and levels).
+	Tenants []*core.Tenant
+	// Spec is the operator composition policy.
+	Spec *policy.Spec
+	// Opts are the synthesizer options used.
+	Opts core.SynthOptions
+	// Joint is the synthesized joint policy.
+	Joint *core.JointPolicy
+	// Trace is the pre-processed packet trace: ranks already carry the
+	// joint policy's output (value packets; the runner makes pooled
+	// copies per backend so schedulers can be destructive).
+	Trace []pkt.Packet
+	// Serve is the randomized service pattern: Serve[i] true means a
+	// dequeue burst is attempted after arrival i.
+	Serve []bool
+}
+
+// unknownTenantID is a label outside every generated tenant set, used to
+// exercise the pre-processor's UnknownWorst path in a fraction of traces.
+const unknownTenantID = pkt.TenantID(0xFFF0)
+
+// GenScenario builds scenario i from rng. Generation only produces valid
+// inputs, so any returned error is itself a conformance finding.
+func GenScenario(i int, rng *rand.Rand, maxPackets int) (*Scenario, error) {
+	tenants := genTenants(rng)
+	spec := genSpec(rng, tenants)
+	// Round-trip the spec through the printer and parser: the canonical
+	// form must reparse to an equivalent spec, or scenario inputs would
+	// not be reproducible from their textual form.
+	reparsed, err := policy.Parse(spec.String())
+	if err != nil {
+		return nil, fmt.Errorf("canonical spec %q does not reparse: %w", spec, err)
+	}
+	if got, want := reparsed.String(), spec.String(); got != want {
+		return nil, fmt.Errorf("spec round-trip drift: %q reparsed as %q", want, got)
+	}
+	opts := genSynthOptions(rng)
+	jp, err := core.Synthesize(tenants, spec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("synthesize %q: %w", spec, err)
+	}
+	sc := &Scenario{
+		Index:   i,
+		Tenants: tenants,
+		Spec:    spec,
+		Opts:    opts,
+		Joint:   jp,
+	}
+	if err := sc.genTrace(rng, maxPackets); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// genTenants draws 2–6 tenants with random rank bounds and quantization
+// levels. Most spans are moderate; occasionally a tenant gets an extreme
+// span (~2^45) so the float-fallback quantization regime is exercised too.
+func genTenants(rng *rand.Rand) []*core.Tenant {
+	n := 2 + rng.Intn(5)
+	tenants := make([]*core.Tenant, n)
+	for i := range tenants {
+		lo := int64(rng.Intn(2001) - 1000)
+		var span int64
+		switch rng.Intn(10) {
+		case 0: // degenerate: single-rank tenant
+			span = 0
+		case 1: // extreme span: quantization falls back to float math
+			span = (1 << 45) + int64(rng.Intn(1<<20))
+		default:
+			span = 1 + int64(rng.Intn(1_000_000))
+		}
+		var levels int64
+		if rng.Intn(2) == 0 {
+			levels = 1 + int64(rng.Intn(100))
+		} // else 0: synthesizer picks min(DefaultLevels, span+1)
+		tenants[i] = &core.Tenant{
+			ID:     pkt.TenantID(i + 1),
+			Name:   fmt.Sprintf("t%d", i+1),
+			Bounds: rank.Bounds{Lo: lo, Hi: lo + span},
+			Levels: levels,
+		}
+	}
+	return tenants
+}
+
+// genSpec partitions the tenants into a random policy expression: random
+// tier breaks (">>"), random preference-level breaks (">") inside tiers,
+// and random share weights ("*k") inside levels.
+func genSpec(rng *rand.Rand, tenants []*core.Tenant) *policy.Spec {
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Name
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+
+	spec := &policy.Spec{}
+	var tier policy.Tier
+	var lvl policy.Level
+	flushLevel := func() {
+		if len(lvl.Tenants) == 0 {
+			return
+		}
+		// Weights slice stays nil unless some weight exceeds 1, matching
+		// the parser's canonical representation.
+		weighted := false
+		for _, w := range lvl.Weights {
+			if w > 1 {
+				weighted = true
+				break
+			}
+		}
+		if !weighted {
+			lvl.Weights = nil
+		}
+		tier.Levels = append(tier.Levels, lvl)
+		lvl = policy.Level{}
+	}
+	flushTier := func() {
+		flushLevel()
+		if len(tier.Levels) == 0 {
+			return
+		}
+		spec.Tiers = append(spec.Tiers, tier)
+		tier = policy.Tier{}
+	}
+	for i, name := range names {
+		lvl.Tenants = append(lvl.Tenants, name)
+		lvl.Weights = append(lvl.Weights, 1+int64(rng.Intn(3)))
+		if i == len(names)-1 {
+			break
+		}
+		switch rng.Intn(4) {
+		case 0: // ">>": close the tier
+			flushTier()
+		case 1: // ">": close the level
+			flushLevel()
+		} // else "+": keep sharing
+	}
+	flushTier()
+	return spec
+}
+
+// genSynthOptions draws synthesizer options covering the default and the
+// boundary settings of each knob.
+func genSynthOptions(rng *rand.Rand) core.SynthOptions {
+	var o core.SynthOptions
+	switch rng.Intn(3) {
+	case 0:
+		o.DefaultLevels = 8
+	case 1:
+		o.DefaultLevels = 128
+	} // else 0: default 64
+	switch rng.Intn(3) {
+	case 0:
+		o.PreferenceBias = 0.25
+	case 1:
+		o.PreferenceBias = 1.0
+	} // else 0: default 0.5
+	o.Base = int64(rng.Intn(2))
+	return o
+}
+
+// genTrace builds the packet trace: flow sizes are drawn from
+// internal/workload's Poisson generator with the pFabric data-mining
+// distribution (scaled down), packetized into ≤1500-byte packets, assigned
+// to random tenants with in-bounds ranks (plus occasional out-of-bounds
+// and unknown-tenant packets), shuffled, and pre-processed through the
+// joint policy so every packet carries its output rank.
+func (sc *Scenario) genTrace(rng *rand.Rand, maxPackets int) error {
+	flows, err := workload.Poisson(workload.PoissonConfig{
+		Hosts:            4,
+		Load:             0.4 + rng.Float64()*0.4,
+		AccessBitsPerSec: 1e9,
+		Sizes:            workload.DataMining().Scaled(0.01),
+		Horizon:          20 * sim.Millisecond,
+		Rng:              rng,
+	})
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	pp := core.NewPreprocessor(sc.Joint, core.UnknownWorst)
+	var id uint64
+	for fi, f := range flows {
+		if len(sc.Trace) >= maxPackets {
+			break
+		}
+		npkts := int((f.Size + 1499) / 1500)
+		if npkts < 1 {
+			npkts = 1
+		}
+		if npkts > 16 {
+			npkts = 16 // giant flows: a prefix is enough for scheduling
+		}
+		t := sc.Tenants[rng.Intn(len(sc.Tenants))]
+		for j := 0; j < npkts && len(sc.Trace) < maxPackets; j++ {
+			size := 1500
+			if j == npkts-1 {
+				if rem := int(f.Size % 1500); rem > 0 {
+					size = rem
+				}
+			}
+			p := pkt.Packet{
+				ID:     id,
+				Flow:   uint64(fi),
+				Tenant: t.ID,
+				Size:   size,
+				Src:    f.Src,
+				Dst:    f.Dst,
+			}
+			id++
+			span := t.Bounds.Hi - t.Bounds.Lo
+			switch rng.Intn(20) {
+			case 0: // below bounds: exercises the clamp
+				p.Rank = t.Bounds.Lo - 1 - int64(rng.Intn(1000))
+			case 1: // above bounds
+				p.Rank = t.Bounds.Hi + 1 + int64(rng.Intn(1000))
+			case 2: // unknown tenant: exercises UnknownWorst
+				p.Tenant = unknownTenantID
+				p.Rank = int64(rng.Intn(1000))
+			default:
+				p.Rank = t.Bounds.Lo + randInt64(rng, span+1)
+			}
+			if !pp.Process(&p) {
+				return fmt.Errorf("preprocessor refused packet %d", p.ID)
+			}
+			sc.Trace = append(sc.Trace, p)
+		}
+	}
+	// The per-flow bursts above arrive back to back; shuffle so backends
+	// see interleaved tenants the way a switch port would.
+	rng.Shuffle(len(sc.Trace), func(i, j int) {
+		sc.Trace[i], sc.Trace[j] = sc.Trace[j], sc.Trace[i]
+	})
+	sc.Serve = make([]bool, len(sc.Trace))
+	for i := range sc.Serve {
+		sc.Serve[i] = rng.Intn(2) == 0
+	}
+	return nil
+}
+
+// randInt64 draws uniformly from [0, n) for any positive n, including
+// values beyond the int range rng.Intn accepts.
+func randInt64(rng *rand.Rand, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return rng.Int63n(n)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run %s -update` to create it)", err, t.Name())
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file %s:\n--- got\n%s--- want\n%s", t.Name(), path, got, want)
+	}
+}
+
+// TestDescribeGolden pins the human-readable rendering of representative
+// joint policies: the paper's Figure 3 sharing example, a full three-tier
+// composition, and a weighted share. Operators read this output (and the
+// docs quote it), so it must not drift silently.
+func TestDescribeGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		tenants []*Tenant
+		spec    string
+		opts    SynthOptions
+	}{
+		{
+			// Figure 3: two tenants sharing, interleaved slots, base 1.
+			name: "describe_share",
+			tenants: []*Tenant{
+				{ID: 1, Name: "T1", Bounds: rank.Bounds{Lo: 1, Hi: 4}},
+				{ID: 2, Name: "T2", Bounds: rank.Bounds{Lo: 1, Hi: 2}},
+			},
+			spec: "T1 + T2",
+			opts: SynthOptions{Base: 1},
+		},
+		{
+			name: "describe_three_tier",
+			tenants: []*Tenant{
+				{ID: 1, Name: "gold", Bounds: rank.Bounds{Lo: 0, Hi: 1000}, Levels: 16},
+				{ID: 2, Name: "silver", Bounds: rank.Bounds{Lo: 0, Hi: 500}, Levels: 8},
+				{ID: 3, Name: "bronze", Bounds: rank.Bounds{Lo: 0, Hi: 100}, Levels: 4},
+				{ID: 4, Name: "scavenger", Bounds: rank.Bounds{Lo: 0, Hi: 10}},
+			},
+			spec: "gold >> silver > bronze >> scavenger",
+			opts: SynthOptions{},
+		},
+		{
+			name: "describe_weighted",
+			tenants: []*Tenant{
+				{ID: 1, Name: "a", Bounds: rank.Bounds{Lo: 0, Hi: 63}, Levels: 8},
+				{ID: 2, Name: "b", Bounds: rank.Bounds{Lo: 0, Hi: 63}, Levels: 8},
+			},
+			spec: "a*3 + b",
+			opts: SynthOptions{},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			jp, err := Synthesize(c.tenants, policy.MustParse(c.spec), c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.name, jp.Describe())
+		})
+	}
+}
+
+// TestDescribeUnknownTenant: TransformOf on an undefined name must report
+// absence, and Describe must stay well-formed for single-tenant policies.
+func TestDescribeUnknownTenant(t *testing.T) {
+	jp, err := Synthesize([]*Tenant{
+		{ID: pkt.TenantID(1), Name: "solo", Bounds: rank.Bounds{Lo: 0, Hi: 9}},
+	}, policy.MustParse("solo"), SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := jp.TransformOf("ghost"); ok {
+		t.Fatal("TransformOf found an undefined tenant")
+	}
+	if jp.Describe() == "" {
+		t.Fatal("empty Describe output")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+// FuzzSynthesize drives the synthesizer with fuzzer-mutated policy strings
+// and seeded random tenant bounds: it must never panic, and every accepted
+// synthesis must satisfy the metamorphic invariants the conformance
+// harness checks — output containment, per-tenant monotonicity, disjoint
+// ordered tier bands, re-synthesis idempotence, and rank-shift invariance.
+// (FuzzSpecOps caught the Demote weight-normalization bug the same way;
+// this target watches the layer above it.)
+func FuzzSynthesize(f *testing.F) {
+	seeds := []struct {
+		spec string
+		seed int64
+	}{
+		{"T1", 1},
+		{"T1 >> T2", 2},
+		{"T1 >> T2 > T3 + T4 >> T5", 3},
+		{"a + b", 4},
+		{"a*3 + b*2 > c", 5},
+		{"x > y > z", 6},
+		{"t1 + t2 + t3 + t4 + t5 + t6 + t7 + t8", 7},
+		{"w >> w", 8},   // duplicate tenant: must be rejected, not panic
+		{"", 9},         // empty spec
+		{"a*0 + b", 10}, // zero weight
+	}
+	for _, s := range seeds {
+		f.Add(s.spec, s.seed)
+	}
+	f.Fuzz(func(t *testing.T, specStr string, seed int64) {
+		spec, err := policy.Parse(specStr)
+		if err != nil {
+			return // parser rejection is fine
+		}
+		rng := rand.New(rand.NewSource(seed))
+		names := spec.Tenants()
+		if len(names) > 64 {
+			return // keep the per-input cost bounded
+		}
+		tenants := make([]*Tenant, len(names))
+		for i, name := range names {
+			lo := int64(rng.Intn(2001) - 1000)
+			span := int64(rng.Intn(1_000_000))
+			if rng.Intn(8) == 0 {
+				span = 1 << 45 // float-fallback quantization regime
+			}
+			if lo == 0 && span == 0 {
+				lo = 1 // Bounds{} means "ask the algorithm"
+			}
+			tenants[i] = &Tenant{
+				ID:     pkt.TenantID(i + 1),
+				Name:   name,
+				Bounds: rank.Bounds{Lo: lo, Hi: lo + span},
+				Levels: int64(rng.Intn(100)), // 0 = auto
+			}
+		}
+		jp, err := Synthesize(tenants, spec, SynthOptions{})
+		if err != nil {
+			return // rejection is fine; panics and bad output are not
+		}
+
+		// Invariant 1+2: containment and monotonicity on probe ranks.
+		for _, tn := range tenants {
+			tr, ok := jp.Transforms[tn.ID]
+			if !ok {
+				t.Fatalf("tenant %q has no transform (spec %q)", tn.Name, specStr)
+			}
+			prev := int64(-1 << 62)
+			b := tn.Bounds
+			for _, in := range []int64{b.Lo - 10, b.Lo, (b.Lo + b.Hi) / 2, b.Hi, b.Hi + 10} {
+				out := tr.Apply(in)
+				if !jp.Output.Contains(out) {
+					t.Fatalf("tenant %q Apply(%d)=%d outside output %v (spec %q)",
+						tn.Name, in, out, jp.Output, specStr)
+				}
+				if out < prev {
+					t.Fatalf("tenant %q transform not monotone (spec %q)", tn.Name, specStr)
+				}
+				prev = out
+			}
+		}
+
+		// Invariant 3: strict tiers occupy disjoint, ordered bands.
+		for i := 0; i+1 < len(jp.Tiers); i++ {
+			if jp.Tiers[i].Bounds.Hi >= jp.Tiers[i+1].Bounds.Lo {
+				t.Fatalf("tier %d band %v overlaps tier %d band %v (spec %q)",
+					i, jp.Tiers[i].Bounds, i+1, jp.Tiers[i+1].Bounds, specStr)
+			}
+		}
+
+		// Invariant 4: idempotence — synthesis is a pure function.
+		jp2, err := Synthesize(tenants, spec, SynthOptions{})
+		if err != nil {
+			t.Fatalf("re-synthesis failed: %v (spec %q)", err, specStr)
+		}
+		if !reflect.DeepEqual(jp.Transforms, jp2.Transforms) || jp.Output != jp2.Output {
+			t.Fatalf("re-synthesis differs (spec %q)", specStr)
+		}
+
+		// Invariant 5: rank-shift invariance — synthesis depends only on
+		// bound spans, so shifting one tenant's bounds by c shifts its
+		// transform input by c and changes nothing else.
+		if len(tenants) > 0 {
+			k := int(seed&0x7fffffff) % len(tenants)
+			const c = int64(4096)
+			shifted := make([]*Tenant, len(tenants))
+			copy(shifted, tenants)
+			tk := *tenants[k]
+			tk.Bounds = rank.Bounds{Lo: tk.Bounds.Lo + c, Hi: tk.Bounds.Hi + c}
+			shifted[k] = &tk
+			jp3, err := Synthesize(shifted, spec, SynthOptions{})
+			if err != nil {
+				t.Fatalf("shifted synthesis failed: %v (spec %q)", err, specStr)
+			}
+			for j, tn := range tenants {
+				t1 := jp.Transforms[tn.ID]
+				t3 := jp3.Transforms[tn.ID]
+				if j != k {
+					if t1 != t3 {
+						t.Fatalf("shifting tenant %d changed tenant %q (spec %q)", k, tn.Name, specStr)
+					}
+					continue
+				}
+				for _, in := range []int64{t1.Lo, (t1.Lo + t1.Hi) / 2, t1.Hi} {
+					if t3.Apply(in+c) != t1.Apply(in) {
+						t.Fatalf("shift invariance broken for tenant %q at %d (spec %q)",
+							tn.Name, in, specStr)
+					}
+				}
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"qvisor/internal/policy"
 	"qvisor/internal/rank"
 	"qvisor/internal/sched"
+	"qvisor/internal/trace"
 )
 
 // InversionResult reports how faithfully one scheduler realizes the joint
@@ -44,8 +45,8 @@ func InversionStudy(packets int, seed int64) ([]InversionResult, error) {
 // InversionStudyRng is InversionStudy with an explicit random source. The
 // caller owns rng; passing sources seeded identically yields byte-identical
 // results.
-func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
-	if packets <= 0 {
+func InversionStudyRng(count int, rng *rand.Rand) ([]InversionResult, error) {
+	if count <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive packet count")
 	}
 	if rng == nil {
@@ -64,8 +65,8 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 
 	// Pre-generate the transformed trace so every scheduler sees
 	// identical input.
-	trace := make([]*pkt.Packet, packets)
-	for i := range trace {
+	packets := make([]*pkt.Packet, count)
+	for i := range packets {
 		p := &pkt.Packet{
 			ID:     uint64(i),
 			Tenant: pkt.TenantID(1 + rng.Intn(2)),
@@ -77,12 +78,12 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 			p.Rank = int64(rng.Intn(10001))
 		}
 		pp.Process(p)
-		trace[i] = p
+		packets[i] = p
 	}
 	// Identical randomized service pattern; occupancy is additionally
 	// bounded to ~64 packets so the rates reflect realistic queue depths
 	// rather than unbounded backlogs.
-	serve := make([]bool, packets)
+	serve := make([]bool, count)
 	for i := range serve {
 		serve[i] = rng.Intn(2) == 0
 	}
@@ -123,12 +124,12 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 	for _, b := range builders {
 		s := b.build(release)
 		res := InversionResult{Scheduler: b.name}
-		queued := newRankMultiset()
-		for i, p := range trace {
+		counter := trace.NewInversionCounter()
+		for i, p := range packets {
 			cp := pool.Get()
 			*cp = *p // schedulers may be destructive; copy per run
 			if s.Enqueue(cp) {
-				queued.add(cp.Rank)
+				counter.OnEnqueue(cp.Rank)
 			} else {
 				res.Drops++
 			}
@@ -137,22 +138,16 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 				if got == nil {
 					break
 				}
-				res.Dequeues++
-				if min, ok := queued.min(); ok && got.Rank > min {
-					res.Inversions++
-				}
-				queued.remove(got.Rank)
+				counter.OnDequeue(got.Rank)
 				pool.Put(got)
 			}
 		}
 		for got := s.Dequeue(); got != nil; got = s.Dequeue() {
-			res.Dequeues++
-			if min, ok := queued.min(); ok && got.Rank > min {
-				res.Inversions++
-			}
-			queued.remove(got.Rank)
+			counter.OnDequeue(got.Rank)
 			pool.Put(got)
 		}
+		res.Dequeues = counter.Dequeues
+		res.Inversions = counter.Inversions
 		if n := pool.Outstanding(); n != 0 {
 			return nil, fmt.Errorf("experiments: %s leaked %d packets", b.name, n)
 		}
@@ -165,50 +160,3 @@ func InversionStudyRng(packets int, rng *rand.Rand) ([]InversionResult, error) {
 	return out, nil
 }
 
-// rankMultiset tracks queued ranks with O(log n) min queries via an
-// ordered count map over a binary-indexed structure. Rank domains here are
-// small enough for a simple sorted-slice implementation.
-type rankMultiset struct {
-	counts map[int64]int
-	minVal int64
-	dirty  bool
-}
-
-func newRankMultiset() *rankMultiset {
-	return &rankMultiset{counts: make(map[int64]int)}
-}
-
-func (m *rankMultiset) add(r int64) {
-	m.counts[r]++
-	if !m.dirty && (len(m.counts) == 1 || r < m.minVal) {
-		m.minVal = r
-	}
-}
-
-func (m *rankMultiset) remove(r int64) {
-	if c := m.counts[r]; c <= 1 {
-		delete(m.counts, r)
-		if r == m.minVal {
-			m.dirty = true
-		}
-	} else {
-		m.counts[r] = c - 1
-	}
-}
-
-func (m *rankMultiset) min() (int64, bool) {
-	if len(m.counts) == 0 {
-		return 0, false
-	}
-	if m.dirty {
-		first := true
-		for r := range m.counts {
-			if first || r < m.minVal {
-				m.minVal = r
-				first = false
-			}
-		}
-		m.dirty = false
-	}
-	return m.minVal, true
-}

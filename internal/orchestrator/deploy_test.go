@@ -1,0 +1,43 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"qvisor/internal/core"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+)
+
+// TestDevicePlanDeployInfeasible covers Deploy's error path: a
+// strict-priority-queue device with fewer queues than the policy has
+// strict tiers cannot isolate them, and the deployment must refuse rather
+// than silently merge tiers.
+func TestDevicePlanDeployInfeasible(t *testing.T) {
+	tenants := []*core.Tenant{
+		{ID: 1, Name: "a", Bounds: rank.Bounds{Lo: 0, Hi: 100}, Levels: 8},
+		{ID: 2, Name: "b", Bounds: rank.Bounds{Lo: 0, Hi: 100}, Levels: 8},
+		{ID: 3, Name: "c", Bounds: rank.Bounds{Lo: 0, Hi: 100}, Levels: 8},
+	}
+	jp, err := core.Synthesize(tenants, policy.MustParse("a >> b >> c"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DevicePlan{
+		Device:  Device{Name: "tiny", Target: core.Target{Name: "2q", Queues: 2}},
+		Backend: core.BackendSPQueues,
+	}
+	if _, err := dp.Deploy(jp, sched.Config{}); err == nil {
+		t.Fatal("2-queue device deployed a 3-tier policy")
+	}
+
+	// The same policy deploys fine once the queue count suffices.
+	dp.Device.Target.Queues = 4
+	s, err := dp.Deploy(jp, sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Len() != 0 {
+		t.Fatal("deployed scheduler not empty")
+	}
+}

@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestStringGolden pins the canonical printer output for a spread of
+// syntactic shapes — messy whitespace, redundant *1 weights, deep nesting —
+// in a single golden file. The printer defines the canonical form the
+// control-plane API and logs expose, so any change must be deliberate.
+func TestStringGolden(t *testing.T) {
+	inputs := []string{
+		"T1",
+		"T1 + T2",
+		"T1>>T2",
+		"  a   +  b >c ",
+		"a*3 + b",
+		"a*1 + b*1",
+		"gold >> silver > bronze >> scavenger",
+		"a*2 + b*5 > c >> d + e*3",
+		"t1 + t2 + t3 + t4 > u1 >> v1*9 + v2",
+	}
+	var sb strings.Builder
+	for _, in := range inputs {
+		spec := MustParse(in)
+		out := spec.String()
+		fmt.Fprintf(&sb, "%-40q => %q\n", in, out)
+		// The canonical form must be a fixed point of Parse∘String.
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) failed: %v", in, err)
+		}
+		if again.String() != out {
+			t.Fatalf("printer not idempotent for %q: %q then %q", in, out, again.String())
+		}
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "printer.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestStringGolden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("printer output drifted from %s:\n--- got\n%s--- want\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+// Rank-order (inversion) analysis shared by the experiment harness
+// (internal/experiments) and the conformance subsystem (internal/conform).
+//
+// A dequeue is an *inversion* — "unpifoness" in the SP-PIFO paper's
+// terminology — when the scheduler serves a packet while a packet with a
+// strictly lower rank is still queued. An ideal PIFO scores zero by
+// construction; the approximations of §3.4 (SP-PIFO, calendar queues,
+// AIFO) trade inversions for hardware simplicity, so counting them against
+// a min-rank oracle is the natural conformance metric (cf. Universal
+// Packet Scheduling's "replay and count deviations").
+
+// RankMultiset tracks a multiset of queued ranks with cheap Min queries.
+// Add/Remove are O(1); Min is O(1) amortized (the cached minimum is only
+// rebuilt after the current minimum was removed). The zero value is not
+// ready for use; call NewRankMultiset.
+type RankMultiset struct {
+	counts map[int64]int
+	size   int
+	minVal int64
+	dirty  bool
+}
+
+// NewRankMultiset returns an empty multiset.
+func NewRankMultiset() *RankMultiset {
+	return &RankMultiset{counts: make(map[int64]int)}
+}
+
+// Add inserts one occurrence of rank r.
+func (m *RankMultiset) Add(r int64) {
+	m.counts[r]++
+	m.size++
+	if !m.dirty && (len(m.counts) == 1 || r < m.minVal) {
+		m.minVal = r
+	}
+}
+
+// Remove deletes one occurrence of rank r. Removing a rank that is not
+// present is a no-op.
+func (m *RankMultiset) Remove(r int64) {
+	c, ok := m.counts[r]
+	if !ok {
+		return
+	}
+	m.size--
+	if c <= 1 {
+		delete(m.counts, r)
+		if r == m.minVal {
+			m.dirty = true
+		}
+	} else {
+		m.counts[r] = c - 1
+	}
+}
+
+// Len returns the number of ranks in the multiset.
+func (m *RankMultiset) Len() int { return m.size }
+
+// Min returns the smallest rank present, or false when empty.
+func (m *RankMultiset) Min() (int64, bool) {
+	if len(m.counts) == 0 {
+		return 0, false
+	}
+	if m.dirty {
+		first := true
+		for r := range m.counts {
+			if first || r < m.minVal {
+				m.minVal = r
+				first = false
+			}
+		}
+		m.dirty = false
+	}
+	return m.minVal, true
+}
+
+// InversionCounter replays a scheduler's enqueue/dequeue stream and counts
+// rank inversions against the min-rank oracle over the still-queued ranks.
+type InversionCounter struct {
+	queued *RankMultiset
+	// Dequeues counts observed dequeues.
+	Dequeues int
+	// Inversions counts dequeues that violated global rank order.
+	Inversions int
+	// MaxMagnitude is the largest observed inversion magnitude
+	// (dequeued rank minus the minimum queued rank).
+	MaxMagnitude int64
+}
+
+// NewInversionCounter returns a counter with an empty queue model.
+func NewInversionCounter() *InversionCounter {
+	return &InversionCounter{queued: NewRankMultiset()}
+}
+
+// OnEnqueue records that a packet of the given rank was accepted.
+func (c *InversionCounter) OnEnqueue(rank int64) { c.queued.Add(rank) }
+
+// OnDequeue records a dequeue and returns true when it was an inversion:
+// a strictly lower rank was still queued. The dequeued rank is removed
+// from the queue model.
+func (c *InversionCounter) OnDequeue(rank int64) bool {
+	c.Dequeues++
+	inv := false
+	if min, ok := c.queued.Min(); ok && rank > min {
+		inv = true
+		c.Inversions++
+		if mag := rank - min; mag > c.MaxMagnitude {
+			c.MaxMagnitude = mag
+		}
+	}
+	c.queued.Remove(rank)
+	return inv
+}
+
+// Queued returns the number of ranks currently in the queue model.
+func (c *InversionCounter) Queued() int { return c.queued.Len() }
+
+// Rate returns Inversions / Dequeues (0 when nothing was dequeued).
+func (c *InversionCounter) Rate() float64 {
+	if c.Dequeues == 0 {
+		return 0
+	}
+	return float64(c.Inversions) / float64(c.Dequeues)
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankMultisetBasics(t *testing.T) {
+	m := NewRankMultiset()
+	if _, ok := m.Min(); ok || m.Len() != 0 {
+		t.Fatal("empty multiset reports a minimum")
+	}
+	m.Add(5)
+	m.Add(3)
+	m.Add(3)
+	m.Add(9)
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	if min, ok := m.Min(); !ok || min != 3 {
+		t.Fatalf("Min = %d,%v, want 3,true", min, ok)
+	}
+	// Removing one of two occurrences keeps the minimum.
+	m.Remove(3)
+	if min, ok := m.Min(); !ok || min != 3 {
+		t.Fatalf("Min after partial remove = %d,%v, want 3,true", min, ok)
+	}
+	// Removing the last occurrence forces the dirty-rebuild path.
+	m.Remove(3)
+	if min, ok := m.Min(); !ok || min != 5 {
+		t.Fatalf("Min after full remove = %d,%v, want 5,true", min, ok)
+	}
+	// Removing an absent rank is a no-op.
+	m.Remove(42)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after no-op remove, want 2", m.Len())
+	}
+	m.Remove(5)
+	m.Remove(9)
+	if _, ok := m.Min(); ok || m.Len() != 0 {
+		t.Fatal("drained multiset reports a minimum")
+	}
+	// A new minimum arriving after a drain must register.
+	m.Add(7)
+	if min, ok := m.Min(); !ok || min != 7 {
+		t.Fatalf("Min after refill = %d,%v, want 7,true", min, ok)
+	}
+}
+
+// TestRankMultisetAgainstNaive cross-checks the cached-minimum
+// implementation against a brute-force model under random churn.
+func TestRankMultisetAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewRankMultiset()
+	naive := make(map[int64]int)
+	naiveMin := func() (int64, bool) {
+		first := true
+		var min int64
+		for r, c := range naive {
+			if c > 0 && (first || r < min) {
+				min, first = r, false
+			}
+		}
+		return min, !first
+	}
+	for step := 0; step < 5000; step++ {
+		r := int64(rng.Intn(50))
+		if rng.Intn(2) == 0 {
+			m.Add(r)
+			naive[r]++
+		} else {
+			m.Remove(r)
+			if naive[r] > 0 {
+				naive[r]--
+				if naive[r] == 0 {
+					delete(naive, r)
+				}
+			}
+		}
+		wantMin, wantOK := naiveMin()
+		gotMin, gotOK := m.Min()
+		if gotOK != wantOK || (wantOK && gotMin != wantMin) {
+			t.Fatalf("step %d: Min = %d,%v, want %d,%v", step, gotMin, gotOK, wantMin, wantOK)
+		}
+		wantLen := 0
+		for _, c := range naive {
+			wantLen += c
+		}
+		if m.Len() != wantLen {
+			t.Fatalf("step %d: Len = %d, want %d", step, m.Len(), wantLen)
+		}
+	}
+}
+
+func TestInversionCounter(t *testing.T) {
+	c := NewInversionCounter()
+	// Ideal PIFO order: no inversions.
+	for _, r := range []int64{5, 3, 9} {
+		c.OnEnqueue(r)
+	}
+	if c.Queued() != 3 {
+		t.Fatalf("Queued = %d, want 3", c.Queued())
+	}
+	for _, r := range []int64{3, 5, 9} {
+		if c.OnDequeue(r) {
+			t.Fatalf("sorted dequeue of %d flagged as inversion", r)
+		}
+	}
+	if c.Inversions != 0 || c.Dequeues != 3 || c.Rate() != 0 {
+		t.Fatalf("clean run miscounted: %+v", c)
+	}
+
+	// FIFO order over descending ranks: every dequeue but the last
+	// inverts, and the magnitude tracks the worst gap.
+	c = NewInversionCounter()
+	for _, r := range []int64{30, 20, 10} {
+		c.OnEnqueue(r)
+	}
+	if !c.OnDequeue(30) {
+		t.Fatal("dequeue of 30 with 10 queued not an inversion")
+	}
+	if !c.OnDequeue(20) {
+		t.Fatal("dequeue of 20 with 10 queued not an inversion")
+	}
+	if c.OnDequeue(10) {
+		t.Fatal("final dequeue flagged as inversion")
+	}
+	if c.Inversions != 2 || c.Dequeues != 3 {
+		t.Fatalf("Inversions=%d Dequeues=%d, want 2,3", c.Inversions, c.Dequeues)
+	}
+	if c.MaxMagnitude != 20 {
+		t.Fatalf("MaxMagnitude = %d, want 20 (30 dequeued while 10 queued)", c.MaxMagnitude)
+	}
+	if got, want := c.Rate(), 2.0/3.0; got != want {
+		t.Fatalf("Rate = %v, want %v", got, want)
+	}
+
+	// Rate on a fresh counter is 0, not NaN.
+	if NewInversionCounter().Rate() != 0 {
+		t.Fatal("empty counter rate not 0")
+	}
+}
