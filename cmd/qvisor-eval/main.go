@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -37,6 +38,7 @@ import (
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
 	"qvisor/internal/stats"
+	"qvisor/internal/trace"
 )
 
 func main() {
@@ -59,6 +61,9 @@ func run(args []string) error {
 	progress := fs.Bool("progress", true, "report per-run sweep progress on stderr")
 	metricsPath := fs.String("metrics", "",
 		`write a JSON metrics snapshot after the experiment ("-" = stdout; sweeps aggregate across runs)`)
+	tracePerfetto := fs.String("trace-perfetto", "",
+		"write a Chrome trace-event JSON of the recorded packet events (load in ui.perfetto.dev)")
+	traceSample := fs.Uint64("trace-sample", 64, "record only flows with ID %% N == 0 (with -trace-perfetto)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +100,24 @@ func run(args []string) error {
 		}()
 	}
 
+	traced := *tracePerfetto != ""
+	if traced {
+		cfg.Trace = trace.NewFlightRecorder(trace.Options{FlowSample: *traceSample, RingSize: 1 << 18})
+		defer func() {
+			events, _ := cfg.Trace.Snapshot(trace.AllEvents)
+			if n := cfg.Trace.Count(); n > uint64(len(events)) {
+				fmt.Fprintf(os.Stderr,
+					"qvisor-eval: trace ring wrapped, keeping the most recent %d of %d events; raise -trace-sample\n",
+					len(events), n)
+			}
+			if werr := writePerfettoFile(*tracePerfetto, events); werr != nil {
+				fmt.Fprintln(os.Stderr, "qvisor-eval: perfetto trace:", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", *tracePerfetto, len(events))
+		}()
+	}
+
 	loads, err := parseLoads(*loadsFlag)
 	if err != nil {
 		return err
@@ -107,6 +130,12 @@ func run(args []string) error {
 			bin = experiments.BinLarge
 		}
 		rc := experiments.RunnerConfig{Workers: *workers}
+		if traced && *workers != 1 {
+			// Concurrent runs would interleave nondeterministically in the
+			// shared ring; serialize so the trace timeline stays readable.
+			rc.Workers = 1
+			fmt.Fprintln(os.Stderr, "qvisor-eval: -trace-perfetto forces -workers=1 for a coherent timeline")
+		}
 		start := time.Now()
 		if *progress {
 			rc.Progress = func(done, total int, p experiments.Point) {
@@ -358,6 +387,20 @@ func writeTrialCSV(path string, trials []experiments.Trial) error {
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// writePerfettoFile renders events as a Chrome trace-event JSON file.
+func writePerfettoFile(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := trace.WritePerfetto(w, events); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // writeSnapshot dumps the registry as indented JSON to path ("-" =

@@ -51,6 +51,8 @@ func run(args []string) error {
 	ports := fs.Bool("ports", false, "print the busiest ports' telemetry")
 	flowsCSV := fs.String("flows", "", "replace the generated pFabric workload with this CSV flow trace")
 	tracePath := fs.String("trace", "", "write a JSON-lines packet trace to this file")
+	tracePerfetto := fs.String("trace-perfetto", "",
+		"write a Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 	traceSample := fs.Uint64("trace-sample", 1, "record only flows with ID %% N == 0")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -82,6 +84,13 @@ func run(args []string) error {
 		cfg.Backend = core.BackendSPQueues
 		cfg.Queues = *queues
 	}
+	topts := trace.Options{FlowSample: *traceSample}
+	if *tracePerfetto != "" {
+		// The Perfetto export is rendered from the ring after the run, so
+		// size it generously; wrapping loses the oldest events (warned
+		// below) — raise -trace-sample to cover longer runs.
+		topts.RingSize = 1 << 18
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -90,15 +99,29 @@ func run(args []string) error {
 		defer f.Close()
 		w := bufio.NewWriter(f)
 		defer w.Flush()
-		cfg.Trace = trace.NewRecorder(w, trace.Options{FlowSample: *traceSample})
+		cfg.Trace = trace.NewRecorder(w, topts)
 		defer func() {
 			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", cfg.Trace.Count(), *tracePath)
 		}()
+	} else if *tracePerfetto != "" {
+		cfg.Trace = trace.NewFlightRecorder(topts)
 	}
 
 	r, err := experiments.Run(cfg, s, *load)
 	if err != nil {
 		return err
+	}
+	if *tracePerfetto != "" {
+		events, _ := cfg.Trace.Snapshot(trace.AllEvents)
+		if n := cfg.Trace.Count(); n > uint64(len(events)) {
+			fmt.Fprintf(os.Stderr,
+				"trace: ring wrapped, keeping the most recent %d of %d events; raise -trace-sample\n",
+				len(events), n)
+		}
+		if err := writePerfetto(*tracePerfetto, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events rendered to %s\n", len(events), *tracePerfetto)
 	}
 	fmt.Printf("scheme:   %v\n", r.Scheme)
 	fmt.Printf("load:     %.2f\n", r.Load)
@@ -121,4 +144,18 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writePerfetto renders events as a Chrome trace-event JSON file.
+func writePerfetto(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := trace.WritePerfetto(w, events); err != nil {
+		return err
+	}
+	return w.Flush()
 }

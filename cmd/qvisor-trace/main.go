@@ -1,15 +1,25 @@
 // Command qvisor-trace analyzes a JSON-lines packet trace produced by
-// qvisor-sim -trace: per-tenant end-to-end latency, drops, and in-flight
-// losses.
+// qvisor-sim -trace: per-tenant end-to-end latency, a drop-cause
+// breakdown, and the per-stage latency attribution (queueing vs.
+// transform vs. transmission, per hop).
+//
+// Input may be plain or gzip-compressed (detected by magic bytes, so
+// both "run.jsonl" and "run.jsonl.gz" work); "-" or no argument reads
+// stdin.
 //
 // Example:
 //
 //	qvisor-sim -scheme qvisor-share -load 0.6 -trace run.jsonl
 //	qvisor-trace run.jsonl
+//	gzip run.jsonl && qvisor-trace -tenant 2 run.jsonl.gz
 package main
 
 import (
+	"bufio"
+	"compress/gzip"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"qvisor/internal/trace"
@@ -23,19 +33,50 @@ func main() {
 }
 
 func run(args []string) error {
-	in := os.Stdin
-	if len(args) >= 1 && args[0] != "-" {
-		f, err := os.Open(args[0])
+	fs := flag.NewFlagSet("qvisor-trace", flag.ContinueOnError)
+	tenant := fs.Int("tenant", -1, "restrict the analysis to this tenant id (-1 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if rest := fs.Args(); len(rest) >= 1 && rest[0] != "-" {
+		f, err := os.Open(rest[0])
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	}
-	an, err := trace.Analyze(in)
+	rd, err := maybeGunzip(in)
 	if err != nil {
 		return err
 	}
-	an.WriteReport(os.Stdout)
+	events, err := trace.ReadEvents(rd)
+	if err != nil {
+		return err
+	}
+	if *tenant >= 0 {
+		kept := events[:0]
+		for _, e := range events {
+			if int(e.Tenant) == *tenant {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	trace.AnalyzeEvents(events).WriteReport(os.Stdout)
+	fmt.Println()
+	trace.Attribute(events).WriteReport(os.Stdout)
 	return nil
+}
+
+// maybeGunzip sniffs the gzip magic bytes (0x1f 0x8b) and transparently
+// decompresses when present, so compressed traces need no flag.
+func maybeGunzip(in io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(in)
+	magic, err := br.Peek(2)
+	if err == nil && len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		return gzip.NewReader(br)
+	}
+	return br, nil
 }

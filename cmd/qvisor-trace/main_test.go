@@ -1,0 +1,70 @@
+package main
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleTrace = `{"t":1000,"kind":"emit","where":"host0","id":1,"flow":10,"tenant":1,"rank":7,"size":1500,"src":0,"dst":2,"pkt_kind":"data"}
+{"t":1000,"kind":"enqueue","where":"host0→leaf0","id":1,"flow":10,"tenant":1,"rank":7,"size":1500,"src":0,"dst":2,"pkt_kind":"data"}
+{"t":3000,"kind":"dequeue","where":"host0→leaf0","id":1,"flow":10,"tenant":1,"rank":7,"size":1500,"src":0,"dst":2,"pkt_kind":"data"}
+{"t":4000,"kind":"deliver","where":"host2","id":1,"flow":10,"tenant":1,"rank":7,"size":1500,"src":0,"dst":2,"pkt_kind":"data"}
+{"t":2000,"kind":"emit","where":"host1","id":2,"flow":20,"tenant":2,"rank":90,"size":400,"src":1,"dst":3,"pkt_kind":"datagram"}
+{"t":2500,"kind":"drop","where":"leaf0","id":2,"flow":20,"tenant":2,"rank":90,"size":400,"src":1,"dst":3,"pkt_kind":"datagram","cause":"admission"}
+`
+
+func TestRunPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "run.jsonl")
+	if err := os.WriteFile(plain, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gz := filepath.Join(dir, "run.jsonl.gz")
+	f, err := os.Create(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte(sampleTrace)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Same analysis must come out of the compressed and plain inputs; the
+	// gzip path is chosen by magic-byte sniffing, not by file name.
+	for _, path := range []string{plain, gz} {
+		if err := run([]string{path}); err != nil {
+			t.Errorf("run(%s): %v", path, err)
+		}
+		if err := run([]string{"-tenant", "2", path}); err != nil {
+			t.Errorf("run(-tenant 2 %s): %v", path, err)
+		}
+	}
+}
+
+func TestRunRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A truncated gzip stream must surface as an error, not silence.
+	trunc := filepath.Join(dir, "trunc.gz")
+	if err := os.WriteFile(trunc, []byte{0x1f, 0x8b}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{trunc}); err == nil {
+		t.Fatal("truncated gzip accepted")
+	}
+}

@@ -12,6 +12,7 @@
 //	qvisorctl [-server URL] check
 //	qvisorctl [-server URL] compile <queues> [sorted|rewrite|admission ...]
 //	qvisorctl [-server URL] metrics
+//	qvisorctl [-server URL] trace [tenant=<id>] [kind=<kind> ...] [limit=<n>]
 package main
 
 import (
@@ -146,6 +147,49 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(text)
+		return nil
+	case "trace":
+		f := api.AllTrace
+		for _, arg := range rest[1:] {
+			key, val, ok := strings.Cut(arg, "=")
+			if !ok {
+				return fmt.Errorf("bad trace filter %q (want tenant=<id>, kind=<kind>, or limit=<n>)", arg)
+			}
+			switch key {
+			case "tenant":
+				v, err := strconv.Atoi(val)
+				if err != nil || v < 0 {
+					return fmt.Errorf("bad tenant %q", val)
+				}
+				f.Tenant = v
+			case "kind":
+				f.Kinds = append(f.Kinds, val)
+			case "limit":
+				v, err := strconv.Atoi(val)
+				if err != nil || v < 0 {
+					return fmt.Errorf("bad limit %q", val)
+				}
+				f.Limit = v
+			default:
+				return fmt.Errorf("unknown trace filter %q", key)
+			}
+		}
+		tr, err := c.Trace(ctx, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seq: %d  events: %d\n", tr.Seq, len(tr.Events))
+		for _, e := range tr.Events {
+			extra := ""
+			if e.Cause != "" {
+				extra = "  cause=" + e.Cause
+			}
+			if e.Kind == "transform" {
+				extra = fmt.Sprintf("  pre_rank=%d", e.PreRank)
+			}
+			fmt.Printf("  %12dns %-9s %-12s pkt=%-8d flow=%-6d tenant=%-4d rank=%d%s\n",
+				e.TimeNs, e.Kind, e.Where, e.ID, e.Flow, e.Tenant, e.Rank, extra)
+		}
 		return nil
 	case "compile":
 		if len(rest) < 2 {

@@ -1,6 +1,17 @@
 package main
 
-import "testing"
+import (
+	"net/http/httptest"
+	"testing"
+
+	"qvisor/internal/api"
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sim"
+	"qvisor/internal/trace"
+)
 
 func TestParseBounds(t *testing.T) {
 	lo, hi, ok := parseBounds("0-100000")
@@ -40,9 +51,44 @@ func TestRunRequiresSubcommand(t *testing.T) {
 		{"fabric", "a=junk"},              // bad target
 		{"fabric", "a=queues:x"},          // bad queue count
 		{"fabric", "a=queues:4:bogus"},    // unknown option
+		{"trace", "junk"},                 // filter missing '='
+		{"trace", "tenant=x"},             // bad tenant
+		{"trace", "limit=-1"},             // bad limit
+		{"trace", "bogus=1"},              // unknown filter key
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestTraceSubcommand drives the trace subcommand against a live server
+// with a populated flight recorder, covering every filter key.
+func TestTraceSubcommand(t *testing.T) {
+	ctl, _, err := core.NewController([]*core.Tenant{
+		{ID: 1, Name: "web", Algorithm: &rank.PFabric{}},
+		{ID: 2, Name: "deadline", Algorithm: &rank.EDF{}},
+	}, policy.MustParse("web >> deadline"), core.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewServer(ctl, func() sim.Time { return 0 })
+	rec := trace.NewFlightRecorder(trace.Options{RingSize: 16})
+	p := &pkt.Packet{ID: 1, Flow: 10, Tenant: 1, Rank: 7}
+	rec.Record(1000, trace.KindEmit, "host0", p)
+	p.Rank = 21
+	rec.RecordTransform(2000, "leaf0", p, 7)
+	rec.RecordDrop(3000, "leaf0", p, "overflow")
+	srv.AttachTrace(rec)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, args := range [][]string{
+		{"-server", ts.URL, "trace"},
+		{"-server", ts.URL, "trace", "tenant=1", "kind=drop", "limit=1"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
 		}
 	}
 }

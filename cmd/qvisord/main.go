@@ -34,6 +34,7 @@ import (
 	"qvisor/internal/api"
 	"qvisor/internal/core"
 	"qvisor/internal/obs"
+	"qvisor/internal/trace"
 )
 
 type tenantFlags []string
@@ -59,6 +60,8 @@ func run(args []string) error {
 	fs.Var(&tenants, "tenant", "initial tenant name=algorithm:id (repeatable)")
 	quarantine := fs.Bool("quarantine", false, "demote adversarial tenants automatically")
 	metricsPath := fs.String("metrics", "", `write a JSON metrics snapshot on shutdown ("-" = stdout)`)
+	traceRing := fs.Int("trace-ring", trace.DefaultRingSize,
+		"flight-recorder ring capacity for GET /v1/trace (0 disables the endpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +86,9 @@ func run(args []string) error {
 	// The registry is always created so GET /v1/metrics works; -metrics
 	// additionally dumps a JSON snapshot on shutdown.
 	reg := obs.NewRegistry()
+	// Daemon self-telemetry: heap, GC, and goroutine gauges, refreshed
+	// lazily per scrape.
+	reg.EnableRuntime()
 	ctl, _, err := core.NewController(defs, spec, core.ControllerOptions{
 		Quarantine: *quarantine,
 		OnEvent: func(e core.Event) {
@@ -94,8 +100,15 @@ func run(args []string) error {
 		return err
 	}
 
+	apiSrv := api.NewServer(ctl, nil)
+	if *traceRing > 0 {
+		// The daemon itself moves no packets; the recorder is attached so
+		// colocated data planes (embedded simulations, tests) can share it
+		// and GET /v1/trace serves a live, initially empty ring.
+		apiSrv.AttachTrace(trace.NewFlightRecorder(trace.Options{RingSize: *traceRing}))
+	}
 	srv := &http.Server{
-		Handler:           api.NewServer(ctl, nil),
+		Handler:           apiSrv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *listen)

@@ -16,6 +16,7 @@
 //	POST   /v1/fabric               network-wide plan over heterogeneous devices
 //	GET    /v1/analyze              worst-case interference analysis
 //	GET    /v1/metrics              Prometheus text exposition (internal/obs)
+//	GET    /v1/trace                flight-recorder ring snapshot (internal/trace)
 //	GET    /v1/healthz              liveness
 //
 // Every non-2xx response carries the JSON error envelope
@@ -30,12 +31,19 @@
 // version from GET /v1/spec (bare or ETag-quoted); a stale version yields
 // 409 with code version_conflict, implementing optimistic concurrency for
 // read-modify-write spec updates.
+//
+// GET /v1/trace serves the attached flight recorder's ring (see
+// Server.AttachTrace). Query parameters tenant, kind (repeatable), and
+// limit filter the snapshot; the response carries an ETag derived from
+// the recorder's event sequence number, so If-None-Match turns an
+// unchanged poll into a 304.
 package api
 
 import (
 	"qvisor/internal/core"
 	"qvisor/internal/pkt"
 	"qvisor/internal/rank"
+	"qvisor/internal/trace"
 )
 
 // TenantInfo is the wire representation of a tenant registration.
@@ -192,6 +200,15 @@ type InterferenceInfo struct {
 type AnalyzeResponse struct {
 	Pairs    []InterferenceInfo `json:"pairs"`
 	Isolated []string           `json:"isolated,omitempty"`
+}
+
+// TraceResponse is a flight-recorder ring snapshot: the events that
+// matched the query filters, oldest first, plus the recorder's sequence
+// number (total events ever recorded — the snapshot's ETag value; equal
+// sequence numbers imply identical rings).
+type TraceResponse struct {
+	Seq    uint64        `json:"seq"`
+	Events []trace.Event `json:"events"`
 }
 
 // Machine-readable error codes carried in the error envelope. Clients

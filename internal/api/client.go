@@ -203,6 +203,44 @@ func (c *Client) Fabric(ctx context.Context, devices []DeviceInfo) (FabricRespon
 	return out, err
 }
 
+// TraceFilter narrows a Client.Trace request. The zero value fetches
+// every event; Tenant filters only when >= 0 (use AllTrace, whose Tenant
+// is -1, as a starting point when tenant 0 must remain unfiltered).
+type TraceFilter struct {
+	// Tenant keeps only this tenant's events when >= 0.
+	Tenant int
+	// Kinds keeps only the listed event kinds (nil = all).
+	Kinds []string
+	// Limit keeps only the most recent Limit matching events when > 0.
+	Limit int
+}
+
+// AllTrace matches every recorded event.
+var AllTrace = TraceFilter{Tenant: -1}
+
+// Trace fetches a filtered snapshot of the server's flight-recorder
+// ring. A server without an attached recorder answers *APIError with
+// CodeNotFound.
+func (c *Client) Trace(ctx context.Context, f TraceFilter) (TraceResponse, error) {
+	q := url.Values{}
+	if f.Tenant >= 0 {
+		q.Set("tenant", strconv.Itoa(f.Tenant))
+	}
+	for _, k := range f.Kinds {
+		q.Add("kind", k)
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	path := "/v1/trace"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out TraceResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
 // Metrics fetches the server's metrics in Prometheus text exposition
 // format.
 func (c *Client) Metrics(ctx context.Context) (string, error) {

@@ -15,17 +15,19 @@ import (
 	"qvisor/internal/orchestrator"
 	"qvisor/internal/policy"
 	"qvisor/internal/sim"
+	"qvisor/internal/trace"
 )
 
 // Server exposes a core.Controller over HTTP. The controller is not safe
 // for concurrent use, so the server serializes all access behind a mutex —
 // configuration operations are control-plane rate, not data-plane rate.
 type Server struct {
-	mu    sync.Mutex
-	ctl   *core.Controller
-	start time.Time
-	clock func() sim.Time
-	mux   *http.ServeMux
+	mu     sync.Mutex
+	ctl    *core.Controller
+	start  time.Time
+	clock  func() sim.Time
+	mux    *http.ServeMux
+	tracer *trace.Recorder
 }
 
 // NewServer wraps a controller. The controller's simulated-time arguments
@@ -50,9 +52,16 @@ func NewServer(ctl *core.Controller, clock func() sim.Time) *Server {
 	mux.HandleFunc("POST /v1/fabric", s.handleFabric)
 	mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux = mux
 	return s
 }
+
+// AttachTrace exposes rec's event ring via GET /v1/trace. Call before
+// serving; without a recorder the endpoint answers 404. The recorder's
+// own lock makes snapshots safe against a concurrently running data
+// plane.
+func (s *Server) AttachTrace(rec *trace.Recorder) { s.tracer = rec }
 
 // ServeHTTP implements http.Handler. The mux's built-in 404/405 fallbacks
 // write plain text; envelopeWriter rewrites them into the JSON error
@@ -405,6 +414,51 @@ func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves a filtered snapshot of the flight recorder's ring.
+// The ETag is the recorder's sequence number: it advances with every
+// recorded event, so a matching If-None-Match proves the ring (and hence
+// any filtered view of it) is unchanged and the reply collapses to 304.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			errors.New("api: tracing not enabled (server has no flight recorder)"))
+		return
+	}
+	f := trace.AllEvents
+	q := r.URL.Query()
+	if t := q.Get("tenant"); t != "" {
+		v, err := strconv.Atoi(t)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("api: bad tenant %q: want a non-negative id", t))
+			return
+		}
+		f.Tenant = v
+	}
+	if kinds, ok := q["kind"]; ok {
+		f.Kinds = kinds
+	}
+	if l := q.Get("limit"); l != "" {
+		v, err := strconv.Atoi(l)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("api: bad limit %q: want a non-negative count", l))
+			return
+		}
+		f.Limit = v
+	}
+	// No s.mu: the recorder serializes internally, and the seq/events pair
+	// is taken atomically under its lock.
+	events, seq := s.tracer.Snapshot(f)
+	etag := `"` + strconv.FormatUint(seq, 10) + `"`
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && strings.Trim(inm, `"`) == strconv.FormatUint(seq, 10) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Seq: seq, Events: events})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"qvisor/internal/core"
 	"qvisor/internal/pkt"
 	"qvisor/internal/rank"
+	"qvisor/internal/sched"
 )
 
 // TestRunClean is the conformance suite's main entry: a batch of random
@@ -120,7 +121,7 @@ func TestRefPIFOSortedOrder(t *testing.T) {
 // ties favoring the queued packet.
 func TestRefPIFOEviction(t *testing.T) {
 	var dropped []uint64
-	ref := NewRefPIFO(300, func(p *pkt.Packet) { dropped = append(dropped, p.ID) })
+	ref := NewRefPIFO(300, func(p *pkt.Packet, _ sched.DropCause) { dropped = append(dropped, p.ID) })
 	mk := func(id uint64, rank int64) *pkt.Packet {
 		return &pkt.Packet{ID: id, Rank: rank, Size: 100}
 	}

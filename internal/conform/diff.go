@@ -92,10 +92,13 @@ func BackendNames() []string {
 }
 
 // replayEvent is one observable scheduler action: 'd' = drop/evict,
-// 'q' = dequeue.
+// 'q' = dequeue. Drop events also carry the reported cause, so exact
+// backends must agree with the oracle on why a packet was dropped
+// (overflow vs. eviction), not just which packet left.
 type replayEvent struct {
-	kind byte
-	id   uint64
+	kind  byte
+	id    uint64
+	cause sched.DropCause // meaningful only when kind == 'd'
 }
 
 // replayResult captures everything observable about one backend's replay
@@ -130,9 +133,9 @@ func replay(sc *Scenario, countInv bool, build func(drop sched.DropFn) (sched.Sc
 	if countInv {
 		res.inv = trace.NewInversionCounter()
 	}
-	drop := func(p *pkt.Packet) {
+	drop := func(p *pkt.Packet, cause sched.DropCause) {
 		res.drops = append(res.drops, p.ID)
-		res.events = append(res.events, replayEvent{'d', p.ID})
+		res.events = append(res.events, replayEvent{'d', p.ID, cause})
 		pool.Put(p)
 	}
 	s, err := build(drop)
@@ -164,7 +167,7 @@ func replay(sc *Scenario, countInv bool, build func(drop sched.DropFn) (sched.Sc
 				res.inv.OnDequeue(got.Rank)
 			}
 			res.dequeued = append(res.dequeued, *got)
-			res.events = append(res.events, replayEvent{'q', got.ID})
+			res.events = append(res.events, replayEvent{kind: 'q', id: got.ID})
 			pool.Put(got)
 			checkStep()
 		}
@@ -174,7 +177,7 @@ func replay(sc *Scenario, countInv bool, build func(drop sched.DropFn) (sched.Sc
 			res.inv.OnDequeue(got.Rank)
 		}
 		res.dequeued = append(res.dequeued, *got)
-		res.events = append(res.events, replayEvent{'q', got.ID})
+		res.events = append(res.events, replayEvent{kind: 'q', id: got.ID})
 		pool.Put(got)
 		checkStep()
 	}
@@ -389,7 +392,8 @@ func runPIFOTight(r *Report, ctx *diffCtx, st *BackendStats) {
 		if g != w {
 			r.addViolation(Violation{
 				Scenario: ctx.sc.Index, Backend: st.Backend, Kind: ViolationDropMismatch,
-				Detail: violationf("event %d: %c(%d), oracle %c(%d)", i, g.kind, g.id, w.kind, w.id),
+				Detail: violationf("event %d: %c(%d,%v), oracle %c(%d,%v)",
+					i, g.kind, g.id, g.cause, w.kind, w.id, w.cause),
 			})
 			return
 		}

@@ -6,6 +6,7 @@ import (
 
 	"qvisor/internal/core"
 	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
 )
 
 // RefPIFO is the reference oracle for the ideal PIFO: a sorted list kept in
@@ -23,7 +24,7 @@ type RefPIFO struct {
 	entries  []refEntry // sorted ascending by (rank, seq)
 	seq      uint64
 	bytes    int
-	onDrop   func(p *pkt.Packet)
+	onDrop   sched.DropFn
 }
 
 type refEntry struct {
@@ -32,9 +33,10 @@ type refEntry struct {
 }
 
 // NewRefPIFO returns an empty reference PIFO with the given byte capacity.
-// onDrop, if non-nil, observes dropped and evicted packets — the same
-// callback contract as sched.Config.OnDrop.
-func NewRefPIFO(capacityBytes int, onDrop func(p *pkt.Packet)) *RefPIFO {
+// onDrop, if non-nil, observes dropped and evicted packets with their
+// cause — the same callback and cause contract as sched.Config.OnDrop
+// (CauseOverflow for refused arrivals, CauseEvicted for evictions).
+func NewRefPIFO(capacityBytes int, onDrop sched.DropFn) *RefPIFO {
 	return &RefPIFO{capacity: capacityBytes, onDrop: onDrop}
 }
 
@@ -44,9 +46,9 @@ func (r *RefPIFO) Len() int { return len(r.entries) }
 // Bytes returns the number of queued bytes.
 func (r *RefPIFO) Bytes() int { return r.bytes }
 
-func (r *RefPIFO) drop(p *pkt.Packet) {
+func (r *RefPIFO) drop(p *pkt.Packet, cause sched.DropCause) {
 	if r.onDrop != nil {
-		r.onDrop(p)
+		r.onDrop(p, cause)
 	}
 }
 
@@ -57,20 +59,20 @@ func (r *RefPIFO) Enqueue(p *pkt.Packet) bool {
 	for r.bytes+p.Size > r.capacity {
 		n := len(r.entries)
 		if n == 0 {
-			r.drop(p)
+			r.drop(p, sched.CauseOverflow)
 			return false
 		}
 		// The worst packet (max rank, max seq among ties) is the last
 		// entry of the sorted list by construction.
 		worst := r.entries[n-1]
 		if worst.p.Rank <= p.Rank {
-			r.drop(p)
+			r.drop(p, sched.CauseOverflow)
 			return false
 		}
 		r.entries[n-1] = refEntry{}
 		r.entries = r.entries[:n-1]
 		r.bytes -= worst.p.Size
-		r.drop(worst.p)
+		r.drop(worst.p, sched.CauseEvicted)
 	}
 	e := refEntry{p: p, seq: r.seq}
 	r.seq++

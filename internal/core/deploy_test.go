@@ -271,7 +271,7 @@ func TestPIFOBufferPressureFavorsHighTier(t *testing.T) {
 	var evictedLo, evictedHi int
 	pifo := sched.NewPIFO(sched.Config{
 		CapacityBytes: 1000, // ten 100-byte packets
-		OnDrop: func(p *pkt.Packet) {
+		OnDrop: func(p *pkt.Packet, _ sched.DropCause) {
 			if p.Tenant == 2 {
 				evictedLo++
 			} else {

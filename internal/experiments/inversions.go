@@ -118,7 +118,7 @@ func InversionStudyRng(count int, rng *rand.Rand) ([]InversionResult, error) {
 	// schedulers: the drop callback releases refused packets, the dequeue
 	// loop releases serviced ones.
 	pool := pkt.NewPool()
-	release := func(p *pkt.Packet) { pool.Put(p) }
+	release := func(p *pkt.Packet, _ sched.DropCause) { pool.Put(p) }
 
 	var out []InversionResult
 	for _, b := range builders {
@@ -159,4 +159,3 @@ func InversionStudyRng(count int, rng *rand.Rand) ([]InversionResult, error) {
 	}
 	return out, nil
 }
-

@@ -41,7 +41,7 @@ func (f *FaultInjector) Enqueue(p *pkt.Packet) bool {
 	if f.drop != nil && f.drop(p) {
 		f.Injected++
 		if f.onDrop != nil {
-			f.onDrop(p)
+			f.onDrop(p, sched.CauseFault)
 		}
 		return false
 	}

@@ -7,6 +7,7 @@ import (
 	"qvisor/internal/rank"
 	"qvisor/internal/sim"
 	"qvisor/internal/stats"
+	"qvisor/internal/trace"
 	"qvisor/internal/workload"
 )
 
@@ -162,7 +163,7 @@ func (sf *sendFlow) emit(now sim.Time, idx int, retx bool) {
 	sf.state[idx] = stInflight
 	sf.inflight++
 	sf.armTimer(now)
-	n.cfg.Trace.Record(now, "emit", sf.host.name, p)
+	n.cfg.Trace.Record(now, trace.KindEmit, sf.host.name, p)
 	sf.host.up.send(now, p)
 }
 
@@ -266,7 +267,7 @@ func (h *Host) startCBR(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
 		p.SentAt = tnow
 		p.Deadline = fl.Deadline
 		n.count.CBRSent++
-		n.cfg.Trace.Record(tnow, "emit", h.name, p)
+		n.cfg.Trace.Record(tnow, trace.KindEmit, h.name, p)
 		h.up.send(tnow, p)
 		n.eng.After(interval, tick)
 	}
@@ -281,7 +282,7 @@ func (h *Host) stopCBR() { h.cbrStop = true }
 func (h *Host) receive(now sim.Time, p *pkt.Packet) {
 	n := h.net
 	n.count.Delivered++
-	n.cfg.Trace.Record(now, "deliver", h.name, p)
+	n.cfg.Trace.Record(now, trace.KindDeliver, h.name, p)
 	switch p.Kind {
 	case pkt.Ack:
 		if sf, ok := h.sending[p.Flow]; ok {
@@ -307,7 +308,7 @@ func (h *Host) receive(now sim.Time, p *pkt.Packet) {
 		ack.SentAt = now
 		ack.AckSeq = p.Seq
 		n.count.AcksSent++
-		n.cfg.Trace.Record(now, "emit", h.name, ack)
+		n.cfg.Trace.Record(now, trace.KindEmit, h.name, ack)
 		h.up.send(now, ack)
 	}
 	n.pool.Put(p)

@@ -68,8 +68,11 @@ type Config struct {
 	CheckInterval sim.Time
 	// Tenants is the traffic.
 	Tenants []TenantDef
-	// Trace, when non-nil, records packet events (emit, deliver, drop)
-	// as JSON lines.
+	// Trace, when non-nil, records packet lifecycle events — emit,
+	// switch arrival, rank transform, per-port enqueue/dequeue, deliver,
+	// and drop (with cause) — into the recorder's ring and/or JSONL
+	// stream. With sampling configured, unsampled flows cost one modulo
+	// per event site and no allocation.
 	Trace *trace.Recorder
 	// Registry, when non-nil, exports fabric telemetry (internal/obs):
 	// per-role tx/drop counters, per-port utilization and high-water-mark
@@ -198,8 +201,43 @@ type Network struct {
 	// role's ports.
 	roleMetrics map[string]*sched.Metrics
 
+	// dropStage stages per-(tenant, cause) drop counts on the data path
+	// as plain map increments; FlushMetrics publishes the deltas into the
+	// registry (nil maps when uninstrumented — the staging is skipped).
+	dropStage   map[dropKey]uint64
+	dropFlushed map[dropKey]uint64
+	tenantNames map[pkt.TenantID]string
+
 	nextPktID  uint64
 	nextFlowID uint64
+}
+
+// dropKey identifies one per-tenant, per-cause drop counter.
+type dropKey struct {
+	tenant pkt.TenantID
+	cause  sched.DropCause
+}
+
+// countDrop books one dropped packet network-wide and stages its
+// (tenant, cause) attribution when the network is instrumented.
+func (n *Network) countDrop(t pkt.TenantID, cause sched.DropCause) {
+	n.count.Dropped++
+	if n.dropStage != nil {
+		n.dropStage[dropKey{t, cause}]++
+	}
+}
+
+// tenantName resolves a tenant ID to its configured name for metric
+// labels, falling back to "tenant<id>".
+func (n *Network) tenantName(id pkt.TenantID) string {
+	if name, ok := n.tenantNames[id]; ok {
+		return name
+	}
+	name := fmt.Sprintf("tenant%d", id)
+	if n.tenantNames != nil {
+		n.tenantNames[id] = name
+	}
+	return name
 }
 
 // Metric families exported by an instrumented network.
@@ -209,6 +247,7 @@ const (
 	MetricPortDrops       = "qvisor_netsim_drops_total"
 	MetricPortUtilization = "qvisor_netsim_port_utilization"
 	MetricPortMaxQueued   = "qvisor_netsim_port_max_queued_bytes"
+	MetricDropsByCause    = "qvisor_netsim_drops_by_cause_total"
 )
 
 // schedMetrics returns the shared scheduler instrument bundle for one
@@ -255,6 +294,14 @@ func New(cfg Config) (*Network, error) {
 		eng:  eng,
 		pool: pool,
 		fcts: stats.NewCollector(),
+	}
+	if cfg.Registry != nil {
+		n.dropStage = make(map[dropKey]uint64)
+		n.dropFlushed = make(map[dropKey]uint64)
+		n.tenantNames = make(map[pkt.TenantID]string, len(cfg.Tenants))
+		for i := range cfg.Tenants {
+			n.tenantNames[cfg.Tenants[i].ID] = cfg.Tenants[i].Name
+		}
 	}
 	hostCount := cfg.Leaves * cfg.HostsPerLeaf
 	n.hosts = make([]*Host, hostCount)
@@ -419,6 +466,15 @@ func (n *Network) FlushMetrics() {
 	})
 	for _, m := range n.roleMetrics {
 		m.Flush()
+	}
+	for k, v := range n.dropStage {
+		if d := v - n.dropFlushed[k]; d > 0 {
+			n.cfg.Registry.Counter(MetricDropsByCause,
+				"Packets dropped, attributed to tenant and drop cause.",
+				obs.L("tenant", n.tenantName(k.tenant)),
+				obs.L("cause", k.cause.String())).Add(d)
+			n.dropFlushed[k] = v
+		}
 	}
 }
 

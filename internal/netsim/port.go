@@ -5,6 +5,7 @@ import (
 	"qvisor/internal/pkt"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
+	"qvisor/internal/trace"
 )
 
 // Port is one unidirectional output port: a scheduler feeding a
@@ -73,11 +74,13 @@ func (n *Network) newPort(role string, id int, name string, rateBps float64, del
 	}
 	// The scheduler's drop callback is the single release point for
 	// refused and evicted packets (see the ownership contract on
-	// sched.Scheduler): nothing downstream sees them again.
-	drop := sched.DropFn(func(p *pkt.Packet) {
-		n.count.Dropped++
+	// sched.Scheduler): nothing downstream sees them again. The cause
+	// reported by the scheduler flows into the trace and the per-tenant
+	// drop-cause counters.
+	drop := sched.DropFn(func(p *pkt.Packet, cause sched.DropCause) {
+		n.countDrop(p.Tenant, cause)
 		pt.drops++
-		n.cfg.Trace.Record(n.eng.Now(), "drop", name, p)
+		n.cfg.Trace.RecordDrop(n.eng.Now(), name, p, cause.String())
 		n.pool.Put(p)
 	})
 	pt.arrive = func(now sim.Time) {
@@ -108,6 +111,7 @@ func (pt *Port) send(now sim.Time, p *pkt.Packet) {
 	if !pt.q.Enqueue(p) {
 		return
 	}
+	pt.net.cfg.Trace.Record(now, trace.KindEnqueue, pt.name, p)
 	if b := pt.q.Bytes(); b > pt.maxQueued {
 		pt.maxQueued = b
 	}
@@ -123,6 +127,7 @@ func (pt *Port) kick(now sim.Time) {
 	if p == nil {
 		return
 	}
+	pt.net.cfg.Trace.Record(now, trace.KindDequeue, pt.name, p)
 	pt.busy = true
 	tx := txTime(p.Size, pt.rateBps)
 	pt.txBytes += uint64(p.Size)

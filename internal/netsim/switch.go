@@ -1,8 +1,12 @@
 package netsim
 
 import (
+	"fmt"
+
 	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
 	"qvisor/internal/sim"
+	"qvisor/internal/trace"
 )
 
 type switchKind int
@@ -23,27 +27,48 @@ type Switch struct {
 	net   *Network
 	kind  switchKind
 	id    int
+	name  string // precomputed "leaf<id>"/"spine<id>" so tracing never allocates
 	ports []*Port
 }
 
 func newSwitch(n *Network, kind switchKind, id, nports int) *Switch {
-	return &Switch{net: n, kind: kind, id: id, ports: make([]*Port, nports)}
+	role := "leaf"
+	if kind == spineSwitch {
+		role = "spine"
+	}
+	return &Switch{
+		net:   n,
+		kind:  kind,
+		id:    id,
+		name:  fmt.Sprintf("%s%d", role, id),
+		ports: make([]*Port, nports),
+	}
 }
 
-// receive handles an arriving packet: pre-process, route, enqueue.
+// receive handles an arriving packet: pre-process, route, enqueue. The
+// flight recorder sees the switch arrival, the rank transform (with the
+// pre-transform rank), and any drop the switch itself causes — a
+// pre-processor rejection is an admission drop, an unroutable
+// destination a fault.
 func (sw *Switch) receive(now sim.Time, p *pkt.Packet) {
-	if pp := sw.net.cfg.Preprocessor; pp != nil && !p.Tagged {
+	n := sw.net
+	n.cfg.Trace.Record(now, trace.KindArrive, sw.name, p)
+	if pp := n.cfg.Preprocessor; pp != nil && !p.Tagged {
 		p.Tagged = true
+		pre := p.Rank
 		if !pp.Process(p) {
-			sw.net.count.Dropped++
-			sw.net.pool.Put(p)
+			n.countDrop(p.Tenant, sched.CauseAdmission)
+			n.cfg.Trace.RecordDrop(now, sw.name, p, sched.CauseAdmission.String())
+			n.pool.Put(p)
 			return
 		}
+		n.cfg.Trace.RecordTransform(now, sw.name, p, pre)
 	}
 	out := sw.route(p)
 	if out == nil {
-		sw.net.count.Dropped++
-		sw.net.pool.Put(p)
+		n.countDrop(p.Tenant, sched.CauseFault)
+		n.cfg.Trace.RecordDrop(now, sw.name, p, sched.CauseFault.String())
+		n.pool.Put(p)
 		return
 	}
 	out.send(now, p)

@@ -254,6 +254,14 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// Runtime telemetry (see EnableRuntime). The handles are written once
+	// under mu before rtEnabled is observable, then only read.
+	rtEnabled    bool
+	rtLastGC     uint32
+	rtHeap       *Gauge
+	rtGoroutines *Gauge
+	rtGC         *Counter
 }
 
 // NewRegistry returns an empty registry.
@@ -418,12 +426,15 @@ type Snapshot struct {
 }
 
 // Snapshot captures every instrument's current value. A nil registry
-// yields an empty snapshot.
+// yields an empty snapshot. When runtime telemetry is enabled, the
+// runtime instruments are refreshed first, so snapshots (and the
+// Prometheus exposition built on them) always carry current values.
 func (r *Registry) Snapshot() Snapshot {
 	var snap Snapshot
 	if r == nil {
 		return snap
 	}
+	r.refreshRuntime()
 	// One locked pass copies everything the map and family structs can
 	// mutate under concurrent registration (the series maps and the
 	// lazily backfilled help strings); instrument values are atomics and

@@ -1,0 +1,68 @@
+package obs
+
+import "runtime"
+
+// Go runtime metric families, registered by Registry.EnableRuntime.
+const (
+	// MetricRuntimeHeapBytes is the live heap size (runtime MemStats
+	// HeapAlloc), a gauge refreshed at snapshot time.
+	MetricRuntimeHeapBytes = "qvisor_runtime_heap_bytes"
+	// MetricRuntimeGCTotal counts completed garbage-collection cycles.
+	MetricRuntimeGCTotal = "qvisor_runtime_gc_cycles_total"
+	// MetricRuntimeGoroutines is the current goroutine count.
+	MetricRuntimeGoroutines = "qvisor_runtime_goroutines"
+)
+
+// EnableRuntime opts the registry into Go runtime telemetry: heap bytes,
+// garbage-collection cycles, and goroutine count. The instruments are
+// refreshed lazily on every Snapshot (and therefore on every Prometheus
+// exposition), so enabling them adds no background work and nothing to
+// the data path — the runtime is only probed when somebody looks.
+// Idempotent; a nil registry ignores the call.
+func (r *Registry) EnableRuntime() {
+	if r == nil {
+		return
+	}
+	heap := r.Gauge(MetricRuntimeHeapBytes,
+		"Live heap bytes (runtime.MemStats.HeapAlloc), sampled at snapshot time.")
+	goroutines := r.Gauge(MetricRuntimeGoroutines,
+		"Goroutines alive, sampled at snapshot time.")
+	gc := r.Counter(MetricRuntimeGCTotal,
+		"Completed GC cycles since the registry enabled runtime telemetry.")
+	// Baseline the GC counter so it reports cycles observed from enable
+	// time onward, keeping it monotone across Snapshot calls.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	r.mu.Lock()
+	if !r.rtEnabled {
+		r.rtHeap, r.rtGoroutines, r.rtGC = heap, goroutines, gc
+		r.rtLastGC = m.NumGC
+		r.rtEnabled = true
+	}
+	r.mu.Unlock()
+}
+
+// refreshRuntime re-probes the runtime instruments; a no-op unless
+// EnableRuntime was called.
+func (r *Registry) refreshRuntime() {
+	r.mu.Lock()
+	enabled := r.rtEnabled
+	last := r.rtLastGC
+	heap, goroutines, gc := r.rtHeap, r.rtGoroutines, r.rtGC
+	r.mu.Unlock()
+	if !enabled {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	heap.Set(float64(m.HeapAlloc))
+	goroutines.Set(float64(runtime.NumGoroutine()))
+	if d := m.NumGC - last; d > 0 {
+		gc.Add(uint64(d))
+		r.mu.Lock()
+		if m.NumGC > r.rtLastGC {
+			r.rtLastGC = m.NumGC
+		}
+		r.mu.Unlock()
+	}
+}

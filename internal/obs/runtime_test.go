@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnableRuntime: after opting in, every snapshot carries the three
+// runtime families with live values; before opting in, none appear.
+func TestEnableRuntime(t *testing.T) {
+	r := NewRegistry()
+	for _, f := range r.Snapshot().Families {
+		if strings.HasPrefix(f.Name, "qvisor_runtime_") {
+			t.Fatalf("runtime family %s present before EnableRuntime", f.Name)
+		}
+	}
+	r.EnableRuntime()
+	r.EnableRuntime() // idempotent
+	snap := r.Snapshot()
+	got := map[string]float64{}
+	for _, f := range snap.Families {
+		for _, m := range f.Metrics {
+			got[f.Name] = m.Value
+		}
+	}
+	if v, ok := got[MetricRuntimeHeapBytes]; !ok || v <= 0 {
+		t.Fatalf("%s = %v, want > 0", MetricRuntimeHeapBytes, v)
+	}
+	if v, ok := got[MetricRuntimeGoroutines]; !ok || v < 1 {
+		t.Fatalf("%s = %v, want >= 1", MetricRuntimeGoroutines, v)
+	}
+	if _, ok := got[MetricRuntimeGCTotal]; !ok {
+		t.Fatalf("%s missing", MetricRuntimeGCTotal)
+	}
+
+	// The gauges are refreshed on every snapshot, so the exposition path
+	// (which renders from Snapshot) carries them too.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), MetricRuntimeHeapBytes) {
+		t.Fatal("exposition missing runtime heap gauge")
+	}
+}
+
+// TestEnableRuntimeNil: a nil registry ignores the call, like every
+// other obs entry point.
+func TestEnableRuntimeNil(t *testing.T) {
+	var r *Registry
+	r.EnableRuntime() // must not panic
+	if len(r.Snapshot().Families) != 0 {
+		t.Fatal("nil registry produced families")
+	}
+}

@@ -244,7 +244,13 @@ func (t *Tree) Enqueue(p *pkt.Packet) bool {
 	if !ok || t.bytes+p.Size > cap {
 		t.stats.Dropped++
 		if t.cfg.OnDrop != nil {
-			t.cfg.OnDrop(p)
+			// A packet classified to a leaf the tree does not have was
+			// rejected by policy, not by buffer pressure.
+			cause := sched.CauseOverflow
+			if !ok {
+				cause = sched.CauseAdmission
+			}
+			t.cfg.OnDrop(p, cause)
 		}
 		return false
 	}

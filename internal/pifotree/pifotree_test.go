@@ -228,7 +228,7 @@ func TestTreeBuildErrors(t *testing.T) {
 
 func TestUnknownLeafDrops(t *testing.T) {
 	drops := 0
-	tr := NewTree(sched.Config{OnDrop: func(*pkt.Packet) { drops++ }}, nil,
+	tr := NewTree(sched.Config{OnDrop: func(*pkt.Packet, sched.DropCause) { drops++ }}, nil,
 		func(*pkt.Packet) string { return "nowhere" })
 	if tr.Enqueue(&pkt.Packet{Size: 1}) {
 		t.Fatal("packet to unknown leaf accepted")
@@ -256,7 +256,7 @@ func TestSchedulerConformance(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	sent, recv, drops := 0, 0, 0
 	tr := s.(*Tree)
-	tr.cfg.OnDrop = func(*pkt.Packet) { drops++ }
+	tr.cfg.OnDrop = func(*pkt.Packet, sched.DropCause) { drops++ }
 	tr.cfg.CapacityBytes = 500
 	for i := 0; i < 300; i++ {
 		tenant := pkt.TenantID(1 + rng.Intn(2))

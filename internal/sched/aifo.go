@@ -73,16 +73,21 @@ func (q *AIFO) Stats() Stats { return q.stats }
 // SetMetrics implements MetricsSetter.
 func (q *AIFO) SetMetrics(m *Metrics) { q.cfg.Metrics = m }
 
-// Enqueue implements Scheduler with quantile-based admission.
+// Enqueue implements Scheduler with quantile-based admission. A refusal
+// for lack of buffer space reports CauseOverflow; a refusal decided by
+// the quantile rule — the packet would have fit, but its rank is too poor
+// for the remaining headroom — reports CauseAdmission.
 func (q *AIFO) Enqueue(p *pkt.Packet) bool {
 	cap := q.cfg.capacity()
 	admit := q.bytes+p.Size <= cap
+	cause := CauseOverflow
 	if admit && q.wfill == q.cap() {
 		// Window warm: apply the quantile admission rule.
 		quant := q.quantile(p.Rank)
 		headroom := float64(cap-q.bytes) / float64(cap)
 		if quant > headroom/(1-q.k) {
 			admit = false
+			cause = CauseAdmission
 		}
 	}
 	// The rank sample is recorded for every arrival, admitted or not, so
@@ -91,7 +96,7 @@ func (q *AIFO) Enqueue(p *pkt.Packet) bool {
 	if !admit {
 		q.stats.Dropped++
 		q.cfg.Metrics.onDrop()
-		q.cfg.drop(p)
+		q.cfg.drop(p, cause)
 		return false
 	}
 	q.q.push(p)

@@ -68,7 +68,7 @@ func (q *Calendar) Enqueue(p *pkt.Packet) bool {
 	if q.bytes+p.Size > q.cfg.capacity() {
 		q.stats.Dropped++
 		q.cfg.Metrics.onDrop()
-		q.cfg.drop(p)
+		q.cfg.drop(p, CauseOverflow)
 		return false
 	}
 	off := 0

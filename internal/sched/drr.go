@@ -88,7 +88,7 @@ func (d *DRR) Enqueue(p *pkt.Packet) bool {
 	if d.bytes+p.Size > d.cfg.capacity() {
 		d.stats.Dropped++
 		d.cfg.Metrics.onDrop()
-		d.cfg.drop(p)
+		d.cfg.drop(p, CauseOverflow)
 		return false
 	}
 	key := d.keyOf(p)

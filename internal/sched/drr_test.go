@@ -82,7 +82,7 @@ func TestDRRKeyByTenant(t *testing.T) {
 
 func TestDRRDropWhenFull(t *testing.T) {
 	drops := 0
-	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 100, OnDrop: func(*pkt.Packet) { drops++ }}})
+	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 100, OnDrop: func(*pkt.Packet, DropCause) { drops++ }}})
 	d.Enqueue(&pkt.Packet{Flow: 1, Size: 100})
 	if d.Enqueue(&pkt.Packet{Flow: 2, Size: 1}) {
 		t.Fatal("over-capacity accepted")
@@ -95,7 +95,7 @@ func TestDRRDropWhenFull(t *testing.T) {
 func TestDRRConservationRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	drops := 0
-	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 5000, OnDrop: func(*pkt.Packet) { drops++ }}})
+	d := NewDRR(DRRConfig{Config: Config{CapacityBytes: 5000, OnDrop: func(*pkt.Packet, DropCause) { drops++ }}})
 	sent, recv := 0, 0
 	for i := 0; i < 2000; i++ {
 		d.Enqueue(&pkt.Packet{Flow: uint64(rng.Intn(8)), Size: 50 + rng.Intn(200)})

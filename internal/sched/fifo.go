@@ -88,7 +88,7 @@ func (q *FIFO) Enqueue(p *pkt.Packet) bool {
 	if q.bytes+p.Size > q.cfg.capacity() {
 		q.stats.Dropped++
 		q.cfg.Metrics.onDrop()
-		q.cfg.drop(p)
+		q.cfg.drop(p, CauseOverflow)
 		return false
 	}
 	q.q.push(p)

@@ -89,7 +89,7 @@ func (q *MQ) Enqueue(p *pkt.Packet) bool {
 	if q.qbytes[i]+p.Size > q.perQueueCap {
 		q.stats.Dropped++
 		q.cfg.Metrics.onDrop()
-		q.cfg.drop(p)
+		q.cfg.drop(p, CauseOverflow)
 		return false
 	}
 	q.queues[i].push(p)

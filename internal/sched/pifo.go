@@ -134,7 +134,7 @@ func (q *PIFO) Enqueue(p *pkt.Packet) bool {
 		if wi < 0 || q.h[wi].p.Rank <= p.Rank {
 			q.stats.Dropped++
 			q.cfg.Metrics.onDrop()
-			q.cfg.drop(p)
+			q.cfg.drop(p, CauseOverflow)
 			return false
 		}
 		ev := q.h[wi].p
@@ -142,7 +142,7 @@ func (q *PIFO) Enqueue(p *pkt.Packet) bool {
 		q.bytes -= ev.Size
 		q.stats.Evicted++
 		q.cfg.Metrics.onEvict()
-		q.cfg.drop(ev)
+		q.cfg.drop(ev, CauseEvicted)
 	}
 	q.h.push(pifoEntry{p: p, seq: q.seq})
 	q.seq++

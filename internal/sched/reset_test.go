@@ -93,7 +93,7 @@ func TestResetRoundTrip(t *testing.T) {
 // silently; the drop callback is reserved for refused/evicted packets.
 func TestResetDoesNotInvokeDropCallback(t *testing.T) {
 	drops := 0
-	q := NewPIFO(Config{OnDrop: func(*pkt.Packet) { drops++ }})
+	q := NewPIFO(Config{OnDrop: func(*pkt.Packet, DropCause) { drops++ }})
 	for i := 0; i < 10; i++ {
 		q.Enqueue(mkpkt(int64(i), 100))
 	}

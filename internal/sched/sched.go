@@ -62,9 +62,63 @@ type Scheduler interface {
 	Reset()
 }
 
+// DropCause classifies why a packet left the pipeline without being
+// delivered. Every drop site — scheduler disciplines, the pifotree
+// backend, fault injectors, and the network layer — reports exactly one
+// cause, so traces and counters can attribute loss to a pipeline stage
+// instead of a single undifferentiated "dropped" count.
+type DropCause uint8
+
+const (
+	// CauseOverflow is a tail drop: the arrival did not fit in the
+	// buffer and nothing queued was worth evicting for it.
+	CauseOverflow DropCause = iota
+	// CauseEvicted marks an already-queued packet removed to admit a
+	// better-ranked arrival (PIFO drop-worst).
+	CauseEvicted
+	// CauseAdmission is an admission-control rejection decided by the
+	// packet's rank rather than by buffer occupancy alone (AIFO's
+	// quantile gate, preprocessor drop actions).
+	CauseAdmission
+	// CauseFault is an injected or structural failure: fault-injector
+	// loss, unroutable destinations.
+	CauseFault
+	// causeMax bounds the enum for per-cause counter arrays.
+	causeMax
+)
+
+// NumDropCauses is the number of distinct drop causes, for sizing
+// per-cause counter arrays.
+const NumDropCauses = int(causeMax)
+
+// String returns the stable wire name used in traces, counters, and
+// reports. A fifth cause, "in-flight-loss", exists only in trace
+// analysis: it labels packets that were emitted but neither delivered
+// nor dropped by the time a trace ended, so no callback ever reports it.
+func (c DropCause) String() string {
+	switch c {
+	case CauseOverflow:
+		return "overflow"
+	case CauseEvicted:
+		return "evicted"
+	case CauseAdmission:
+		return "admission"
+	case CauseFault:
+		return "fault"
+	}
+	return "unknown"
+}
+
 // DropFn observes packets dropped by a scheduler (on arrival or by
-// eviction). It may be nil.
-type DropFn func(p *pkt.Packet)
+// eviction) together with the cause. It may be nil.
+//
+// Cause contract: disciplines report CauseOverflow for arrivals refused
+// for lack of buffer space, CauseEvicted for queued packets removed to
+// admit a better arrival, and CauseAdmission for rank-based rejections
+// that would have been refused even with buffer available. Exactly one
+// callback fires per dropped packet; the callback is the packet's
+// release point (see Scheduler's ownership contract).
+type DropFn func(p *pkt.Packet, cause DropCause)
 
 // Stats counts scheduler activity, shared by all implementations.
 type Stats struct {
@@ -86,7 +140,8 @@ type Config struct {
 	// CapacityBytes bounds the total queued bytes. Zero means a default of
 	// DefaultCapacityBytes.
 	CapacityBytes int
-	// OnDrop, if non-nil, is invoked for every dropped or evicted packet.
+	// OnDrop, if non-nil, is invoked for every dropped or evicted packet
+	// with the cause of the drop (see DropFn's cause contract).
 	OnDrop DropFn
 	// Metrics, if non-nil, mirrors the scheduler's counters into an
 	// observability registry (see NewMetrics). Nil — the default — keeps
@@ -106,8 +161,8 @@ func (c Config) capacity() int {
 	return c.CapacityBytes
 }
 
-func (c Config) drop(p *pkt.Packet) {
+func (c Config) drop(p *pkt.Packet, cause DropCause) {
 	if c.OnDrop != nil {
-		c.OnDrop(p)
+		c.OnDrop(p, cause)
 	}
 }

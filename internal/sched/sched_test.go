@@ -55,7 +55,7 @@ func TestPIFOFIFOAmongTies(t *testing.T) {
 
 func TestPIFOEvictsWorstWhenFull(t *testing.T) {
 	var dropped []int64
-	q := NewPIFO(Config{CapacityBytes: 300, OnDrop: func(p *pkt.Packet) { dropped = append(dropped, p.Rank) }})
+	q := NewPIFO(Config{CapacityBytes: 300, OnDrop: func(p *pkt.Packet, _ DropCause) { dropped = append(dropped, p.Rank) }})
 	q.Enqueue(mkpkt(10, 100))
 	q.Enqueue(mkpkt(20, 100))
 	q.Enqueue(mkpkt(30, 100))
@@ -193,7 +193,7 @@ func TestFIFOOrder(t *testing.T) {
 
 func TestFIFOTailDrop(t *testing.T) {
 	drops := 0
-	q := NewFIFO(Config{CapacityBytes: 100, OnDrop: func(*pkt.Packet) { drops++ }})
+	q := NewFIFO(Config{CapacityBytes: 100, OnDrop: func(*pkt.Packet, DropCause) { drops++ }})
 	if !q.Enqueue(mkpkt(1, 60)) || !q.Enqueue(mkpkt(2, 40)) {
 		t.Fatal("within capacity should be admitted")
 	}
@@ -584,7 +584,7 @@ func TestConservation(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(99))
 			drops := 0
-			s := build(func(*pkt.Packet) { drops++ })
+			s := build(func(*pkt.Packet, DropCause) { drops++ })
 			sent, recv := 0, 0
 			for i := 0; i < 500; i++ {
 				s.Enqueue(mkpkt(int64(rng.Intn(100)), 1+rng.Intn(5)))

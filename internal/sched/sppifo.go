@@ -74,7 +74,7 @@ func (q *SPPIFO) Enqueue(p *pkt.Packet) bool {
 	if q.bytes+p.Size > q.cfg.capacity() {
 		q.stats.Dropped++
 		q.cfg.Metrics.onDrop()
-		q.cfg.drop(p)
+		q.cfg.drop(p, CauseOverflow)
 		return false
 	}
 	// Scan from the lowest-priority queue (highest index) towards the

@@ -1,8 +1,6 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -22,6 +20,10 @@ type TenantLatency struct {
 	// Lost counts emitted packets with neither delivery nor drop (still
 	// in flight when the trace ended).
 	Lost int
+	// Causes breaks Dropped down by recorded drop cause; Lost packets
+	// appear under CauseInFlight. Drops without a recorded cause (traces
+	// from before causes existed) count under "unknown".
+	Causes map[string]int
 	// Mean, P50, P99 are one-way latency statistics.
 	Mean, P50, P99 sim.Time
 }
@@ -38,6 +40,17 @@ type Analysis struct {
 // statistics. Unknown event kinds are ignored; malformed lines are an
 // error.
 func Analyze(r io.Reader) (*Analysis, error) {
+	events, err := ReadEvents(r)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeEvents(events), nil
+}
+
+// AnalyzeEvents computes per-tenant latency statistics from an in-memory
+// event list (a ring snapshot or a parsed JSONL trace). Unknown event
+// kinds are ignored.
+func AnalyzeEvents(events []Event) *Analysis {
 	type pending struct {
 		tenant uint16
 		at     int64
@@ -46,47 +59,41 @@ func Analyze(r io.Reader) (*Analysis, error) {
 	type acc struct {
 		lat     []sim.Time
 		dropped int
+		causes  map[string]int
 	}
 	tenants := make(map[uint16]*acc)
 	get := func(t uint16) *acc {
 		a, ok := tenants[t]
 		if !ok {
-			a = &acc{}
+			a = &acc{causes: make(map[string]int)}
 			tenants[t] = a
 		}
 		return a
 	}
 
 	an := &Analysis{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", an.Events+1, err)
-		}
+	for _, e := range events {
 		an.Events++
 		switch e.Kind {
-		case "emit":
+		case KindEmit:
 			emits[e.ID] = pending{tenant: e.Tenant, at: e.TimeNs}
-		case "deliver":
+		case KindDeliver:
 			if p, ok := emits[e.ID]; ok {
 				get(p.tenant).lat = append(get(p.tenant).lat, sim.Time(e.TimeNs-p.at))
 				delete(emits, e.ID)
 			}
-		case "drop":
+		case KindDrop:
 			if p, ok := emits[e.ID]; ok {
-				get(p.tenant).dropped++
+				a := get(p.tenant)
+				a.dropped++
+				cause := e.Cause
+				if cause == "" {
+					cause = "unknown"
+				}
+				a.causes[cause]++
 				delete(emits, e.ID)
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	// In-flight at trace end.
 	lost := make(map[uint16]int)
@@ -101,17 +108,21 @@ func Analyze(r io.Reader) (*Analysis, error) {
 	for t := range lost {
 		if _, ok := tenants[t]; !ok {
 			ids = append(ids, t)
-			tenants[t] = &acc{}
+			tenants[t] = &acc{causes: make(map[string]int)}
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, t := range ids {
 		a := tenants[t]
+		if n := lost[t]; n > 0 {
+			a.causes[CauseInFlight] = n
+		}
 		tl := TenantLatency{
 			Tenant:    t,
 			Delivered: len(a.lat),
 			Dropped:   a.dropped,
 			Lost:      lost[t],
+			Causes:    a.causes,
 		}
 		if len(a.lat) > 0 {
 			sort.Slice(a.lat, func(i, j int) bool { return a.lat[i] < a.lat[j] })
@@ -125,15 +136,35 @@ func Analyze(r io.Reader) (*Analysis, error) {
 		}
 		an.Tenants = append(an.Tenants, tl)
 	}
-	return an, nil
+	return an
 }
 
-// WriteReport renders the analysis as a table.
+// WriteReport renders the analysis as a table, followed by a per-tenant
+// drop-cause breakdown when any packet was lost.
 func (an *Analysis) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "%d events\n", an.Events)
 	fmt.Fprintf(w, "tenant  delivered  dropped  lost   mean         p50          p99\n")
+	anyDrops := false
 	for _, t := range an.Tenants {
 		fmt.Fprintf(w, "%-7d %-10d %-8d %-6d %-12v %-12v %-12v\n",
 			t.Tenant, t.Delivered, t.Dropped, t.Lost, t.Mean, t.P50, t.P99)
+		if len(t.Causes) > 0 {
+			anyDrops = true
+		}
+	}
+	if !anyDrops {
+		return
+	}
+	fmt.Fprintf(w, "\ndrop causes:\n")
+	fmt.Fprintf(w, "tenant  cause            count\n")
+	for _, t := range an.Tenants {
+		causes := make([]string, 0, len(t.Causes))
+		for c := range t.Causes {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			fmt.Fprintf(w, "%-7d %-16s %d\n", t.Tenant, c, t.Causes[c])
+		}
 	}
 }

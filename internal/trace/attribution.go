@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"qvisor/internal/sim"
+)
+
+// Latency attribution: given a packet's full lifecycle span, every
+// nanosecond between emit and deliver belongs to exactly one stage:
+//
+//   - queueing: enqueue → dequeue, summed over every port on the path
+//   - transform: switch arrival → pre-processor completion (zero in the
+//     simulator, where the rank rewrite is instantaneous, but attributed
+//     structurally so hardware traces break down the same way)
+//   - transmission: dequeue → next switch arrival or final delivery —
+//     serialization plus propagation
+//
+// Dropped packets contribute to the per-cause drop counts instead;
+// packets still in flight when the trace ends count as CauseInFlight.
+
+// Dist summarizes a latency distribution.
+type Dist struct {
+	Mean, P50, P99, P999 sim.Time
+}
+
+func distOf(v []sim.Time) Dist {
+	if len(v) == 0 {
+		return Dist{}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	var sum float64
+	for _, x := range v {
+		sum += float64(x)
+	}
+	return Dist{
+		Mean: sim.Time(sum / float64(len(v))),
+		P50:  v[len(v)/2],
+		P99:  v[(len(v)*99)/100],
+		P999: v[(len(v)*999)/1000],
+	}
+}
+
+// HopAttribution is the mean stage breakdown at one hop position along
+// the path (hop 0 = the sending host's uplink port).
+type HopAttribution struct {
+	Hop          int
+	Packets      int
+	Queueing     Dist
+	Transmission Dist
+}
+
+// TenantAttribution breaks one tenant's sojourn time into pipeline
+// stages.
+type TenantAttribution struct {
+	// Tenant is the tenant label.
+	Tenant uint16
+	// Packets counts delivered packets with a complete recorded span.
+	Packets int
+	// Sojourn is end-to-end emit → deliver.
+	Sojourn Dist
+	// Queueing, Transform, Transmission are the per-packet stage totals
+	// (each packet's stages sum to its sojourn).
+	Queueing, Transform, Transmission Dist
+	// Hops is the per-hop breakdown, indexed by hop position.
+	Hops []HopAttribution
+	// Drops counts dropped packets by cause, including CauseInFlight.
+	Drops map[string]int
+}
+
+// Attribution is the result of attributing a trace.
+type Attribution struct {
+	// Events counts events consumed.
+	Events int
+	// Tenants holds per-tenant attributions, sorted by tenant label.
+	Tenants []TenantAttribution
+}
+
+// pktSpan accumulates one packet's stage times while its events stream
+// past.
+type pktSpan struct {
+	tenant  uint16
+	emit    int64
+	lastEnq int64
+	lastDeq int64
+	lastArr int64
+	queue   int64
+	tx      int64
+	xform   int64
+	hopQ    []sim.Time // per-hop queueing
+	hopT    []sim.Time // per-hop transmission
+	bad     bool       // span incomplete (ring wrapped mid-packet)
+}
+
+// Attribute computes the per-tenant latency attribution of an event
+// list. Events must be in record order (the order the simulator emitted
+// them — ring snapshots and JSONL traces both preserve it). Packets
+// whose span is incomplete (the ring wrapped over their early events)
+// are skipped.
+func Attribute(events []Event) *Attribution {
+	spans := make(map[uint64]*pktSpan)
+	type acc struct {
+		sojourn, queue, xform, tx []sim.Time
+		hops                      []HopAttribution
+		hopQ, hopT                [][]sim.Time
+		drops                     map[string]int
+	}
+	tenants := make(map[uint16]*acc)
+	get := func(t uint16) *acc {
+		a, ok := tenants[t]
+		if !ok {
+			a = &acc{drops: make(map[string]int)}
+			tenants[t] = a
+		}
+		return a
+	}
+
+	at := &Attribution{}
+	for i := range events {
+		e := &events[i]
+		at.Events++
+		switch e.Kind {
+		case KindEmit:
+			spans[e.ID] = &pktSpan{
+				tenant:  e.Tenant,
+				emit:    e.TimeNs,
+				lastEnq: -1, lastDeq: -1, lastArr: -1,
+			}
+		case KindArrive:
+			s := spans[e.ID]
+			if s == nil {
+				continue
+			}
+			if s.lastDeq >= 0 {
+				s.tx += e.TimeNs - s.lastDeq
+				s.hopT = append(s.hopT, sim.Time(e.TimeNs-s.lastDeq))
+				s.lastDeq = -1
+			} else {
+				s.bad = true
+			}
+			s.lastArr = e.TimeNs
+		case KindTransform:
+			s := spans[e.ID]
+			if s == nil {
+				continue
+			}
+			if s.lastArr >= 0 {
+				s.xform += e.TimeNs - s.lastArr
+			}
+			s.lastArr = e.TimeNs
+		case KindEnqueue:
+			s := spans[e.ID]
+			if s == nil {
+				continue
+			}
+			s.lastEnq = e.TimeNs
+		case KindDequeue:
+			s := spans[e.ID]
+			if s == nil {
+				continue
+			}
+			if s.lastEnq >= 0 {
+				s.queue += e.TimeNs - s.lastEnq
+				s.hopQ = append(s.hopQ, sim.Time(e.TimeNs-s.lastEnq))
+				s.lastEnq = -1
+			} else {
+				s.bad = true
+			}
+			s.lastDeq = e.TimeNs
+		case KindDeliver:
+			s := spans[e.ID]
+			if s == nil {
+				continue
+			}
+			delete(spans, e.ID)
+			if s.lastDeq >= 0 {
+				s.tx += e.TimeNs - s.lastDeq
+				s.hopT = append(s.hopT, sim.Time(e.TimeNs-s.lastDeq))
+			} else {
+				s.bad = true
+			}
+			if s.bad || len(s.hopQ) != len(s.hopT) {
+				continue
+			}
+			a := get(s.tenant)
+			a.sojourn = append(a.sojourn, sim.Time(e.TimeNs-s.emit))
+			a.queue = append(a.queue, sim.Time(s.queue))
+			a.xform = append(a.xform, sim.Time(s.xform))
+			a.tx = append(a.tx, sim.Time(s.tx))
+			for h := range s.hopQ {
+				for len(a.hopQ) <= h {
+					a.hopQ = append(a.hopQ, nil)
+					a.hopT = append(a.hopT, nil)
+				}
+				a.hopQ[h] = append(a.hopQ[h], s.hopQ[h])
+				a.hopT[h] = append(a.hopT[h], s.hopT[h])
+			}
+		case KindDrop:
+			s := spans[e.ID]
+			if s == nil {
+				continue
+			}
+			delete(spans, e.ID)
+			cause := e.Cause
+			if cause == "" {
+				cause = "unknown"
+			}
+			get(s.tenant).drops[cause]++
+		}
+	}
+	// Packets still in flight when the trace ended.
+	for _, s := range spans {
+		get(s.tenant).drops[CauseInFlight]++
+	}
+
+	ids := make([]uint16, 0, len(tenants))
+	for t := range tenants {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, t := range ids {
+		a := tenants[t]
+		ta := TenantAttribution{
+			Tenant:       t,
+			Packets:      len(a.sojourn),
+			Sojourn:      distOf(a.sojourn),
+			Queueing:     distOf(a.queue),
+			Transform:    distOf(a.xform),
+			Transmission: distOf(a.tx),
+			Drops:        a.drops,
+		}
+		for h := range a.hopQ {
+			ta.Hops = append(ta.Hops, HopAttribution{
+				Hop:          h,
+				Packets:      len(a.hopQ[h]),
+				Queueing:     distOf(a.hopQ[h]),
+				Transmission: distOf(a.hopT[h]),
+			})
+		}
+		at.Tenants = append(at.Tenants, ta)
+	}
+	return at
+}
+
+// WriteReport renders the attribution as tables.
+func (at *Attribution) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "%d events\n", at.Events)
+	fmt.Fprintf(w, "latency attribution (per delivered packet):\n")
+	fmt.Fprintf(w, "tenant  packets  stage         mean         p50          p99          p99.9\n")
+	for _, t := range at.Tenants {
+		rows := []struct {
+			name string
+			d    Dist
+		}{
+			{"sojourn", t.Sojourn},
+			{"queueing", t.Queueing},
+			{"transform", t.Transform},
+			{"transmission", t.Transmission},
+		}
+		for i, r := range rows {
+			label := fmt.Sprintf("%-7d %-8d", t.Tenant, t.Packets)
+			if i > 0 {
+				label = fmt.Sprintf("%-7s %-8s", "", "")
+			}
+			fmt.Fprintf(w, "%s %-13s %-12v %-12v %-12v %-12v\n",
+				label, r.name, r.d.Mean, r.d.P50, r.d.P99, r.d.P999)
+		}
+	}
+	anyHops := false
+	for _, t := range at.Tenants {
+		if len(t.Hops) > 0 {
+			anyHops = true
+		}
+	}
+	if anyHops {
+		fmt.Fprintf(w, "\nper-hop breakdown (hop 0 = host uplink):\n")
+		fmt.Fprintf(w, "tenant  hop  packets  queueing-mean  queueing-p99  tx-mean\n")
+		for _, t := range at.Tenants {
+			for _, h := range t.Hops {
+				fmt.Fprintf(w, "%-7d %-4d %-8d %-14v %-13v %-12v\n",
+					t.Tenant, h.Hop, h.Packets, h.Queueing.Mean, h.Queueing.P99, h.Transmission.Mean)
+			}
+		}
+	}
+	anyDrops := false
+	for _, t := range at.Tenants {
+		if len(t.Drops) > 0 {
+			anyDrops = true
+		}
+	}
+	if anyDrops {
+		fmt.Fprintf(w, "\ndrop causes:\n")
+		fmt.Fprintf(w, "tenant  cause            count\n")
+		for _, t := range at.Tenants {
+			causes := make([]string, 0, len(t.Drops))
+			for c := range t.Drops {
+				causes = append(causes, c)
+			}
+			sort.Strings(causes)
+			for _, c := range causes {
+				fmt.Fprintf(w, "%-7d %-16s %d\n", t.Tenant, c, t.Drops[c])
+			}
+		}
+	}
+}

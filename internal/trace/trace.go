@@ -1,10 +1,21 @@
-// Package trace records packet-level event traces from the simulator as
-// JSON lines, for debugging scheduling behaviour and feeding external
-// analysis (each line is one event; streams compress and grep well).
+// Package trace is the packet-lifecycle flight recorder: it captures
+// per-packet events across the whole pipeline — host emit → port queue →
+// switch arrival → rank transform → scheduler enqueue/dequeue → deliver
+// or drop — into a fixed-size ring buffer and/or a JSON-lines stream,
+// with flow-consistent sampling and per-tenant filters.
+//
+// The recorder is designed for an always-on deployment: when a packet's
+// flow is not sampled, Record costs one modulo and returns without
+// allocating, so the data plane's zero-allocation budget holds with a
+// recorder attached. Ring recording is also allocation-free (events are
+// value copies into a preallocated ring); only the optional JSONL stream
+// pays encoding costs.
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 
@@ -12,11 +23,33 @@ import (
 	"qvisor/internal/sim"
 )
 
+// Lifecycle event kinds, in pipeline order. A packet's span is the
+// ordered sequence of its events: one emit, then per switch hop an
+// arrive (and, at the first switch with QVISOR deployed, a transform),
+// per port an enqueue and a dequeue, and finally one deliver or one
+// drop. Drops carry a cause (sched.DropCause names, plus "fault" for
+// network-level losses); packets with neither deliver nor drop when the
+// trace ends are in-flight losses, attributed by the analyzers.
+const (
+	KindEmit      = "emit"      // host handed the packet to its uplink
+	KindArrive    = "arrive"    // packet reached a switch ingress
+	KindTransform = "transform" // pre-processor rewrote the rank (PreRank → Rank)
+	KindEnqueue   = "enqueue"   // port scheduler accepted the packet
+	KindDequeue   = "dequeue"   // port scheduler released it for transmission
+	KindDeliver   = "deliver"   // destination host consumed the packet
+	KindDrop      = "drop"      // packet left the pipeline; Cause says why
+)
+
+// CauseInFlight is the analyzer-assigned drop cause for packets that
+// were emitted but neither delivered nor dropped by the time the trace
+// ended. No Record call ever reports it.
+const CauseInFlight = "in-flight-loss"
+
 // Event is one recorded packet event.
 type Event struct {
 	// TimeNs is the simulated time in nanoseconds.
 	TimeNs int64 `json:"t"`
-	// Kind is the event type: "emit", "deliver", "drop".
+	// Kind is the event type (see the Kind* constants).
 	Kind string `json:"kind"`
 	// Where locates the event ("host3", "leaf0→spine1").
 	Where string `json:"where,omitempty"`
@@ -30,60 +63,151 @@ type Event struct {
 	Dst     int    `json:"dst"`
 	PktKind string `json:"pkt_kind"`
 	Retx    bool   `json:"retx,omitempty"`
+	// Cause classifies drop events ("overflow", "evicted", "admission",
+	// "fault"); empty on every other kind.
+	Cause string `json:"cause,omitempty"`
+	// PreRank is the rank before a transform event rewrote it (Rank
+	// holds the post-transform rank). Zero on every other kind.
+	PreRank int64 `json:"pre_rank,omitempty"`
 }
 
 // Options tune what gets recorded.
 type Options struct {
 	// FlowSample records only flows whose ID satisfies
-	// flow % FlowSample == 0. Zero or one records every flow.
+	// flow % FlowSample == 0 — flow-consistent 1-in-N sampling: every
+	// event of a sampled flow is recorded, no event of an unsampled one.
+	// Zero or one records every flow.
 	FlowSample uint64
 	// Kinds restricts recording to the listed event kinds (nil = all).
 	Kinds []string
+	// Tenants restricts recording to the listed tenants (nil = all).
+	Tenants []pkt.TenantID
+	// RingSize is the capacity of the in-memory event ring. Recording
+	// wraps, keeping the most recent RingSize events. Zero disables the
+	// ring for stream recorders and means DefaultRingSize for
+	// NewFlightRecorder.
+	RingSize int
 }
 
-// Recorder writes events as JSON lines. Safe for use from a single
-// simulation goroutine; the mutex only guards against accidental misuse.
+// DefaultRingSize is the flight-recorder ring capacity when Options
+// leaves RingSize zero: 64Ki events, ~10 MB resident.
+const DefaultRingSize = 1 << 16
+
+// Recorder captures events into an optional fixed-size ring and an
+// optional JSON-lines stream. All methods are nil-safe no-ops. Safe for
+// use from a single simulation goroutine plus concurrent Snapshot
+// readers (the control-plane trace endpoint).
 type Recorder struct {
-	mu    sync.Mutex
-	enc   *json.Encoder
-	opts  Options
-	kinds map[string]bool
-	count uint64
+	opts    Options
+	kinds   map[string]bool
+	tenants map[pkt.TenantID]bool
+
+	mu   sync.Mutex
+	enc  *json.Encoder
+	ring []Event
+	seq  uint64 // total events recorded; ring cursor and snapshot ETag
 }
 
-// NewRecorder writes events to w.
+// NewRecorder writes events to w as JSON lines. A ring is kept as well
+// when opts.RingSize > 0.
 func NewRecorder(w io.Writer, opts Options) *Recorder {
-	r := &Recorder{enc: json.NewEncoder(w), opts: opts}
+	r := newRecorder(opts)
+	r.enc = json.NewEncoder(w)
+	return r
+}
+
+// NewFlightRecorder records into a fixed-size ring only (no stream):
+// the always-on, allocation-free configuration served by GET /v1/trace.
+func NewFlightRecorder(opts Options) *Recorder {
+	if opts.RingSize <= 0 {
+		opts.RingSize = DefaultRingSize
+	}
+	return newRecorder(opts)
+}
+
+func newRecorder(opts Options) *Recorder {
+	r := &Recorder{opts: opts}
 	if opts.Kinds != nil {
 		r.kinds = make(map[string]bool, len(opts.Kinds))
 		for _, k := range opts.Kinds {
 			r.kinds[k] = true
 		}
 	}
+	if opts.Tenants != nil {
+		r.tenants = make(map[pkt.TenantID]bool, len(opts.Tenants))
+		for _, t := range opts.Tenants {
+			r.tenants[t] = true
+		}
+	}
+	if opts.RingSize > 0 {
+		r.ring = make([]Event, opts.RingSize)
+	}
 	return r
 }
 
-// Count returns the number of events written.
+// Count returns the number of events recorded (not the number still in
+// the ring; the ring keeps the most recent RingSize of them).
 func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.count
+	return r.seq
+}
+
+// sampled reports whether p's events pass the flow and tenant filters.
+func (r *Recorder) sampled(p *pkt.Packet) bool {
+	if s := r.opts.FlowSample; s > 1 && p.Flow%s != 0 {
+		return false
+	}
+	if r.tenants != nil && !r.tenants[p.Tenant] {
+		return false
+	}
+	return true
 }
 
 // Record writes one event if it passes the filters.
 func (r *Recorder) Record(now sim.Time, kind, where string, p *pkt.Packet) {
-	if r == nil {
-		return
-	}
-	if s := r.opts.FlowSample; s > 1 && p.Flow%s != 0 {
+	if r == nil || !r.sampled(p) {
 		return
 	}
 	if r.kinds != nil && !r.kinds[kind] {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_ = r.enc.Encode(Event{
+	r.commit(eventOf(now, kind, where, p))
+}
+
+// RecordDrop writes a drop event carrying its cause (a sched.DropCause
+// name, or "fault" for network-level losses).
+func (r *Recorder) RecordDrop(now sim.Time, where string, p *pkt.Packet, cause string) {
+	if r == nil || !r.sampled(p) {
+		return
+	}
+	if r.kinds != nil && !r.kinds[KindDrop] {
+		return
+	}
+	e := eventOf(now, KindDrop, where, p)
+	e.Cause = cause
+	r.commit(e)
+}
+
+// RecordTransform writes a transform event: preRank is the rank before
+// the pre-processor ran; p.Rank is the rewritten rank.
+func (r *Recorder) RecordTransform(now sim.Time, where string, p *pkt.Packet, preRank int64) {
+	if r == nil || !r.sampled(p) {
+		return
+	}
+	if r.kinds != nil && !r.kinds[KindTransform] {
+		return
+	}
+	e := eventOf(now, KindTransform, where, p)
+	e.PreRank = preRank
+	r.commit(e)
+}
+
+func eventOf(now sim.Time, kind, where string, p *pkt.Packet) Event {
+	return Event{
 		TimeNs:  int64(now),
 		Kind:    kind,
 		Where:   where,
@@ -96,6 +220,100 @@ func (r *Recorder) Record(now sim.Time, kind, where string, p *pkt.Packet) {
 		Dst:     p.Dst,
 		PktKind: p.Kind.String(),
 		Retx:    p.Retx,
-	})
-	r.count++
+	}
+}
+
+func (r *Recorder) commit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring != nil {
+		r.ring[r.seq%uint64(len(r.ring))] = e
+	}
+	if r.enc != nil {
+		_ = r.enc.Encode(e)
+	}
+	r.seq++
+}
+
+// Filter selects events from a ring snapshot.
+type Filter struct {
+	// Tenant keeps only this tenant's events when >= 0; negative keeps
+	// all tenants.
+	Tenant int
+	// Kinds keeps only the listed kinds (nil = all).
+	Kinds []string
+	// Limit keeps only the most recent Limit matching events when > 0.
+	Limit int
+}
+
+// AllEvents matches every event in the ring.
+var AllEvents = Filter{Tenant: -1}
+
+// Snapshot copies the ring's events, oldest first, applying the filter.
+// The returned sequence number counts all events ever recorded — it
+// advances on every Record, so equal sequence numbers imply identical
+// snapshots (the control plane uses it as an ETag). A recorder without
+// a ring returns no events.
+func (r *Recorder) Snapshot(f Filter) (events []Event, seq uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring == nil {
+		return nil, r.seq
+	}
+	n := uint64(len(r.ring))
+	start := uint64(0)
+	count := r.seq
+	if count > n {
+		start = r.seq - n
+		count = n
+	}
+	for i := uint64(0); i < count; i++ {
+		e := r.ring[(start+i)%n]
+		if f.Tenant >= 0 && int(e.Tenant) != f.Tenant {
+			continue
+		}
+		if f.Kinds != nil && !containsKind(f.Kinds, e.Kind) {
+			continue
+		}
+		events = append(events, e)
+	}
+	if f.Limit > 0 && len(events) > f.Limit {
+		events = events[len(events)-f.Limit:]
+	}
+	return events, r.seq
+}
+
+func containsKind(kinds []string, k string) bool {
+	for _, v := range kinds {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadEvents parses a JSON-lines trace into memory. Malformed lines are
+// an error.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", len(events)+1, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
 }
