@@ -9,6 +9,14 @@
 //	qvisor-conform -scenarios 200 -seed 1
 //	qvisor-conform -scenarios 25 -backend pifo,pifotree
 //
+// With -replay the command runs the UPS replay oracle instead: each
+// scenario's ideal departure schedule is recorded under the exact PIFO
+// and the identical arrivals replayed through every scheduling
+// discipline, producing the per-backend fidelity scoreboard recorded in
+// EXPERIMENTS.md:
+//
+//	qvisor-conform -replay -scenarios 200 -seed 1
+//
 // The exit status is 1 when any violation is found, so the command can
 // gate CI directly. Identical flags reproduce identical reports.
 package main
@@ -45,19 +53,40 @@ func run(args []string, out io.Writer) error {
 		fmt.Sprintf("comma-separated backends to check, or \"all\" (%s)",
 			strings.Join(conform.BackendNames(), ", ")))
 	maxPackets := fs.Int("max-packets", 0, "per-scenario trace cap (0 = default)")
+	replay := fs.Bool("replay", false,
+		fmt.Sprintf("run the UPS replay oracle and print the fidelity scoreboard (backends: %s)",
+			strings.Join(conform.ReplayBackendNames(), ", ")))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	var backends []string
+	if *backend != "" && *backend != "all" {
+		backends = strings.Split(*backend, ",")
+	}
+	if *replay {
+		r, err := conform.RunReplay(conform.ReplayOptions{
+			Scenarios:  *scenarios,
+			Seed:       *seed,
+			MaxPackets: *maxPackets,
+			Backends:   backends,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Summary())
+		if !r.Passed() {
+			return errViolations{r.TotalErrors}
+		}
+		return nil
+	}
 	opts := conform.Options{
 		Scenarios:  *scenarios,
 		Seed:       *seed,
 		MaxPackets: *maxPackets,
-	}
-	if *backend != "" && *backend != "all" {
-		opts.Backends = strings.Split(*backend, ",")
+		Backends:   backends,
 	}
 	r, err := conform.Run(opts)
 	if err != nil {

@@ -36,7 +36,46 @@ const (
 	// BackendFIFO deploys onto a plain FIFO (no prioritization at all);
 	// the baseline the paper's Figure 4 shows as the worst case.
 	BackendFIFO
+	// BackendAdmission deploys onto the combined admission+scheduling
+	// discipline (PACKS-style): strict-priority queues with dynamic
+	// quantile bounds fronted by AIFO's rank-aware admission gate —
+	// admission and scheduling co-designed under limited queues.
+	BackendAdmission
+	// numBackends bounds the enum for iteration.
+	numBackends
 )
+
+// Backends lists every deployable backend in enum order.
+func Backends() []Backend {
+	out := make([]Backend, 0, int(numBackends))
+	for b := Backend(0); b < numBackends; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// ParseBackend resolves a backend name as printed by Backend.String
+// ("pifo", "sp-queues", "sp-pifo", "aifo", "calendar", "fifo",
+// "admission"), accepting "sppifo" and "spqueues" as aliases.
+func ParseBackend(name string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "pifo":
+		return BackendPIFO, nil
+	case "sp-queues", "spqueues":
+		return BackendSPQueues, nil
+	case "sp-pifo", "sppifo":
+		return BackendSPPIFO, nil
+	case "aifo":
+		return BackendAIFO, nil
+	case "calendar":
+		return BackendCalendar, nil
+	case "fifo":
+		return BackendFIFO, nil
+	case "admission":
+		return BackendAdmission, nil
+	}
+	return 0, fmt.Errorf("core: unknown backend %q", name)
+}
 
 // String implements fmt.Stringer.
 func (b Backend) String() string {
@@ -53,6 +92,8 @@ func (b Backend) String() string {
 		return "calendar"
 	case BackendFIFO:
 		return "fifo"
+	case BackendAdmission:
+		return "admission"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
@@ -119,6 +160,11 @@ func (jp *JointPolicy) Deploy(backend Backend, opts DeployOptions) (*Deployment,
 		return &Deployment{Backend: backend, Scheduler: sched.NewSPPIFO(opts.Sched, opts.Queues)}, nil
 	case BackendAIFO:
 		return &Deployment{Backend: backend, Scheduler: sched.NewAIFO(sched.AIFOConfig{Config: opts.Sched})}, nil
+	case BackendAdmission:
+		return &Deployment{
+			Backend:   backend,
+			Scheduler: sched.NewAdmission(sched.AdmissionConfig{Config: opts.Sched, Queues: opts.Queues}),
+		}, nil
 	case BackendCalendar:
 		span := jp.Output.Span() + 1
 		width := (span + int64(opts.Queues) - 1) / int64(opts.Queues)

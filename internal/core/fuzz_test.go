@@ -8,15 +8,19 @@ import (
 	"qvisor/internal/pkt"
 	"qvisor/internal/policy"
 	"qvisor/internal/rank"
+	"qvisor/internal/sched"
 )
 
 // FuzzSynthesize drives the synthesizer with fuzzer-mutated policy strings
 // and seeded random tenant bounds: it must never panic, and every accepted
 // synthesis must satisfy the metamorphic invariants the conformance
 // harness checks — output containment, per-tenant monotonicity, disjoint
-// ordered tier bands, re-synthesis idempotence, and rank-shift invariance.
-// (FuzzSpecOps caught the Demote weight-normalization bug the same way;
-// this target watches the layer above it.)
+// ordered tier bands, re-synthesis idempotence, rank-shift invariance, and
+// deployability: the joint policy deploys onto every backend (including
+// the combined admission+scheduling discipline) and each deployment
+// conserves probe packets. (FuzzSpecOps caught the Demote
+// weight-normalization bug the same way; this target watches the layer
+// above it.)
 func FuzzSynthesize(f *testing.F) {
 	seeds := []struct {
 		spec string
@@ -32,6 +36,12 @@ func FuzzSynthesize(f *testing.F) {
 		{"w >> w", 8},   // duplicate tenant: must be rejected, not panic
 		{"", 9},         // empty spec
 		{"a*0 + b", 10}, // zero weight
+		// Shapes that stress the admission deployment: a deep strict
+		// chain (every tier its own queue band), a wide share tier under
+		// a latency tier, and the float-fallback regime seed.
+		{"lat >> s1 + s2 + s3 + s4 + s5 + s6 + s7", 11},
+		{"a > b >> c > d >> e", 12},
+		{"T1 >> T2", 1 << 45},
 	}
 	for _, s := range seeds {
 		f.Add(s.spec, s.seed)
@@ -104,6 +114,45 @@ func FuzzSynthesize(f *testing.F) {
 		}
 		if !reflect.DeepEqual(jp.Transforms, jp2.Transforms) || jp.Output != jp2.Output {
 			t.Fatalf("re-synthesis differs (spec %q)", specStr)
+		}
+
+		// Invariant 6: deployability — the joint policy deploys onto every
+		// backend, and a probe packet per tenant per tier boundary flows
+		// through each deployment unharmed (no backend may panic, refuse,
+		// or leak; with no buffer pressure the admission gate admits all).
+		queues := 8
+		if nt := len(jp.Tiers); nt > queues {
+			queues = nt // SP queues need one per strict tier
+		}
+		for _, backend := range Backends() {
+			dep, err := jp.Deploy(backend, DeployOptions{
+				Queues: queues,
+				Sched:  sched.Config{CapacityBytes: 1 << 30},
+			})
+			if err != nil {
+				t.Fatalf("deploy %v failed: %v (spec %q)", backend, err, specStr)
+			}
+			probes := 0
+			for _, tn := range tenants {
+				tr := jp.Transforms[tn.ID]
+				for _, in := range []int64{tn.Bounds.Lo, (tn.Bounds.Lo + tn.Bounds.Hi) / 2, tn.Bounds.Hi} {
+					p := &pkt.Packet{ID: uint64(probes + 1), Tenant: tn.ID, Rank: tr.Apply(in), Size: 100}
+					if !dep.Scheduler.Enqueue(p) {
+						t.Fatalf("%v refused probe rank %d with no pressure (spec %q)",
+							backend, p.Rank, specStr)
+					}
+					probes++
+				}
+			}
+			for i := 0; i < probes; i++ {
+				if dep.Scheduler.Dequeue() == nil {
+					t.Fatalf("%v lost probes: %d of %d dequeued (spec %q)",
+						backend, i, probes, specStr)
+				}
+			}
+			if dep.Scheduler.Dequeue() != nil {
+				t.Fatalf("%v conjured a packet (spec %q)", backend, specStr)
+			}
 		}
 
 		// Invariant 5: rank-shift invariance — synthesis depends only on

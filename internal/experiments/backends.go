@@ -23,6 +23,7 @@ func AblationBackends(cfg Config, load float64) ([]BackendResult, error) {
 		core.BackendSPPIFO,
 		core.BackendCalendar,
 		core.BackendAIFO,
+		core.BackendAdmission,
 	}
 	var out []BackendResult
 	for _, b := range backends {

@@ -109,6 +109,11 @@ func InversionStudyRng(count int, rng *rand.Rand) ([]InversionResult, error) {
 		{"aifo", func(d sched.DropFn) sched.Scheduler {
 			return sched.NewAIFO(sched.AIFOConfig{Config: sched.Config{CapacityBytes: 256 * 1500, OnDrop: d}})
 		}},
+		{"admission:8", func(d sched.DropFn) sched.Scheduler {
+			return sched.NewAdmission(sched.AdmissionConfig{
+				Config: sched.Config{CapacityBytes: 256 * 1500, OnDrop: d},
+			})
+		}},
 		{"fifo", func(d sched.DropFn) sched.Scheduler {
 			return sched.NewFIFO(sched.Config{CapacityBytes: 1 << 30, OnDrop: d})
 		}},

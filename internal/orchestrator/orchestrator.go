@@ -121,18 +121,46 @@ func Plan(jp *core.JointPolicy, devices []Device) (*FabricPlan, error) {
 	return fp, nil
 }
 
-// backendFor maps a target description to the matching deployment backend.
+// backendFor maps a target description to the matching deployment backend
+// by capability alone (no fidelity measurements): the richest discipline
+// the hardware expresses wins. PlanWithProfiles refines this choice with
+// measured replay-fidelity scores.
 func backendFor(t core.Target) core.Backend {
 	switch {
 	case t.Sorted:
 		return core.BackendPIFO
-	case t.Admission && t.Queues <= 1:
+	case t.Admission && t.Queues > 1:
+		return core.BackendAdmission
+	case t.Admission:
 		return core.BackendAIFO
 	case t.Queues > 1:
 		return core.BackendSPQueues
 	default:
 		return core.BackendFIFO
 	}
+}
+
+// PlanWithProfiles is Plan with measured replay-fidelity profiles (see
+// conform.ReplayReport.Profiles): each device deploys the highest-scoring
+// backend among those its target can realize, instead of backendFor's
+// capability heuristic. Devices whose supported set intersects none of
+// the profiled backends keep the heuristic choice, so a partial sweep
+// still produces a full fabric plan.
+func PlanWithProfiles(jp *core.JointPolicy, devices []Device, profiles []core.FidelityProfile) (*FabricPlan, error) {
+	fp, err := Plan(jp, devices)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fp.Devices {
+		supported := make(map[core.Backend]bool)
+		for _, b := range fp.Devices[i].Device.Target.SupportedBackends() {
+			supported[b] = true
+		}
+		if p, ok := core.SelectBackend(profiles, func(b core.Backend) bool { return supported[b] }); ok {
+			fp.Devices[i].Backend = p.Backend
+		}
+	}
+	return fp, nil
 }
 
 // Deploy builds the concrete scheduler for one device plan, wiring the

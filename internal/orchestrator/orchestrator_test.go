@@ -160,3 +160,50 @@ func TestDescribe(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanWithProfiles(t *testing.T) {
+	jp := twoTenantPolicy(t)
+	// Measured-fidelity profiles: admission beats the queue-bank family,
+	// PIFO beats everything.
+	profiles := []core.FidelityProfile{
+		{Backend: core.BackendPIFO, ExactReplayRate: 1},
+		{Backend: core.BackendSPQueues, InversionsPerPacket: 5.2, DisplacementPerPacket: 8.5, DropDivergenceRate: 0.18},
+		{Backend: core.BackendSPPIFO, InversionsPerPacket: 8.8, DisplacementPerPacket: 13.9, DropDivergenceRate: 0.47},
+		{Backend: core.BackendAdmission, InversionsPerPacket: 4.1, DisplacementPerPacket: 6.0, DropDivergenceRate: 0.17},
+	}
+	devices := []Device{
+		{Name: "leaf0", Role: "leaf", Target: core.TargetPIFO},
+		{Name: "spine0", Role: "spine", Target: core.TargetCommodity8Q},
+		{Name: "edge0", Role: "edge", Target: core.Target{Name: "adm-8q", Queues: 8, Admission: true}},
+	}
+	fp, err := PlanWithProfiles(jp, devices, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]core.Backend{
+		"leaf0":  core.BackendPIFO,      // sorted queue realizes the ideal
+		"spine0": core.BackendSPQueues,  // best profile an 8Q bank supports
+		"edge0":  core.BackendAdmission, // admission stage unlocks the best profile
+	}
+	for _, dp := range fp.Devices {
+		if dp.Backend != want[dp.Device.Name] {
+			t.Errorf("%s: backend %v, want %v", dp.Device.Name, dp.Backend, want[dp.Device.Name])
+		}
+	}
+	// With no feasible profile for a device, the capability heuristic
+	// stands.
+	fp, err = PlanWithProfiles(jp, devices, []core.FidelityProfile{
+		{Backend: core.BackendCalendar, InversionsPerPacket: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dp := range fp.Devices {
+		if dp.Device.Name == "leaf0" && dp.Backend != core.BackendPIFO {
+			t.Errorf("leaf0 fell back to %v, want the pifo heuristic", dp.Backend)
+		}
+	}
+	if _, err := PlanWithProfiles(jp, nil, profiles); err == nil {
+		t.Fatal("device validation bypassed")
+	}
+}

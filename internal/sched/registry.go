@@ -12,10 +12,11 @@ import (
 type Factory func(cfg Config) Scheduler
 
 var factories = map[string]Factory{
-	"pifo": func(cfg Config) Scheduler { return NewPIFO(cfg) },
-	"fifo": func(cfg Config) Scheduler { return NewFIFO(cfg) },
-	"aifo": func(cfg Config) Scheduler { return NewAIFO(AIFOConfig{Config: cfg}) },
-	"drr":  func(cfg Config) Scheduler { return NewDRR(DRRConfig{Config: cfg}) },
+	"pifo":      func(cfg Config) Scheduler { return NewPIFO(cfg) },
+	"fifo":      func(cfg Config) Scheduler { return NewFIFO(cfg) },
+	"aifo":      func(cfg Config) Scheduler { return NewAIFO(AIFOConfig{Config: cfg}) },
+	"drr":       func(cfg Config) Scheduler { return NewDRR(DRRConfig{Config: cfg}) },
+	"admission": func(cfg Config) Scheduler { return NewAdmission(AdmissionConfig{Config: cfg}) },
 }
 
 // New builds a scheduler by name. Recognized names:
@@ -24,6 +25,8 @@ var factories = map[string]Factory{
 //	fifo              single tail-drop FIFO
 //	aifo              admission-controlled FIFO
 //	drr               deficit round robin, keyed by flow
+//	admission         admission-aware SP queues (8), dynamic bounds
+//	admission:N       same, over N strict-priority queues
 //	sppifo:N          SP-PIFO over N strict-priority queues
 //	calendar:N:W      calendar queue, N buckets of rank width W
 //
@@ -34,6 +37,14 @@ func New(name string, cfg Config) (Scheduler, error) {
 	}
 	parts := strings.Split(name, ":")
 	switch parts[0] {
+	case "admission":
+		if len(parts) == 2 {
+			n, err := strconv.Atoi(parts[1])
+			if err == nil && n >= 1 {
+				return NewAdmission(AdmissionConfig{Config: cfg, Queues: n}), nil
+			}
+		}
+		return nil, fmt.Errorf("sched: bad admission spec %q (want admission:N)", name)
 	case "sppifo":
 		if len(parts) == 2 {
 			n, err := strconv.Atoi(parts[1])
@@ -52,7 +63,7 @@ func New(name string, cfg Config) (Scheduler, error) {
 		}
 		return nil, fmt.Errorf("sched: bad calendar spec %q (want calendar:N:W)", name)
 	}
-	return nil, fmt.Errorf("sched: unknown scheduler %q (choices: %s, sppifo:N, calendar:N:W)",
+	return nil, fmt.Errorf("sched: unknown scheduler %q (choices: %s, admission:N, sppifo:N, calendar:N:W)",
 		name, strings.Join(Names(), ", "))
 }
 

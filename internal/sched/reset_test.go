@@ -27,6 +27,7 @@ func resetCases() []struct {
 			return NewMQ(Config{}, 4, func(p *pkt.Packet) int { return int(p.Rank % 4) })
 		}},
 		{"drr", func() Scheduler { return NewDRR(DRRConfig{}) }},
+		{"admission", func() Scheduler { return NewAdmission(AdmissionConfig{}) }},
 	}
 }
 

@@ -72,6 +72,9 @@ type (
 	DeployOptions = core.DeployOptions
 	// Deployment is a joint policy compiled onto a concrete scheduler.
 	Deployment = core.Deployment
+	// FidelityProfile is one backend's measured replay fidelity, used by
+	// JointPolicy.DeployBest to auto-select the deployment backend.
+	FidelityProfile = core.FidelityProfile
 	// UnknownTenantAction selects handling of unlabeled traffic.
 	UnknownTenantAction = core.UnknownTenantAction
 
@@ -133,6 +136,10 @@ const (
 	BackendCalendar = core.BackendCalendar
 	// BackendFIFO deploys onto a plain FIFO (no prioritization).
 	BackendFIFO = core.BackendFIFO
+	// BackendAdmission deploys onto the combined admission+scheduling
+	// discipline: strict-priority queues with dynamic quantile bounds
+	// behind a rank-aware admission gate.
+	BackendAdmission = core.BackendAdmission
 )
 
 // Unknown-tenant actions for the pre-processor.
