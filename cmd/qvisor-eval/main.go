@@ -7,6 +7,7 @@
 //	-experiment queues    Ablation A2: strict-priority queue-count sweep
 //	-experiment runtime   Ablation A3: static vs runtime-adaptive synthesis
 //	-experiment shift     Figure-2 traffic-shift scenario
+//	-experiment churn     Control-plane churn vs data-plane disruption (policy epochs)
 //
 // fig4a/fig4b sweep all six schemes over loads 0.2–0.8 on the scaled
 // topology (12 hosts, 1% flow sizes; see DESIGN.md) and print one table row
@@ -50,7 +51,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("qvisor-eval", flag.ContinueOnError)
-	exp := fs.String("experiment", "fig4a", "fig4a, fig4b, fig3, quant, queues, backends, runtime, shift, multi, inversions")
+	exp := fs.String("experiment", "fig4a", "fig4a, fig4b, fig3, quant, queues, backends, runtime, shift, churn, multi, inversions")
 	horizon := fs.Duration("horizon", 100*time.Millisecond, "traffic window per run")
 	paper := fs.Bool("paper", false, "paper-scale topology (slow)")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -236,6 +237,35 @@ func run(args []string) error {
 		fmt.Println("Ablation A3: static vs runtime-adaptive synthesis (mis-declared bounds)")
 		fmt.Printf("  static:   %v\n", res.Static)
 		fmt.Printf("  adaptive: %v  (resyntheses: %d)\n", res.Adaptive, res.Resyntheses)
+		return nil
+	case "churn":
+		ccfg := experiments.ScaledChurnConfig()
+		ccfg.Horizon = sim.Time(*horizon)
+		ccfg.Seed = *seed
+		// Keep the paper default of ~5k updates/sec at whatever horizon.
+		ccfg.Updates = int(float64(ccfg.Horizon) / float64(sim.Second) * 5000)
+		res, err := experiments.RunChurn(ccfg)
+		if err != nil {
+			return err
+		}
+		rate := float64(res.UpdatesApplied) / (float64(ccfg.Horizon) / float64(sim.Second))
+		fmt.Println("Control-plane churn: spec updates racing a live data plane")
+		fmt.Printf("  updates applied:     %d/%d (%.0f/sec)\n",
+			res.UpdatesApplied, res.UpdatesScheduled, rate)
+		fmt.Printf("  epochs published:    %d  (peak draining %d, after run %d)\n",
+			res.Generations, res.MaxDraining, res.DrainingAfter)
+		fmt.Printf("  delivered/dropped:   %d/%d\n",
+			res.Counters.Delivered, res.Counters.Dropped)
+		fmt.Printf("  tier cache:          %d hits, %d misses, %d full recompiles\n",
+			res.Resynth.TierHits, res.Resynth.TierMisses, res.Resynth.Full)
+		fmt.Printf("  epoch conformance:   %s\n", res.Check)
+		lat, err := experiments.MeasureResynthLatency(1024, 50, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  resynthesis latency: incremental %s, full %s (%.1fx) at %d tenants\n",
+			time.Duration(lat.IncrementalNs), time.Duration(lat.FullNs),
+			lat.Speedup, lat.Tenants)
 		return nil
 	case "shift":
 		res, err := experiments.TrafficShift(cfg, 0.4)

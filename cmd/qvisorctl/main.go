@@ -5,10 +5,22 @@
 //
 //	qvisorctl [-server URL] policy
 //	qvisorctl [-server URL] spec [new-spec]
+//	qvisorctl [-server URL] patch <op>:<tenant>[:tier=N][:level=N][:weight=N] ...
 //	qvisorctl [-server URL] tenants
+//	qvisorctl [-server URL] tenant <name> [algorithm|lo-hi] [levels=<n>]
+//	qvisorctl [-server URL] batch [spec=<spec>] <join:name:id:alg|lo-hi> <leave:name> <update:name:id:alg|lo-hi> ...
+//	qvisorctl [-server URL] epochs
 //	qvisorctl [-server URL] join  <name> <id> <algorithm|lo-hi> <spec>
 //	qvisorctl [-server URL] leave <name> <spec>
 //	qvisorctl [-server URL] monitor <name>
+//
+// join and leave are deprecated in favor of batch, which applies any
+// number of membership changes as one transaction compiling into a
+// single policy epoch. patch edits the spec in place (ops: add, remove,
+// set_weight, demote — a bare integer after the tenant is a weight, so
+// set_weight:web:3 works). tenant with extra arguments performs a
+// conditional update against the registration's content ETag.
+//
 //	qvisorctl [-server URL] check
 //	qvisorctl [-server URL] compile <queues> [sorted|rewrite|admission ...]
 //	qvisorctl [-server URL] metrics
@@ -17,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -122,6 +135,151 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("left %s\n", rest[1])
+		return nil
+	case "tenant":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: tenant <name> [algorithm|lo-hi] [levels=<n>]")
+		}
+		name := rest[1]
+		ti, etag, err := c.Tenant(ctx, name)
+		if err != nil {
+			return err
+		}
+		if len(rest) == 2 {
+			alg := ti.Algorithm
+			if alg == "" && ti.Bounds != nil {
+				alg = fmt.Sprintf("bounds[%d,%d]", ti.Bounds.Lo, ti.Bounds.Hi)
+			}
+			fmt.Printf("%-12s id=%-4d %s levels=%d etag=%s\n", ti.Name, ti.ID, alg, ti.Levels, etag)
+			return nil
+		}
+		upd := api.TenantInfo{Name: name, ID: ti.ID, Levels: ti.Levels}
+		for _, arg := range rest[2:] {
+			if lo, hi, ok := parseBounds(arg); ok {
+				upd.Bounds = &api.BoundsInfo{Lo: lo, Hi: hi}
+			} else if val, ok := strings.CutPrefix(arg, "levels="); ok {
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad levels %q", val)
+				}
+				upd.Levels = v
+			} else {
+				upd.Algorithm = arg
+			}
+		}
+		// Conditional on the ETag just read: a concurrent edit turns into a
+		// clean version_conflict instead of a lost update.
+		out, newTag, err := c.PutTenant(ctx, upd, etag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("updated %s etag=%s\n", out.Name, newTag)
+		return nil
+	case "batch":
+		var req api.BatchRequest
+		for _, arg := range rest[1:] {
+			if val, ok := strings.CutPrefix(arg, "spec="); ok {
+				req.Spec = val
+				continue
+			}
+			parts := strings.Split(arg, ":")
+			switch parts[0] {
+			case "join", "update":
+				if len(parts) != 4 {
+					return fmt.Errorf("usage: %s:name:id:algorithm|lo-hi", parts[0])
+				}
+				id, err := strconv.ParseUint(parts[2], 10, 16)
+				if err != nil {
+					return fmt.Errorf("bad id %q", parts[2])
+				}
+				ti := &api.TenantInfo{Name: parts[1], ID: pkt.TenantID(id)}
+				if lo, hi, ok := parseBounds(parts[3]); ok {
+					ti.Bounds = &api.BoundsInfo{Lo: lo, Hi: hi}
+				} else {
+					ti.Algorithm = parts[3]
+				}
+				req.Ops = append(req.Ops, api.BatchOpInfo{Op: parts[0], Tenant: ti})
+			case "leave":
+				if len(parts) != 2 {
+					return fmt.Errorf("usage: leave:name")
+				}
+				req.Ops = append(req.Ops, api.BatchOpInfo{Op: "leave", Name: parts[1]})
+			default:
+				return fmt.Errorf("unknown batch op %q (want join, leave, or update)", parts[0])
+			}
+		}
+		resp, err := c.Batch(ctx, req)
+		if err != nil {
+			var ae *api.APIError
+			if errors.As(err, &ae) && len(ae.Items) > 0 {
+				for _, it := range ae.Items {
+					status := "ok"
+					if it.Error != nil {
+						status = it.Error.Code + ": " + it.Error.Message
+					}
+					fmt.Fprintf(os.Stderr, "  %-7s %-12s %s\n", it.Op, it.Name, status)
+				}
+			}
+			return err
+		}
+		for _, it := range resp.Results {
+			fmt.Printf("  %-7s %-12s ok\n", it.Op, it.Name)
+		}
+		fmt.Printf("spec: %s\nversion: %d  epoch: %d\n", resp.Spec, resp.Version, resp.Epoch)
+		return nil
+	case "patch":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: patch <op>:<tenant>[:tier=N][:level=N][:weight=N] ...")
+		}
+		var ops []api.SpecOpInfo
+		for _, arg := range rest[1:] {
+			parts := strings.Split(arg, ":")
+			if len(parts) < 2 {
+				return fmt.Errorf("bad op %q (want op:tenant[:k=v...])", arg)
+			}
+			op := api.SpecOpInfo{Op: parts[0], Tenant: parts[1]}
+			for _, kv := range parts[2:] {
+				key, val, found := strings.Cut(kv, "=")
+				if !found {
+					// A bare integer is a weight, mirroring the spec's
+					// name*weight shorthand.
+					key, val = "weight", kv
+				}
+				v, err := strconv.Atoi(val)
+				if err != nil {
+					return fmt.Errorf("bad %s %q", key, val)
+				}
+				switch key {
+				case "tier":
+					op.Tier = v
+				case "level":
+					op.Level = v
+				case "weight":
+					op.Weight = int64(v)
+				default:
+					return fmt.Errorf("unknown op field %q", key)
+				}
+			}
+			ops = append(ops, op)
+		}
+		resp, err := c.PatchSpec(ctx, ops)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\nversion: %d  epoch: %d\n", resp.Spec, resp.Version, resp.Epoch)
+		return nil
+	case "epochs":
+		g, err := c.Epochs(ctx)
+		if err != nil {
+			return err
+		}
+		if g.Current != nil {
+			fmt.Printf("current:  gen %-6d inflight %d\n", g.Current.Gen, g.Current.Inflight)
+		}
+		for _, d := range g.Draining {
+			fmt.Printf("draining: gen %-6d inflight %d\n", d.Gen, d.Inflight)
+		}
+		fmt.Printf("published: %d\n", g.Published)
 		return nil
 	case "monitor":
 		if len(rest) != 2 {

@@ -92,3 +92,55 @@ func TestTraceSubcommand(t *testing.T) {
 		}
 	}
 }
+
+// TestBulkSubcommands drives the bulk surface — tenant, batch, patch,
+// epochs — against a live server.
+func TestBulkSubcommands(t *testing.T) {
+	ctl, _, err := core.NewController([]*core.Tenant{
+		{ID: 1, Name: "web", Algorithm: &rank.PFabric{}},
+		{ID: 2, Name: "deadline", Algorithm: &rank.EDF{}},
+	}, policy.MustParse("web >> deadline"), core.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewServer(ctl, func() sim.Time { return 0 })
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, args := range [][]string{
+		{"-server", ts.URL, "tenant", "web"},
+		{"-server", ts.URL, "tenant", "web", "0-9000"},
+		{"-server", ts.URL, "batch",
+			"join:bulk:3:fq", "leave:bulk"},
+		{"-server", ts.URL, "batch", "spec=web >> deadline >> keep",
+			"join:keep:4:0-500"},
+		{"-server", ts.URL, "patch", "set_weight:web:2"},
+		{"-server", ts.URL, "patch", "remove:keep", "add:keep:tier=2:weight=3"},
+		{"-server", ts.URL, "epochs"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if v := ctl.Version(); v != 6 {
+		t.Errorf("version = %d after five mutations, want 6", v)
+	}
+
+	// Argument validation happens before any network I/O.
+	for _, args := range [][]string{
+		{"tenant"},                          // too few args
+		{"tenant", "web", "levels=x"},       // bad levels
+		{"batch", "join:a:b"},               // too few parts
+		{"batch", "join:a:x:edf"},           // bad id
+		{"batch", "leave:a:b"},              // too many parts
+		{"batch", "promote:a"},              // unknown op
+		{"patch"},                           // too few args
+		{"patch", "set_weight"},             // missing tenant
+		{"patch", "set_weight:web:tier=x"},  // bad value
+		{"patch", "set_weight:web:depth=3"}, // unknown field
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -5,12 +5,24 @@
 // The API is plain HTTP+JSON on the standard library:
 //
 //	GET    /v1/policy               the deployed joint policy
-//	GET    /v1/spec                 the operator specification + version
-//	PUT    /v1/spec                 replace the specification (re-synthesize)
+//	GET    /v1/spec                 the operator specification + version + epoch
+//	PUT    /v1/spec                 replace the specification (re-synthesize);
+//	                                prefer PATCH for targeted edits
+//	PATCH  /v1/spec                 apply targeted spec ops (add/remove/
+//	                                set_weight/demote) without resending the
+//	                                whole document
 //	GET    /v1/tenants              registered tenants
-//	POST   /v1/tenants              register a tenant (join + new spec)
-//	DELETE /v1/tenants/{name}       deregister a tenant (leave + new spec)
+//	POST   /v1/tenants              DEPRECATED: register one tenant; use
+//	                                POST /v1/tenants:batch
+//	POST   /v1/tenants:batch        bulk join/leave/update as one transaction
+//	                                (one new policy epoch, per-item errors)
+//	GET    /v1/tenants/{name}       one tenant registration + content ETag
+//	PUT    /v1/tenants/{name}       replace a tenant's definition (conditional
+//	                                on its content ETag via If-Match)
+//	DELETE /v1/tenants/{name}       DEPRECATED: deregister one tenant; use
+//	                                POST /v1/tenants:batch
 //	GET    /v1/tenants/{name}/monitor   observed rank distribution
+//	GET    /v1/epochs               policy generations: current + draining
 //	POST   /v1/check                run one control-loop iteration
 //	POST   /v1/compile              guarantee analysis for a target device
 //	POST   /v1/fabric               network-wide plan over heterogeneous devices
@@ -19,18 +31,28 @@
 //	GET    /v1/trace                flight-recorder ring snapshot (internal/trace)
 //	GET    /v1/healthz              liveness
 //
+// Deprecated routes keep working as thin shims over the same controller
+// operations; they answer with "Deprecation: true" and a Link header
+// naming the successor so clients can migrate mechanically.
+//
 // Every non-2xx response carries the JSON error envelope
 //
 //	{"error": {"code": "unknown_tenant", "message": "..."}}
 //
 // where code is one of the Code* constants — machine-readable, stable
 // across message rewording. Client decodes the envelope into *APIError.
+// version_conflict envelopes additionally carry current_version (and the
+// response an ETag) so a stale writer can retry without a second GET;
+// batch_failed envelopes carry per-item error envelopes under items.
 //
-// Mutating requests (PUT /v1/spec, POST /v1/tenants, DELETE
-// /v1/tenants/{name}) accept an optional If-Match header naming the spec
-// version from GET /v1/spec (bare or ETag-quoted); a stale version yields
-// 409 with code version_conflict, implementing optimistic concurrency for
-// read-modify-write spec updates.
+// Spec-versioned mutations (PUT/PATCH /v1/spec, POST /v1/tenants,
+// POST /v1/tenants:batch, DELETE /v1/tenants/{name}) accept an optional
+// If-Match header naming the spec version from GET /v1/spec (bare or
+// ETag-quoted); a stale version yields 409 with code version_conflict.
+// GET/PUT /v1/tenants/{name} instead use a per-tenant content ETag
+// ("t-<hash>", covering name/id/algorithm/bounds/levels): GET returns
+// it, PUT's If-Match requires it, so concurrent edits of one tenant are
+// detected without serializing on the global spec version.
 //
 // GET /v1/trace serves the attached flight recorder's ring (see
 // Server.AttachTrace). Query parameters tenant, kind (repeatable), and
@@ -85,11 +107,65 @@ type SpecRequest struct {
 
 // SpecResponse is the operator specification together with its version —
 // the number of compilations performed, monotonically increasing with
-// every accepted mutation. Echo the version in If-Match to make a
-// read-modify-write update conditional.
+// every accepted mutation — and the policy epoch it is deployed as. Echo
+// the version in If-Match to make a read-modify-write update conditional.
 type SpecResponse struct {
 	Spec    string `json:"spec"`
 	Version uint64 `json:"version"`
+	// Epoch is the generation number of the policy epoch publishing this
+	// spec (equal to Version under the controller's aligned numbering).
+	Epoch uint64 `json:"epoch"`
+}
+
+// SpecOpInfo is one targeted edit for PATCH /v1/spec; see policy.Op for
+// the op vocabulary (add, remove, set_weight, demote).
+type SpecOpInfo struct {
+	Op     string `json:"op"`
+	Tenant string `json:"tenant"`
+	Tier   int    `json:"tier,omitempty"`
+	Level  int    `json:"level,omitempty"`
+	Weight int64  `json:"weight,omitempty"`
+}
+
+// PatchSpecRequest applies targeted ops to the current specification.
+type PatchSpecRequest struct {
+	Ops []SpecOpInfo `json:"ops"`
+}
+
+// BatchOpInfo is one entry of a bulk tenant mutation: op is "join",
+// "leave", or "update". Join and update carry the tenant definition;
+// leave carries only the name.
+type BatchOpInfo struct {
+	Op     string      `json:"op"`
+	Tenant *TenantInfo `json:"tenant,omitempty"`
+	Name   string      `json:"name,omitempty"`
+}
+
+// BatchRequest is a bulk tenant mutation: the ops apply as a single
+// transaction compiling into ONE new policy epoch, or not at all. Spec,
+// when non-empty, replaces the operator specification in the same
+// transaction (joins and leaves change the tenant universe, so most
+// batches need it).
+type BatchRequest struct {
+	Ops  []BatchOpInfo `json:"ops"`
+	Spec string        `json:"spec,omitempty"`
+}
+
+// BatchItemResult reports one batch op's outcome; Error is nil on
+// success.
+type BatchItemResult struct {
+	Op    string     `json:"op"`
+	Name  string     `json:"name"`
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchResponse is the outcome of an applied batch: per-item results
+// plus the resulting spec, version, and epoch.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+	Spec    string            `json:"spec"`
+	Version uint64            `json:"version"`
+	Epoch   uint64            `json:"epoch"`
 }
 
 // LeaveRequest carries the post-departure specification as a query
@@ -226,8 +302,12 @@ const (
 	// CodeSynthFailed: the joint policy could not be re-synthesized for
 	// the requested configuration; the previous policy remains deployed.
 	CodeSynthFailed = "synth_failed"
-	// CodeVersionConflict: If-Match named a stale spec version.
+	// CodeVersionConflict: If-Match named a stale spec version (or, on
+	// PUT /v1/tenants/{name}, a stale tenant content ETag).
 	CodeVersionConflict = "version_conflict"
+	// CodeBatchFailed: a tenants:batch transaction had failing items and
+	// was not applied; the envelope's items list the per-op errors.
+	CodeBatchFailed = "batch_failed"
 	// CodeInvalidTarget: a compile/fabric target description was invalid.
 	CodeInvalidTarget = "invalid_target"
 	// CodeNotFound: no route matched the request path.
@@ -243,6 +323,11 @@ const (
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// CurrentVersion accompanies version_conflict: the spec version in
+	// force, so the client can retry without a second GET.
+	CurrentVersion uint64 `json:"current_version,omitempty"`
+	// Items accompanies batch_failed: one result per batch op.
+	Items []BatchItemResult `json:"items,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"qvisor/internal/core"
 )
 
 // Client is a typed client for QVISOR's configuration API.
@@ -36,6 +38,11 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// CurrentVersion carries the live spec version on CodeVersionConflict
+	// replies, so the caller can retry without a second GET.
+	CurrentVersion uint64
+	// Items carries the per-op outcomes on CodeBatchFailed replies.
+	Items []BatchItemResult
 }
 
 // Error implements error.
@@ -53,17 +60,26 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // doIfMatch is do with an optional If-Match header carrying a spec version
 // for optimistic concurrency (empty sends no header).
 func (c *Client) doIfMatch(ctx context.Context, method, path, ifMatch string, in, out any) error {
+	_, err := c.doHdr(ctx, method, path, ifMatch, in, out)
+	return err
+}
+
+// doHdr is doIfMatch exposing the response headers, for routes whose
+// ETag carries information beyond the spec version (per-tenant content
+// tags). Headers are returned even on API errors, nil only on transport
+// failures.
+func (c *Client) doHdr(ctx context.Context, method, path, ifMatch string, in, out any) (http.Header, error) {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -73,7 +89,7 @@ func (c *Client) doIfMatch(ctx context.Context, method, path, ifMatch string, in
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -82,13 +98,15 @@ func (c *Client) doIfMatch(ctx context.Context, method, path, ifMatch string, in
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error.Message != "" {
 			ae.Code = er.Error.Code
 			ae.Message = er.Error.Message
+			ae.CurrentVersion = er.Error.CurrentVersion
+			ae.Items = er.Error.Items
 		}
-		return ae
+		return resp.Header, ae
 	}
 	if out == nil {
-		return nil
+		return resp.Header, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.Header, json.NewDecoder(resp.Body).Decode(out)
 }
 
 func ifMatchValue(version uint64) string {
@@ -165,6 +183,75 @@ func (c *Client) Leave(ctx context.Context, name, spec string) error {
 func (c *Client) LeaveIfMatch(ctx context.Context, name, spec string, version uint64) error {
 	path := "/v1/tenants/" + url.PathEscape(name) + "?spec=" + url.QueryEscape(spec)
 	return c.doIfMatch(ctx, http.MethodDelete, path, ifMatchValue(version), nil, nil)
+}
+
+// Batch applies a bulk tenant mutation (joins, leaves, updates, and an
+// optional new spec) as one transaction compiling into a single policy
+// epoch. On CodeBatchFailed the returned *APIError's Items report each
+// op's outcome and nothing was applied.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/tenants:batch", req, &out)
+	return out, err
+}
+
+// BatchIfMatch is Batch conditional on the spec version (see
+// SetSpecIfMatch).
+func (c *Client) BatchIfMatch(ctx context.Context, req BatchRequest, version uint64) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.doIfMatch(ctx, http.MethodPost, "/v1/tenants:batch", ifMatchValue(version), req, &out)
+	return out, err
+}
+
+// PatchSpec applies targeted ops to the operator specification without
+// resending the whole document.
+func (c *Client) PatchSpec(ctx context.Context, ops []SpecOpInfo) (SpecResponse, error) {
+	var out SpecResponse
+	err := c.do(ctx, http.MethodPatch, "/v1/spec", PatchSpecRequest{Ops: ops}, &out)
+	return out, err
+}
+
+// PatchSpecIfMatch is PatchSpec conditional on the spec version (see
+// SetSpecIfMatch).
+func (c *Client) PatchSpecIfMatch(ctx context.Context, ops []SpecOpInfo, version uint64) (SpecResponse, error) {
+	var out SpecResponse
+	err := c.doIfMatch(ctx, http.MethodPatch, "/v1/spec", ifMatchValue(version),
+		PatchSpecRequest{Ops: ops}, &out)
+	return out, err
+}
+
+// Tenant fetches one registration together with its content ETag, for
+// use in a conditional PutTenant.
+func (c *Client) Tenant(ctx context.Context, name string) (TenantInfo, string, error) {
+	var out TenantInfo
+	hdr, err := c.doHdr(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name), "", nil, &out)
+	etag := ""
+	if hdr != nil {
+		etag = strings.Trim(hdr.Get("ETag"), `"`)
+	}
+	return out, etag, err
+}
+
+// PutTenant replaces one tenant's definition (bounds, algorithm,
+// levels). A non-empty etag (from Tenant) makes the replacement
+// conditional: a concurrent edit yields CodeVersionConflict. The new
+// content ETag is returned.
+func (c *Client) PutTenant(ctx context.Context, t TenantInfo, etag string) (TenantInfo, string, error) {
+	var out TenantInfo
+	hdr, err := c.doHdr(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(t.Name), etag, t, &out)
+	newTag := ""
+	if hdr != nil {
+		newTag = strings.Trim(hdr.Get("ETag"), `"`)
+	}
+	return out, newTag, err
+}
+
+// Epochs fetches the policy-generation view: current epoch, draining
+// epochs with their in-flight packet counts, and the publish total.
+func (c *Client) Epochs(ctx context.Context) (core.EpochGenerations, error) {
+	var out core.EpochGenerations
+	err := c.do(ctx, http.MethodGet, "/v1/epochs", nil, &out)
+	return out, err
 }
 
 // Monitor fetches a tenant's observed rank distribution.

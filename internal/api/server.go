@@ -43,10 +43,15 @@ func NewServer(ctl *core.Controller, clock func() sim.Time) *Server {
 	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
 	mux.HandleFunc("GET /v1/spec", s.handleGetSpec)
 	mux.HandleFunc("PUT /v1/spec", s.handlePutSpec)
+	mux.HandleFunc("PATCH /v1/spec", s.handlePatchSpec)
 	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
-	mux.HandleFunc("POST /v1/tenants", s.handleJoin)
-	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleLeave)
+	mux.HandleFunc("POST /v1/tenants", deprecated("/v1/tenants:batch", s.handleJoin))
+	mux.HandleFunc("POST /v1/tenants:batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/tenants/{name}", s.handleGetTenant)
+	mux.HandleFunc("PUT /v1/tenants/{name}", s.handlePutTenant)
+	mux.HandleFunc("DELETE /v1/tenants/{name}", deprecated("/v1/tenants:batch", s.handleLeave))
 	mux.HandleFunc("GET /v1/tenants/{name}/monitor", s.handleMonitor)
+	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/fabric", s.handleFabric)
@@ -120,6 +125,17 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
+// deprecated marks a legacy route: the handler still works, but every
+// response carries the standard deprecation headers pointing clients at
+// the successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
 func readJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -170,8 +186,15 @@ func (s *Server) checkIfMatch(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	if cur := s.ctl.Version(); v != cur {
-		writeError(w, http.StatusConflict, CodeVersionConflict,
-			fmt.Errorf("api: spec version is %d, If-Match named %d", cur, v))
+		// The conflict reply hands back everything a retry needs: the
+		// live version as both the envelope's current_version and the
+		// response ETag.
+		w.Header().Set("ETag", `"`+strconv.FormatUint(cur, 10)+`"`)
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: ErrorBody{
+			Code:           CodeVersionConflict,
+			Message:        fmt.Sprintf("api: spec version is %d, If-Match named %d", cur, v),
+			CurrentVersion: cur,
+		}})
 		return false
 	}
 	return true
@@ -179,8 +202,12 @@ func (s *Server) checkIfMatch(w http.ResponseWriter, r *http.Request) bool {
 
 func (s *Server) specResponse(w http.ResponseWriter, status int) {
 	v := s.ctl.Version()
+	gen := uint64(0)
+	if e := s.ctl.Epochs().Current(); e != nil {
+		gen = e.Gen
+	}
 	w.Header().Set("ETag", `"`+strconv.FormatUint(v, 10)+`"`)
-	writeJSON(w, status, SpecResponse{Spec: s.ctl.Spec().String(), Version: v})
+	writeJSON(w, status, SpecResponse{Spec: s.ctl.Spec().String(), Version: v, Epoch: gen})
 }
 
 func (s *Server) handleGetSpec(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,126 @@
+package conform
+
+import (
+	"fmt"
+
+	"qvisor/internal/core"
+	"qvisor/internal/pkt"
+	"qvisor/internal/trace"
+)
+
+// Epoch conformance: given a flight-recorder event stream from a sim
+// driven by a core.EpochStore, plus the joint policy of every generation
+// published during the run, verify the RCU contract — each packet is
+// transformed exactly once, under exactly one generation, and its rank
+// rewrite matches that generation's transform table even if newer
+// epochs were published while it was in flight.
+
+// maxEpochDetails caps the retained human-readable failure details.
+const maxEpochDetails = 20
+
+// EpochCheck is the result of CheckEpochs.
+type EpochCheck struct {
+	// Packets counts distinct packet IDs that saw a transform event.
+	Packets int
+	// Transforms counts transform events checked.
+	Transforms int
+	// MixedEpochPackets counts packets whose events name more than one
+	// generation — the violation the epoch store exists to prevent.
+	MixedEpochPackets int
+	// DuplicateTransforms counts packets transformed more than once.
+	DuplicateTransforms int
+	// Unpinned counts transform events carrying no generation.
+	Unpinned int
+	// UnknownGeneration counts events naming a generation absent from
+	// the policies map (an adaptation event was dropped or unrecorded).
+	UnknownGeneration int
+	// RankMismatches counts transform events whose rank rewrite does not
+	// match the pinned generation's transform table.
+	RankMismatches int
+	// Details retains the first maxEpochDetails failure descriptions.
+	Details []string
+}
+
+// Passed reports whether every check held.
+func (c *EpochCheck) Passed() bool {
+	return c.MixedEpochPackets == 0 && c.DuplicateTransforms == 0 &&
+		c.Unpinned == 0 && c.UnknownGeneration == 0 && c.RankMismatches == 0
+}
+
+// Violations sums the failure counters.
+func (c *EpochCheck) Violations() int {
+	return c.MixedEpochPackets + c.DuplicateTransforms + c.Unpinned +
+		c.UnknownGeneration + c.RankMismatches
+}
+
+// String summarizes the check.
+func (c *EpochCheck) String() string {
+	return fmt.Sprintf("epoch check: %d packets, %d transforms, %d mixed, %d dup, %d unpinned, %d unknown-gen, %d rank-mismatch",
+		c.Packets, c.Transforms, c.MixedEpochPackets, c.DuplicateTransforms,
+		c.Unpinned, c.UnknownGeneration, c.RankMismatches)
+}
+
+func (c *EpochCheck) fail(counter *int, format string, args ...any) {
+	*counter++
+	if len(c.Details) < maxEpochDetails {
+		c.Details = append(c.Details, fmt.Sprintf(format, args...))
+	}
+}
+
+// CheckEpochs verifies the epoch-pinning contract over a recorded event
+// stream. policies maps each published generation to its joint policy
+// (record them as the control plane publishes). The recorder must have
+// captured transform events; capturing the other kinds as well
+// strengthens the mixed-epoch check (every post-transform event of a
+// packet must name the packet's pinned generation).
+func CheckEpochs(events []trace.Event, policies map[uint64]*core.JointPolicy) *EpochCheck {
+	c := &EpochCheck{}
+	// gens tracks the one generation each packet is pinned to;
+	// transformed tracks transform-event multiplicity per packet.
+	gens := make(map[uint64]uint64)
+	transformed := make(map[uint64]int)
+	for _, e := range events {
+		if e.Epoch != 0 {
+			if prev, ok := gens[e.ID]; !ok {
+				gens[e.ID] = e.Epoch
+			} else if prev != e.Epoch {
+				c.fail(&c.MixedEpochPackets,
+					"packet %d observed generations %d and %d (%s at %s)",
+					e.ID, prev, e.Epoch, e.Kind, e.Where)
+				gens[e.ID] = e.Epoch // report each mixed packet once per switch
+			}
+		}
+		if e.Kind != trace.KindTransform {
+			continue
+		}
+		c.Transforms++
+		transformed[e.ID]++
+		if transformed[e.ID] == 2 {
+			c.fail(&c.DuplicateTransforms, "packet %d transformed more than once", e.ID)
+		}
+		if e.Epoch == 0 {
+			c.fail(&c.Unpinned, "packet %d transformed without an epoch pin at %s", e.ID, e.Where)
+			continue
+		}
+		jp, ok := policies[e.Epoch]
+		if !ok {
+			c.fail(&c.UnknownGeneration,
+				"packet %d pinned to unrecorded generation %d", e.ID, e.Epoch)
+			continue
+		}
+		// Replay the rewrite under the pinned generation's table.
+		want := e.Rank
+		if tr, ok := jp.Transforms[pkt.TenantID(e.Tenant)]; ok {
+			want = tr.Apply(e.PreRank)
+		} else {
+			want = jp.Output.Hi + 1 // UnknownWorst
+		}
+		if want != e.Rank {
+			c.fail(&c.RankMismatches,
+				"packet %d (tenant %d, gen %d): rank %d -> %d, generation's table says %d",
+				e.ID, e.Tenant, e.Epoch, e.PreRank, e.Rank, want)
+		}
+	}
+	c.Packets = len(transformed)
+	return c
+}

@@ -1,0 +1,157 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"qvisor/internal/core"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/trace"
+)
+
+func epochPolicies(t *testing.T) map[uint64]*core.JointPolicy {
+	t.Helper()
+	spec, err := policy.Parse("a >> b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(hi int64) *core.JointPolicy {
+		jp, err := core.Synthesize([]*core.Tenant{
+			{ID: 1, Name: "a", Bounds: rank.Bounds{Lo: 0, Hi: hi}},
+			{ID: 2, Name: "b", Bounds: rank.Bounds{Lo: 0, Hi: hi}},
+		}, spec, core.SynthOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jp
+	}
+	return map[uint64]*core.JointPolicy{1: mk(100), 2: mk(200)}
+}
+
+// transformEvent builds a conforming transform event for tenant ID under
+// generation gen.
+func transformEvent(policies map[uint64]*core.JointPolicy, pktID uint64, tenant uint16, gen uint64, preRank int64) trace.Event {
+	jp := policies[gen]
+	rank := preRank
+	if tr, ok := jp.Transforms[1]; ok && tenant == 1 {
+		rank = tr.Apply(preRank)
+	} else if tr, ok := jp.Transforms[2]; ok && tenant == 2 {
+		rank = tr.Apply(preRank)
+	} else {
+		rank = jp.Output.Hi + 1 // UnknownWorst
+	}
+	return trace.Event{
+		Kind: trace.KindTransform, ID: pktID, Tenant: tenant,
+		Epoch: gen, PreRank: preRank, Rank: rank, Where: "leaf0",
+	}
+}
+
+func TestCheckEpochsClean(t *testing.T) {
+	policies := epochPolicies(t)
+	events := []trace.Event{
+		transformEvent(policies, 1, 1, 1, 10),
+		{Kind: trace.KindDeliver, ID: 1, Epoch: 1},
+		transformEvent(policies, 2, 2, 1, 20),
+		// Generation 2 published mid-run; packet 3 pins it.
+		transformEvent(policies, 3, 1, 2, 30),
+		{Kind: trace.KindDeliver, ID: 3, Epoch: 2},
+		// Packet 2 drains on its start epoch after the publish.
+		{Kind: trace.KindDrop, ID: 2, Epoch: 1, Cause: "overflow"},
+		// Unknown tenant under UnknownWorst: worst rank of the pinned gen.
+		{Kind: trace.KindTransform, ID: 4, Tenant: 99, Epoch: 2,
+			PreRank: 5, Rank: policies[2].Output.Hi + 1},
+	}
+	c := CheckEpochs(events, policies)
+	if !c.Passed() {
+		t.Fatalf("clean stream failed: %s\n%s", c, strings.Join(c.Details, "\n"))
+	}
+	if c.Packets != 4 || c.Transforms != 4 {
+		t.Errorf("counts: %s", c)
+	}
+	if c.Violations() != 0 {
+		t.Errorf("violations = %d, want 0", c.Violations())
+	}
+}
+
+func TestCheckEpochsViolations(t *testing.T) {
+	policies := epochPolicies(t)
+	t.Run("mixed epoch", func(t *testing.T) {
+		events := []trace.Event{
+			transformEvent(policies, 1, 1, 1, 10),
+			// The same packet later names generation 2: the torn-policy
+			// read the store exists to prevent.
+			{Kind: trace.KindDeliver, ID: 1, Epoch: 2},
+		}
+		c := CheckEpochs(events, policies)
+		if c.MixedEpochPackets != 1 {
+			t.Errorf("mixed = %d, want 1 (%s)", c.MixedEpochPackets, c)
+		}
+		if c.Passed() {
+			t.Error("mixed-epoch stream passed")
+		}
+	})
+	t.Run("duplicate transform", func(t *testing.T) {
+		events := []trace.Event{
+			transformEvent(policies, 1, 1, 1, 10),
+			transformEvent(policies, 1, 1, 1, 10),
+		}
+		c := CheckEpochs(events, policies)
+		if c.DuplicateTransforms != 1 {
+			t.Errorf("dup = %d, want 1 (%s)", c.DuplicateTransforms, c)
+		}
+	})
+	t.Run("unpinned transform", func(t *testing.T) {
+		events := []trace.Event{
+			{Kind: trace.KindTransform, ID: 1, Tenant: 1, PreRank: 10, Rank: 11},
+		}
+		c := CheckEpochs(events, policies)
+		if c.Unpinned != 1 {
+			t.Errorf("unpinned = %d, want 1 (%s)", c.Unpinned, c)
+		}
+	})
+	t.Run("unknown generation", func(t *testing.T) {
+		events := []trace.Event{
+			{Kind: trace.KindTransform, ID: 1, Tenant: 1, Epoch: 9,
+				PreRank: 10, Rank: 11},
+		}
+		c := CheckEpochs(events, policies)
+		if c.UnknownGeneration != 1 {
+			t.Errorf("unknown-gen = %d, want 1 (%s)", c.UnknownGeneration, c)
+		}
+	})
+	t.Run("rank mismatch", func(t *testing.T) {
+		e := transformEvent(policies, 1, 1, 1, 10)
+		e.Rank++ // not what generation 1's table says
+		c := CheckEpochs([]trace.Event{e}, policies)
+		if c.RankMismatches != 1 {
+			t.Errorf("rank mismatch = %d, want 1 (%s)", c.RankMismatches, c)
+		}
+	})
+	t.Run("rewrite from the wrong generation", func(t *testing.T) {
+		// The packet claims generation 1 but carries generation 2's
+		// rewrite — exactly what a torn mid-flight policy swap produces.
+		e := transformEvent(policies, 1, 1, 2, 50)
+		e.Epoch = 1
+		c := CheckEpochs([]trace.Event{e}, policies)
+		if c.RankMismatches != 1 {
+			t.Errorf("rank mismatch = %d, want 1 (%s)", c.RankMismatches, c)
+		}
+	})
+	t.Run("details capped", func(t *testing.T) {
+		var events []trace.Event
+		for i := 0; i < 2*maxEpochDetails; i++ {
+			events = append(events, trace.Event{
+				Kind: trace.KindTransform, ID: uint64(i), Tenant: 1,
+				PreRank: 1, Rank: 2,
+			})
+		}
+		c := CheckEpochs(events, policies)
+		if c.Unpinned != 2*maxEpochDetails {
+			t.Errorf("unpinned = %d", c.Unpinned)
+		}
+		if len(c.Details) != maxEpochDetails {
+			t.Errorf("details = %d, want cap %d", len(c.Details), maxEpochDetails)
+		}
+	})
+}

@@ -76,6 +76,15 @@ type ControllerOptions struct {
 	// techniques to "identify such adversarial workloads ... and
 	// automatically stop them").
 	Quarantine bool
+	// FullResynthesis disables the incremental per-tier memoization and
+	// forces every recompilation through a full Synthesize. Off by
+	// default; useful for A/B measurement (the churn benchmark) and as an
+	// escape hatch.
+	FullResynthesis bool
+	// EpochDeploy, if non-nil, compiles each published epoch onto the
+	// given backend so Epoch.Deployment is populated alongside the joint
+	// policy. Without it epochs carry the policy only.
+	EpochDeploy *EpochDeploy
 	// OnEvent, if non-nil, observes controller events.
 	OnEvent func(Event)
 	// Metrics, if non-nil, exports controller activity (adaptation
@@ -120,7 +129,17 @@ type Controller struct {
 	active    map[string]bool
 	pp        *Preprocessor
 	version   uint64
+	resynth   *Resynthesizer
+	epochs    *EpochStore
 	obs       *controllerObs
+}
+
+// EpochDeploy configures per-epoch deployment (ControllerOptions).
+type EpochDeploy struct {
+	// Backend is the hardware model each epoch is compiled onto.
+	Backend Backend
+	// Options tune the deployment.
+	Options DeployOptions
 }
 
 // Metric families exported by an instrumented controller.
@@ -206,6 +225,8 @@ func NewController(tenants []*Tenant, spec *policy.Spec, opts ControllerOptions)
 		quarantined: make(map[string]bool),
 		lastCount:   make(map[string]uint64),
 		active:      make(map[string]bool),
+		resynth:     NewResynthesizer(opts.Synth),
+		epochs:      NewEpochStore(UnknownWorst),
 		obs:         newControllerObs(opts.Metrics),
 	}
 	for _, t := range tenants {
@@ -213,6 +234,9 @@ func NewController(tenants []*Tenant, spec *policy.Spec, opts ControllerOptions)
 	}
 	jp, err := c.compile()
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.publish(jp); err != nil {
 		return nil, nil, err
 	}
 	c.pp = NewPreprocessor(jp, UnknownWorst)
@@ -276,7 +300,13 @@ func (c *Controller) compile() (*JointPolicy, error) {
 			return nil, fmt.Errorf("core: tenant %q missing from operator spec %q", name, c.spec)
 		}
 	}
-	jp, err := Synthesize(list, c.spec, c.opts.Synth)
+	var jp *JointPolicy
+	var err error
+	if c.opts.FullResynthesis {
+		jp, err = Synthesize(list, c.spec, c.opts.Synth)
+	} else {
+		jp, err = c.resynth.Resynthesize(list, c.spec)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -288,9 +318,29 @@ func (c *Controller) compile() (*JointPolicy, error) {
 	return jp, nil
 }
 
+// publish compiles the optional per-epoch deployment and installs jp as
+// the next policy generation. On deployment failure the version bump is
+// rolled back so epoch generations stay aligned with Version.
+func (c *Controller) publish(jp *JointPolicy) error {
+	var d *Deployment
+	if ed := c.opts.EpochDeploy; ed != nil {
+		var err error
+		d, err = jp.Deploy(ed.Backend, ed.Options)
+		if err != nil {
+			c.version--
+			return err
+		}
+	}
+	c.epochs.Publish(jp, d)
+	return nil
+}
+
 func (c *Controller) recompile(now sim.Time, reason string) error {
 	jp, err := c.compile()
 	if err != nil {
+		return err
+	}
+	if err := c.publish(jp); err != nil {
 		return err
 	}
 	c.pp.Update(jp)
@@ -473,4 +523,181 @@ func (c *Controller) UpdateSpec(now sim.Time, spec *policy.Spec) error {
 		return err
 	}
 	return nil
+}
+
+// Epochs returns the controller's policy-generation store. The data
+// plane reads it per-packet (Acquire/Release); the API exposes it at
+// GET /v1/epochs.
+func (c *Controller) Epochs() *EpochStore { return c.epochs }
+
+// ResynthStats returns the incremental synthesizer's cache counters.
+func (c *Controller) ResynthStats() ResynthStats { return c.resynth.Stats() }
+
+// Tenant returns the registered tenant with the given name.
+func (c *Controller) Tenant(name string) (*Tenant, bool) {
+	t, ok := c.tenants[name]
+	return t, ok
+}
+
+// UpdateTenant replaces a registered tenant's definition (bounds,
+// algorithm, levels — the name must match an existing tenant and the ID
+// must stay unique) and re-synthesizes. The previous definition is
+// restored on failure.
+func (c *Controller) UpdateTenant(now sim.Time, t *Tenant) error {
+	old, ok := c.tenants[t.Name]
+	if !ok {
+		return fmt.Errorf("core: tenant %q: %w", t.Name, ErrTenantNotFound)
+	}
+	c.tenants[t.Name] = t
+	if err := c.recompile(now, "tenant "+t.Name+" updated"); err != nil {
+		c.tenants[t.Name] = old
+		return err
+	}
+	if b, err := t.EffectiveBounds(); err == nil {
+		c.monitors[t.Name] = NewMonitor(b, c.opts.WindowSize)
+	}
+	return nil
+}
+
+// TenantOpKind classifies one entry of a batch mutation.
+type TenantOpKind int
+
+const (
+	// OpJoin registers Tenant.
+	OpJoin TenantOpKind = iota
+	// OpLeave removes the tenant named Name.
+	OpLeave
+	// OpUpdate replaces the definition of the tenant named Tenant.Name.
+	OpUpdate
+)
+
+// String implements fmt.Stringer.
+func (k TenantOpKind) String() string {
+	switch k {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// TenantOp is one entry of an ApplyBatch mutation.
+type TenantOp struct {
+	// Kind selects the operation.
+	Kind TenantOpKind
+	// Tenant is the definition for OpJoin/OpUpdate.
+	Tenant *Tenant
+	// Name names the tenant for OpLeave.
+	Name string
+}
+
+// ErrBatchFailed wraps ApplyBatch failures caused by individual
+// operations; the per-item errors carry the detail.
+var ErrBatchFailed = errors.New("batch mutation failed")
+
+// ApplyBatch applies a set of tenant mutations and one spec replacement
+// as a single transaction: either every operation validates and the
+// whole batch compiles into ONE new policy generation, or nothing
+// changes. The returned slice has one entry per op (nil on success);
+// when any entry is non-nil the batch was not applied and the error
+// wraps ErrBatchFailed. Item errors wrap ErrTenantExists /
+// ErrTenantNotFound so callers can classify them.
+func (c *Controller) ApplyBatch(now sim.Time, ops []TenantOp, spec *policy.Spec) ([]error, error) {
+	if len(ops) == 0 && spec == nil {
+		return nil, fmt.Errorf("core: empty batch: %w", ErrBatchFailed)
+	}
+	// Stage the mutations on a copy of the tenant map, collecting
+	// per-item errors without touching controller state.
+	staged := make(map[string]*Tenant, len(c.tenants))
+	for name, t := range c.tenants {
+		staged[name] = t
+	}
+	itemErrs := make([]error, len(ops))
+	failed := false
+	var joined, left, updated []string
+	for i, op := range ops {
+		switch op.Kind {
+		case OpJoin:
+			if op.Tenant == nil {
+				itemErrs[i] = fmt.Errorf("core: join op without tenant")
+				failed = true
+				continue
+			}
+			if _, dup := staged[op.Tenant.Name]; dup {
+				itemErrs[i] = fmt.Errorf("core: tenant %q: %w", op.Tenant.Name, ErrTenantExists)
+				failed = true
+				continue
+			}
+			staged[op.Tenant.Name] = op.Tenant
+			joined = append(joined, op.Tenant.Name)
+		case OpLeave:
+			if _, ok := staged[op.Name]; !ok {
+				itemErrs[i] = fmt.Errorf("core: tenant %q: %w", op.Name, ErrTenantNotFound)
+				failed = true
+				continue
+			}
+			delete(staged, op.Name)
+			left = append(left, op.Name)
+		case OpUpdate:
+			if op.Tenant == nil {
+				itemErrs[i] = fmt.Errorf("core: update op without tenant")
+				failed = true
+				continue
+			}
+			if _, ok := staged[op.Tenant.Name]; !ok {
+				itemErrs[i] = fmt.Errorf("core: tenant %q: %w", op.Tenant.Name, ErrTenantNotFound)
+				failed = true
+				continue
+			}
+			staged[op.Tenant.Name] = op.Tenant
+			updated = append(updated, op.Tenant.Name)
+		default:
+			itemErrs[i] = fmt.Errorf("core: unknown op kind %v", op.Kind)
+			failed = true
+		}
+	}
+	if failed {
+		return itemErrs, fmt.Errorf("core: %w", ErrBatchFailed)
+	}
+	oldTenants, oldSpec := c.tenants, c.spec
+	c.tenants = staged
+	if spec != nil {
+		c.spec = spec
+	}
+	if err := c.recompile(now, fmt.Sprintf("batch of %d ops", len(ops))); err != nil {
+		c.tenants, c.spec = oldTenants, oldSpec
+		return nil, err
+	}
+	// The batch is live: fix up per-tenant tracking state and emit the
+	// membership events.
+	for _, name := range left {
+		delete(c.monitors, name)
+		delete(c.flagged, name)
+		delete(c.quarantined, name)
+		delete(c.lastCount, name)
+		delete(c.active, name)
+		c.emit(Event{Kind: EventTenantLeft, Tenant: name, At: now})
+	}
+	for _, name := range joined {
+		// A tenant joined and removed by the same batch has no final
+		// state to track; the membership events still tell the story.
+		if t, ok := c.tenants[name]; ok {
+			if b, err := t.EffectiveBounds(); err == nil {
+				c.monitors[name] = NewMonitor(b, c.opts.WindowSize)
+			}
+		}
+		c.emit(Event{Kind: EventTenantJoined, Tenant: name, At: now})
+	}
+	for _, name := range updated {
+		if t, ok := c.tenants[name]; ok {
+			if b, err := t.EffectiveBounds(); err == nil {
+				c.monitors[name] = NewMonitor(b, c.opts.WindowSize)
+			}
+		}
+	}
+	return itemErrs, nil
 }

@@ -158,73 +158,114 @@ func Synthesize(tenants []*Tenant, spec *policy.Spec, opts SynthOptions) (*Joint
 	}
 
 	base := opts.Base
+	var scratch []*Tenant
 	for _, tier := range spec.Tiers {
-		plan := TierPlan{Bounds: rank.Bounds{Lo: base, Hi: base}}
-		levelOffset := base
-		tierEnd := base // exclusive
-		for li, lvl := range tier.Levels {
-			// The interleave cycle width is the level's total share
-			// weight ("T1*2 + T2" → cycle of 3 slots, two owned by T1).
-			W := lvl.TotalWeight()
-			// All tenants of a sharing level use a common level count:
-			// the maximum of their individual choices, so no tenant
-			// loses resolution to a coarser neighbour.
-			L := int64(1)
+		scratch = scratch[:0]
+		for _, lvl := range tier.Levels {
 			for _, name := range lvl.Tenants {
-				t := byName[name]
-				lt, err := tenantLevels(t, opts.DefaultLevels)
-				if err != nil {
-					return nil, err
-				}
-				if lt > L {
-					L = lt
-				}
-			}
-			var width int64 // slots occupied by this sharing group
-			phase := int64(0)
-			for i, name := range lvl.Tenants {
-				t := byName[name]
-				b, err := t.EffectiveBounds()
-				if err != nil {
-					return nil, err
-				}
-				w := lvl.WeightOf(i)
-				tr := Transform{
-					Lo:     b.Lo,
-					Hi:     b.Hi,
-					Levels: L,
-					Stride: W,
-					Phase:  phase,
-					Weight: w,
-					Offset: levelOffset,
-				}
-				phase += w
-				if end := tr.OutputBounds().Hi - levelOffset + 1; end > width {
-					width = end
-				}
-				jp.Transforms[t.ID] = tr
-				jp.ByName[name] = t.ID
-				plan.Tenants = append(plan.Tenants, name)
-			}
-			if end := levelOffset + width; end > tierEnd {
-				tierEnd = end
-			}
-			if li < len(tier.Levels)-1 {
-				// Best-effort preference: the next level starts part-way
-				// into this one's band.
-				shift := int64(float64(width) * opts.PreferenceBias)
-				if shift < 1 {
-					shift = 1
-				}
-				levelOffset += shift
+				scratch = append(scratch, byName[name])
 			}
 		}
-		plan.Bounds = rank.Bounds{Lo: base, Hi: tierEnd - 1}
-		jp.Tiers = append(jp.Tiers, plan)
-		base = tierEnd // strict isolation: next tier starts past this one
+		ts, err := synthesizeTier(tier, scratch, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range ts.ids {
+			tr := ts.rel[i]
+			tr.Offset += base
+			jp.Transforms[id] = tr
+			jp.ByName[ts.names[i]] = id
+		}
+		jp.Tiers = append(jp.Tiers, TierPlan{
+			Bounds:  rank.Bounds{Lo: base, Hi: base + ts.width - 1},
+			Tenants: ts.names,
+		})
+		base += ts.width // strict isolation: next tier starts past this one
 	}
 	jp.Output = rank.Bounds{Lo: opts.Base, Hi: base - 1}
 	return jp, nil
+}
+
+// tierSynth is one strict tier synthesized with its base at rank 0:
+// per-tenant transforms whose Offset is still tier-relative, the tier's
+// total band width, and the tenant names/IDs in preference order. Only
+// Transform.Offset depends on where the tier lands in the output range,
+// so shifting every Offset by the tier's absolute base reproduces exactly
+// what an in-place synthesis computes — which is what makes per-tier
+// results cacheable across re-syntheses (see incremental.go).
+type tierSynth struct {
+	width int64
+	names []string
+	ids   []pkt.TenantID
+	rel   []Transform
+}
+
+// synthesizeTier compiles one tier at base 0. ts holds the tier's tenants
+// in declaration order (levels concatenated), resolved by the caller.
+func synthesizeTier(tier policy.Tier, ts []*Tenant, opts SynthOptions) (*tierSynth, error) {
+	out := &tierSynth{}
+	levelOffset := int64(0)
+	tierEnd := int64(0) // exclusive
+	k := 0
+	for li, lvl := range tier.Levels {
+		// The interleave cycle width is the level's total share
+		// weight ("T1*2 + T2" → cycle of 3 slots, two owned by T1).
+		W := lvl.TotalWeight()
+		// All tenants of a sharing level use a common level count:
+		// the maximum of their individual choices, so no tenant
+		// loses resolution to a coarser neighbour.
+		L := int64(1)
+		for i := range lvl.Tenants {
+			lt, err := tenantLevels(ts[k+i], opts.DefaultLevels)
+			if err != nil {
+				return nil, err
+			}
+			if lt > L {
+				L = lt
+			}
+		}
+		var width int64 // slots occupied by this sharing group
+		phase := int64(0)
+		for i, name := range lvl.Tenants {
+			t := ts[k+i]
+			b, err := t.EffectiveBounds()
+			if err != nil {
+				return nil, err
+			}
+			w := lvl.WeightOf(i)
+			tr := Transform{
+				Lo:     b.Lo,
+				Hi:     b.Hi,
+				Levels: L,
+				Stride: W,
+				Phase:  phase,
+				Weight: w,
+				Offset: levelOffset,
+			}
+			phase += w
+			if end := tr.OutputBounds().Hi - levelOffset + 1; end > width {
+				width = end
+			}
+			out.rel = append(out.rel, tr)
+			out.ids = append(out.ids, t.ID)
+			out.names = append(out.names, name)
+		}
+		k += len(lvl.Tenants)
+		if end := levelOffset + width; end > tierEnd {
+			tierEnd = end
+		}
+		if li < len(tier.Levels)-1 {
+			// Best-effort preference: the next level starts part-way
+			// into this one's band.
+			shift := int64(float64(width) * opts.PreferenceBias)
+			if shift < 1 {
+				shift = 1
+			}
+			levelOffset += shift
+		}
+	}
+	out.width = tierEnd
+	return out, nil
 }
 
 func tenantLevels(t *Tenant, def int64) (int64, error) {

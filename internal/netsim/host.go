@@ -311,5 +311,5 @@ func (h *Host) receive(now sim.Time, p *pkt.Packet) {
 		n.cfg.Trace.Record(now, trace.KindEmit, h.name, ack)
 		h.up.send(now, ack)
 	}
-	n.pool.Put(p)
+	n.releasePkt(p)
 }

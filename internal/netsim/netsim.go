@@ -61,6 +61,16 @@ type Config struct {
 	// switch (QVISOR deployed). Nil simulates the raw single-tenant
 	// scheduler.
 	Preprocessor *core.Preprocessor
+	// Epochs, when non-nil, supplies the rank transformation per-packet
+	// from an RCU-style policy-generation store instead of a fixed
+	// Preprocessor: each packet pins the current epoch at its first
+	// switch, keeps that generation's transforms for its whole flight,
+	// and releases the pin at delivery or drop — so control-plane
+	// publishes never mix generations mid-flight. Mutually exclusive
+	// with Preprocessor (the preprocessor path mutates shared state the
+	// epoch path must not). Packets record their generation in
+	// Packet.Epoch and trace events.
+	Epochs *core.EpochStore
 	// Controller, when non-nil, receives rank observations from hosts
 	// and runs a drift check every CheckInterval.
 	Controller *core.Controller
@@ -122,6 +132,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("netsim: non-positive horizon")
+	}
+	if c.Epochs != nil && c.Preprocessor != nil {
+		return fmt.Errorf("netsim: Epochs and Preprocessor are mutually exclusive")
 	}
 	if c.PropDelay <= 0 {
 		c.PropDelay = sim.Microsecond
@@ -476,6 +489,17 @@ func (n *Network) FlushMetrics() {
 			n.dropFlushed[k] = v
 		}
 	}
+}
+
+// releasePkt returns a packet to the pool after unpinning it from its
+// policy epoch. Every point where a packet leaves the network — final
+// delivery or any drop — must release through here so superseded epochs
+// can finish draining.
+func (n *Network) releasePkt(p *pkt.Packet) {
+	if p.Epoch != 0 && n.cfg.Epochs != nil {
+		n.cfg.Epochs.Release(p.Epoch)
+	}
+	n.pool.Put(p)
 }
 
 // leafOf returns the leaf index of a host.

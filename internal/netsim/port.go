@@ -81,7 +81,7 @@ func (n *Network) newPort(role string, id int, name string, rateBps float64, del
 		n.countDrop(p.Tenant, cause)
 		pt.drops++
 		n.cfg.Trace.RecordDrop(n.eng.Now(), name, p, cause.String())
-		n.pool.Put(p)
+		n.releasePkt(p)
 	})
 	pt.arrive = func(now sim.Time) {
 		pt.deliver(now, pt.inflight.pop())

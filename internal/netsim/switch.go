@@ -59,16 +59,32 @@ func (sw *Switch) receive(now sim.Time, p *pkt.Packet) {
 		if !pp.Process(p) {
 			n.countDrop(p.Tenant, sched.CauseAdmission)
 			n.cfg.Trace.RecordDrop(now, sw.name, p, sched.CauseAdmission.String())
-			n.pool.Put(p)
+			n.releasePkt(p)
 			return
 		}
 		n.cfg.Trace.RecordTransform(now, sw.name, p, pre)
+	} else if es := n.cfg.Epochs; es != nil && !p.Tagged {
+		p.Tagged = true
+		// Pin the packet to the live policy generation: its transforms
+		// stay in force for this packet until delivery or drop, even if
+		// the control plane publishes newer epochs meanwhile.
+		if e := es.Acquire(); e != nil {
+			p.Epoch = e.Gen
+			pre := p.Rank
+			if !e.Process(p) {
+				n.countDrop(p.Tenant, sched.CauseAdmission)
+				n.cfg.Trace.RecordDrop(now, sw.name, p, sched.CauseAdmission.String())
+				n.releasePkt(p)
+				return
+			}
+			n.cfg.Trace.RecordTransform(now, sw.name, p, pre)
+		}
 	}
 	out := sw.route(p)
 	if out == nil {
 		n.countDrop(p.Tenant, sched.CauseFault)
 		n.cfg.Trace.RecordDrop(now, sw.name, p, sched.CauseFault.String())
-		n.pool.Put(p)
+		n.releasePkt(p)
 		return
 	}
 	out.send(now, p)

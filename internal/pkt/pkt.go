@@ -75,6 +75,10 @@ type Packet struct {
 	// already rewritten; the transformation is applied once, at the
 	// first switch the packet traverses.
 	Tagged bool
+	// Epoch is the policy generation the packet was transformed under
+	// when the sim runs with an epoch store (zero otherwise). The packet
+	// stays pinned to this generation until delivered or dropped.
+	Epoch uint64
 	// SentAt is when the transport first emitted the packet.
 	SentAt sim.Time
 	// EnqueuedAt is when the packet entered its current scheduler queue;

@@ -1,0 +1,197 @@
+package policy
+
+import "fmt"
+
+// Targeted spec edits, the vocabulary of the API's PATCH /v1/spec: small
+// named operations applied to a copy of a spec instead of replacing the
+// whole document. Each op addresses positions by tier/level index so a
+// client can edit what it sees from GET /v1/spec without re-sending (and
+// possibly clobbering) the rest.
+
+// Op kinds accepted by Spec.Apply.
+const (
+	// OpAdd inserts Op.Tenant into tier Op.Tier, level Op.Level, with
+	// share weight Op.Weight (0 = default 1). Tier == len(Tiers) appends
+	// a new strictly-lowest tier (Level must then be 0); Level ==
+	// len(Levels) appends a new least-preferred level to the tier.
+	OpAdd = "add"
+	// OpRemove deletes Op.Tenant wherever it appears; tiers or levels
+	// left empty are dropped.
+	OpRemove = "remove"
+	// OpSetWeight sets Op.Tenant's share weight to Op.Weight (≥ 1).
+	OpSetWeight = "set_weight"
+	// OpDemote moves Op.Tenant into a new strictly-lowest tier of its
+	// own (the quarantine edit).
+	OpDemote = "demote"
+)
+
+// Op is one targeted edit of a Spec.
+type Op struct {
+	// Kind selects the operation: OpAdd, OpRemove, OpSetWeight, OpDemote.
+	Kind string `json:"op"`
+	// Tenant names the tenant the op concerns.
+	Tenant string `json:"tenant"`
+	// Tier and Level address the insertion point (OpAdd only).
+	Tier  int `json:"tier,omitempty"`
+	Level int `json:"level,omitempty"`
+	// Weight is the share weight for OpAdd (0 = default) and
+	// OpSetWeight (must be ≥ 1).
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// Apply returns a new Spec with the ops applied in order, leaving the
+// receiver untouched. It fails on the first invalid op (with its index)
+// or if the final spec does not Validate; on error the returned spec is
+// nil and nothing is partially applied from the caller's perspective.
+func (s *Spec) Apply(ops []Op) (*Spec, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("policy: no ops to apply")
+	}
+	out := s.clone()
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case OpAdd:
+			err = out.opAdd(op)
+		case OpRemove:
+			err = out.opRemove(op.Tenant)
+		case OpSetWeight:
+			err = out.opSetWeight(op)
+		case OpDemote:
+			if _, ok := out.Find(op.Tenant); !ok {
+				err = fmt.Errorf("tenant %q not in specification", op.Tenant)
+			} else {
+				out = out.Demote(op.Tenant)
+			}
+		default:
+			err = fmt.Errorf("unknown op kind %q", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("policy: op %d (%s %q): %w", i, op.Kind, op.Tenant, err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// clone deep-copies the spec.
+func (s *Spec) clone() *Spec {
+	out := &Spec{Tiers: make([]Tier, len(s.Tiers))}
+	for ti, tier := range s.Tiers {
+		nt := Tier{Levels: make([]Level, len(tier.Levels))}
+		for li, lvl := range tier.Levels {
+			nl := Level{Tenants: append([]string(nil), lvl.Tenants...)}
+			if lvl.Weights != nil {
+				nl.Weights = append([]int64(nil), lvl.Weights...)
+			}
+			nt.Levels[li] = nl
+		}
+		out.Tiers[ti] = nt
+	}
+	return out
+}
+
+func (s *Spec) opAdd(op Op) error {
+	if op.Tenant == "" {
+		return fmt.Errorf("empty tenant name")
+	}
+	if _, dup := s.Find(op.Tenant); dup {
+		return fmt.Errorf("tenant %q already in specification", op.Tenant)
+	}
+	if op.Weight < 0 {
+		return fmt.Errorf("negative weight %d", op.Weight)
+	}
+	if op.Tier < 0 || op.Tier > len(s.Tiers) {
+		return fmt.Errorf("tier %d outside [0,%d]", op.Tier, len(s.Tiers))
+	}
+	if op.Tier == len(s.Tiers) {
+		if op.Level != 0 {
+			return fmt.Errorf("new tier %d requires level 0, got %d", op.Tier, op.Level)
+		}
+		lvl := Level{Tenants: []string{op.Tenant}}
+		if op.Weight > 1 {
+			lvl.Weights = []int64{op.Weight}
+		}
+		s.Tiers = append(s.Tiers, Tier{Levels: []Level{lvl}})
+		return nil
+	}
+	tier := &s.Tiers[op.Tier]
+	if op.Level < 0 || op.Level > len(tier.Levels) {
+		return fmt.Errorf("level %d outside [0,%d]", op.Level, len(tier.Levels))
+	}
+	if op.Level == len(tier.Levels) {
+		lvl := Level{Tenants: []string{op.Tenant}}
+		if op.Weight > 1 {
+			lvl.Weights = []int64{op.Weight}
+		}
+		tier.Levels = append(tier.Levels, lvl)
+		return nil
+	}
+	lvl := &tier.Levels[op.Level]
+	w := op.Weight
+	if w == 0 {
+		w = 1
+	}
+	if lvl.Weights == nil && w != 1 {
+		// Materialize the implicit all-1 weights before adding an
+		// explicit one.
+		lvl.Weights = make([]int64, len(lvl.Tenants))
+		for i := range lvl.Weights {
+			lvl.Weights[i] = 1
+		}
+	}
+	lvl.Tenants = append(lvl.Tenants, op.Tenant)
+	if lvl.Weights != nil {
+		lvl.Weights = append(lvl.Weights, w)
+	}
+	return nil
+}
+
+func (s *Spec) opRemove(tenant string) error {
+	if _, ok := s.Find(tenant); !ok {
+		return fmt.Errorf("tenant %q not in specification", tenant)
+	}
+	// Demote relocates the tenant to a fresh bottom tier; dropping that
+	// tier is exactly removal with the same empty-level/tier cleanup and
+	// weight normalization.
+	d := s.Demote(tenant)
+	d.Tiers = d.Tiers[:len(d.Tiers)-1]
+	s.Tiers = d.Tiers
+	return nil
+}
+
+func (s *Spec) opSetWeight(op Op) error {
+	if op.Weight < 1 {
+		return fmt.Errorf("weight %d below 1", op.Weight)
+	}
+	pos, ok := s.Find(op.Tenant)
+	if !ok {
+		return fmt.Errorf("tenant %q not in specification", op.Tenant)
+	}
+	lvl := &s.Tiers[pos.Tier].Levels[pos.Level]
+	if lvl.Weights == nil {
+		if op.Weight == 1 {
+			return nil // already the implicit default
+		}
+		lvl.Weights = make([]int64, len(lvl.Tenants))
+		for i := range lvl.Weights {
+			lvl.Weights[i] = 1
+		}
+	}
+	lvl.Weights[pos.Index] = op.Weight
+	// Normalize back to nil when every weight is the default, matching
+	// what Parse builds so edited specs round-trip canonically.
+	allDefault := true
+	for _, w := range lvl.Weights {
+		if w != 1 {
+			allDefault = false
+			break
+		}
+	}
+	if allDefault {
+		lvl.Weights = nil
+	}
+	return nil
+}

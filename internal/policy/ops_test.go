@@ -1,0 +1,140 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// apply parses, applies, and renders, so cases read as spec → ops → spec.
+func apply(t *testing.T, spec string, ops ...Op) (string, error) {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	before := s.String()
+	out, err := s.Apply(ops)
+	if got := s.String(); got != before {
+		t.Fatalf("Apply mutated the receiver: %q -> %q", before, got)
+	}
+	if err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+func TestSpecApply(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		ops  []Op
+		want string
+	}{
+		{"add to existing level", "a + b >> c",
+			[]Op{{Kind: OpAdd, Tenant: "d", Tier: 0, Level: 0}},
+			"a + b + d >> c"},
+		{"add weighted to existing level", "a + b",
+			[]Op{{Kind: OpAdd, Tenant: "c", Weight: 3}},
+			"a + b + c*3"},
+		{"add weighted into weighted level", "a*2 + b",
+			[]Op{{Kind: OpAdd, Tenant: "c"}},
+			"a*2 + b + c"},
+		{"add new level", "a > b",
+			[]Op{{Kind: OpAdd, Tenant: "c", Tier: 0, Level: 2}},
+			"a > b > c"},
+		{"add new tier", "a >> b",
+			[]Op{{Kind: OpAdd, Tenant: "c", Tier: 2}},
+			"a >> b >> c"},
+		{"add new weighted tier", "a",
+			[]Op{{Kind: OpAdd, Tenant: "b", Tier: 1, Weight: 2}},
+			"a >> b*2"},
+		{"remove from shared level", "a + b + c",
+			[]Op{{Kind: OpRemove, Tenant: "b"}},
+			"a + c"},
+		{"remove collapses tier", "a >> b >> c",
+			[]Op{{Kind: OpRemove, Tenant: "b"}},
+			"a >> c"},
+		{"remove collapses level", "a > b >> c",
+			[]Op{{Kind: OpRemove, Tenant: "b"}},
+			"a >> c"},
+		{"remove normalizes weights", "a*2 + b",
+			[]Op{{Kind: OpRemove, Tenant: "a"}},
+			"b"},
+		{"set weight", "a + b",
+			[]Op{{Kind: OpSetWeight, Tenant: "b", Weight: 5}},
+			"a + b*5"},
+		{"set weight back to default normalizes", "a*2 + b",
+			[]Op{{Kind: OpSetWeight, Tenant: "a", Weight: 1}},
+			"a + b"},
+		{"set weight 1 on implicit default is a no-op", "a + b",
+			[]Op{{Kind: OpSetWeight, Tenant: "a", Weight: 1}},
+			"a + b"},
+		{"demote", "a + b >> c",
+			[]Op{{Kind: OpDemote, Tenant: "a"}},
+			"b >> c >> a"},
+		{"ops compose in order", "a + b",
+			[]Op{
+				{Kind: OpAdd, Tenant: "c", Tier: 1},
+				{Kind: OpSetWeight, Tenant: "c", Weight: 4},
+				{Kind: OpRemove, Tenant: "a"},
+			},
+			"b >> c*4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := apply(t, tc.spec, tc.ops...)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+			// Edited specs stay canonical: Parse(String()) round-trips.
+			if rt, err := Parse(got); err != nil || rt.String() != got {
+				t.Errorf("round-trip of %q failed: %v", got, err)
+			}
+		})
+	}
+}
+
+func TestSpecApplyErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		ops     []Op
+		errPart string
+	}{
+		{"no ops", "a", nil, "no ops"},
+		{"unknown kind", "a", []Op{{Kind: "promote", Tenant: "a"}}, "unknown op kind"},
+		{"add duplicate", "a + b", []Op{{Kind: OpAdd, Tenant: "a"}}, "already in specification"},
+		{"add empty name", "a", []Op{{Kind: OpAdd, Tenant: ""}}, "empty tenant name"},
+		{"add negative weight", "a", []Op{{Kind: OpAdd, Tenant: "b", Weight: -1}}, "negative weight"},
+		{"add tier out of range", "a", []Op{{Kind: OpAdd, Tenant: "b", Tier: 5}}, "tier 5 outside"},
+		{"add level out of range", "a", []Op{{Kind: OpAdd, Tenant: "b", Tier: 0, Level: 3}}, "level 3 outside"},
+		{"add new tier with nonzero level", "a", []Op{{Kind: OpAdd, Tenant: "b", Tier: 1, Level: 1}}, "requires level 0"},
+		{"remove unknown", "a", []Op{{Kind: OpRemove, Tenant: "x"}}, "not in specification"},
+		{"remove last tenant", "a", []Op{{Kind: OpRemove, Tenant: "a"}}, "empty"},
+		{"set weight unknown tenant", "a", []Op{{Kind: OpSetWeight, Tenant: "x", Weight: 2}}, "not in specification"},
+		{"set weight zero", "a", []Op{{Kind: OpSetWeight, Tenant: "a", Weight: 0}}, "below 1"},
+		{"demote unknown", "a", []Op{{Kind: OpDemote, Tenant: "x"}}, "not in specification"},
+		{"demote sole tenant", "a", []Op{{Kind: OpDemote, Tenant: "a"}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := apply(t, tc.spec, tc.ops...)
+			if tc.name == "demote sole tenant" {
+				// Demoting the only tenant is a structural no-op and legal.
+				if err != nil {
+					t.Fatalf("Apply: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Apply succeeded with %q, want error containing %q", got, tc.errPart)
+			}
+			if tc.errPart != "" && !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}

@@ -41,6 +41,18 @@ import (
 // Schedulers never retain a packet after handing it out and never release
 // packets to a pool themselves — release policy belongs to the layer that
 // acquired the packet (see internal/netsim).
+//
+// # Policy epochs
+//
+// Schedulers are epoch-oblivious by design. When the control plane swaps
+// in a new policy generation (core.EpochStore), packets already queued
+// keep the ranks their start epoch assigned — nothing re-ranks or flushes
+// a queue on a policy change. A queued packet therefore drains under its
+// old epoch's ordering while newly arriving packets carry the new
+// epoch's ranks; both epochs map into the same shared output rank space,
+// so interleaving them in one queue is well-defined. The packet's Epoch
+// label exists for conformance checking (internal/conform), not for
+// scheduling decisions.
 type Scheduler interface {
 	// Enqueue offers p to the scheduler. It returns false when p was
 	// dropped (buffer overflow or admission control). The scheduler may

@@ -69,6 +69,9 @@ type Event struct {
 	// PreRank is the rank before a transform event rewrote it (Rank
 	// holds the post-transform rank). Zero on every other kind.
 	PreRank int64 `json:"pre_rank,omitempty"`
+	// Epoch is the policy generation the packet is pinned to, when the
+	// sim runs with an epoch store (zero otherwise).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Options tune what gets recorded.
@@ -220,6 +223,7 @@ func eventOf(now sim.Time, kind, where string, p *pkt.Packet) Event {
 		Dst:     p.Dst,
 		PktKind: p.Kind.String(),
 		Retx:    p.Retx,
+		Epoch:   p.Epoch,
 	}
 }
 
