@@ -8,6 +8,7 @@
 //	-experiment runtime   Ablation A3: static vs runtime-adaptive synthesis
 //	-experiment shift     Figure-2 traffic-shift scenario
 //	-experiment churn     Control-plane churn vs data-plane disruption (policy epochs)
+//	-experiment scaling   Core scaling: sharded engine wall time + fidelity vs shards=1
 //
 // fig4a/fig4b sweep all six schemes over loads 0.2–0.8 on the scaled
 // topology (12 hosts, 1% flow sizes; see DESIGN.md) and print one table row
@@ -51,7 +52,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("qvisor-eval", flag.ContinueOnError)
-	exp := fs.String("experiment", "fig4a", "fig4a, fig4b, fig3, quant, queues, backends, runtime, shift, churn, multi, inversions")
+	exp := fs.String("experiment", "fig4a", "fig4a, fig4b, fig3, quant, queues, backends, runtime, shift, churn, multi, inversions, scaling")
 	horizon := fs.Duration("horizon", 100*time.Millisecond, "traffic window per run")
 	paper := fs.Bool("paper", false, "paper-scale topology (slow)")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -60,6 +61,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	seeds := fs.Int("seeds", 1, "trials per (scheme, load) cell, over derived seeds (fig4a/fig4b)")
 	progress := fs.Bool("progress", true, "report per-run sweep progress on stderr")
+	shardsFlag := fs.String("shards", "1,2,4",
+		"comma-separated shard counts for -experiment scaling")
 	metricsPath := fs.String("metrics", "",
 		`write a JSON metrics snapshot after the experiment ("-" = stdout; sweeps aggregate across runs)`)
 	tracePerfetto := fs.String("trace-perfetto", "",
@@ -277,6 +280,31 @@ func run(args []string) error {
 		fmt.Printf("  background bulk flows:                       %v\n", res.BackgroundFCT)
 		fmt.Printf("  deadline packets on time:                    %.1f%%\n", 100*res.DeadlineMet)
 		return nil
+	case "scaling":
+		shardCounts, err := parseShards(*shardsFlag)
+		if err != nil {
+			return err
+		}
+		// A shard owns at least one leaf pod, so counts beyond the topology
+		// can't run — drop them instead of failing the whole sweep.
+		kept := shardCounts[:0]
+		for _, n := range shardCounts {
+			if n > cfg.Leaves {
+				fmt.Fprintf(os.Stderr, "qvisor-eval: skipping %d shards (> %d leaves)\n", n, cfg.Leaves)
+				continue
+			}
+			kept = append(kept, n)
+		}
+		shardCounts = kept
+		load := loads[0]
+		fmt.Printf("Core scaling: %v at load %.2f (fidelity checked against the single-threaded run)\n",
+			experiments.QvisorShare, load)
+		points, err := experiments.RunScaling(cfg, experiments.QvisorShare, load, shardCounts)
+		if err != nil {
+			return err
+		}
+		experiments.WriteScalingTable(os.Stdout, points)
+		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -448,6 +476,25 @@ func writeSnapshot(path string, reg *obs.Registry) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(reg.Snapshot())
+}
+
+func parseShards(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no shard counts given")
+	}
+	return counts, nil
 }
 
 func parseLoads(s string) ([]float64, error) {

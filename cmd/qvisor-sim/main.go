@@ -47,6 +47,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	workloadName := fs.String("workload", "datamining", "pFabric tenant workload: datamining or websearch")
 	queues := fs.Int("queues", 0, "queues for multi-queue backends")
+	shards := fs.Int("shards", 0,
+		"partition the fabric into N parallel shards (0 or 1 = single-threaded engine)")
+	shardChan := fs.Int("shard-chan", 0, "cross-shard handoff channel capacity (0 = default)")
 	backendSP := fs.Bool("sp-queues", false, "deploy QVISOR schemes on strict-priority queues instead of a PIFO")
 	ports := fs.Bool("ports", false, "print the busiest ports' telemetry")
 	flowsCSV := fs.String("flows", "", "replace the generated pFabric workload with this CSV flow trace")
@@ -80,6 +83,8 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.Workload = *workloadName
 	cfg.FlowsCSV = *flowsCSV
+	cfg.Shards = *shards
+	cfg.ShardChanCap = *shardChan
 	if *backendSP {
 		cfg.Backend = core.BackendSPQueues
 		cfg.Queues = *queues

@@ -154,6 +154,27 @@ func (pp *Preprocessor) Update(jp *JointPolicy) {
 // Stats returns a snapshot of the counters.
 func (pp *Preprocessor) Stats() PreprocStats { return pp.stats }
 
+// Clone returns a pre-processor with private stats counters that shares
+// this one's joint policy and registry instruments. The sharded simulator
+// gives each shard a clone so Process never writes shared plain memory:
+// the policy is read-only during a run and the registry instruments are
+// atomic. Update must not run concurrently with clones processing
+// packets. Clone of nil is nil.
+func (pp *Preprocessor) Clone() *Preprocessor {
+	if pp == nil {
+		return nil
+	}
+	return &Preprocessor{jp: pp.jp, action: pp.action, obs: pp.obs}
+}
+
+// Absorb folds another pre-processor's counters into this one — how
+// per-shard clone stats roll back up into the parent after a sharded run.
+func (pp *Preprocessor) Absorb(st PreprocStats) {
+	pp.stats.Processed += st.Processed
+	pp.stats.Unknown += st.Unknown
+	pp.stats.Clamped += st.Clamped
+}
+
 // Process rewrites p.Rank according to the joint policy. It returns false
 // if the packet must be dropped (unknown tenant under UnknownDrop).
 func (pp *Preprocessor) Process(p *pkt.Packet) bool {

@@ -138,6 +138,13 @@ type Config struct {
 	// DisablePool turns off packet pooling for A/B verification; results
 	// are byte-identical either way.
 	DisablePool bool
+	// Shards runs the simulation on the sharded parallel engine with this
+	// many partitions (see netsim.Config.Shards). Zero or one uses the
+	// single-threaded engine. Sharded runs must not set Pool or Engine
+	// (each shard builds private ones).
+	Shards int
+	// ShardChanCap bounds the cross-shard handoff channel (0 = default).
+	ShardChanCap int
 }
 
 func (c Config) sizes() (workload.SizeDist, error) {
@@ -240,21 +247,31 @@ func (r scaledRanker) Bounds() rank.Bounds {
 
 // Run executes one (scheme, load) simulation and returns its result.
 func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
+	res, s, err := run(cfg, scheme, load)
+	if s != nil {
+		s.Close()
+	}
+	return res, err
+}
+
+// run is Run without the Close: the scaling sweep needs the live
+// simulation to read coordinator telemetry before shutdown.
+func run(cfg Config, scheme Scheme, load float64) (Result, netsim.Sim, error) {
 	var pfFlows []workload.FlowSpec
 	if cfg.FlowsCSV != "" {
 		f, err := os.Open(cfg.FlowsCSV)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		pfFlows, err = workload.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	} else {
 		sizes, err := cfg.sizes()
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		pfFlows, err = workload.Poisson(workload.PoissonConfig{
 			Hosts:            cfg.hosts(),
@@ -265,7 +282,7 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 			Seed:             cfg.Seed,
 		})
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	cbrFlows, err := workload.CBR(workload.CBRConfig{
@@ -276,7 +293,7 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 		Seed:           cfg.Seed + 1,
 	})
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 
 	maxFlow := int64(float64(300_000_000) * cfg.SizeScale)
@@ -301,13 +318,15 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 	ncfg := netsim.Config{
 		Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
 		AccessBps: cfg.AccessBps, FabricBps: cfg.FabricBps,
-		Tenants:     tenants,
-		Horizon:     cfg.Horizon,
-		Trace:       cfg.Trace,
-		Registry:    cfg.Registry,
-		Pool:        cfg.Pool,
-		Engine:      cfg.Engine,
-		DisablePool: cfg.DisablePool,
+		Tenants:      tenants,
+		Horizon:      cfg.Horizon,
+		Trace:        cfg.Trace,
+		Registry:     cfg.Registry,
+		Pool:         cfg.Pool,
+		Engine:       cfg.Engine,
+		DisablePool:  cfg.DisablePool,
+		Shards:       cfg.Shards,
+		ShardChanCap: cfg.ShardChanCap,
 	}
 
 	switch scheme {
@@ -320,7 +339,7 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 	default:
 		spec, err := policy.Parse(scheme.OperatorSpec())
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		levels := cfg.Levels
 		if levels == 0 {
@@ -335,14 +354,14 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 		}
 		jp, err := core.Synthesize(coreTenants, spec, core.SynthOptions{})
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		ncfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
 		ncfg.Preprocessor.EnableMetrics(cfg.Registry, tenantNames(tenants))
 		backend := cfg.Backend // zero value is BackendPIFO
 		dep, err := jp.Deploy(backend, core.DeployOptions{Queues: cfg.Queues})
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		_ = dep // prototype the deployment once to validate the config
 		ncfg.Scheduler = func(d sched.DropFn) sched.Scheduler {
@@ -357,9 +376,9 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 		}
 	}
 
-	n, err := netsim.New(ncfg)
+	n, err := netsim.Build(ncfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	n.Run()
 
@@ -389,7 +408,7 @@ func Run(cfg Config, scheme Scheme, load float64) (Result, error) {
 		ports = ports[:10]
 	}
 	res.TopPorts = ports
-	return res, nil
+	return res, n, nil
 }
 
 // SmallBinFor returns the flow-size bin edges adjusted for SizeScale: the

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"qvisor/internal/netsim"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+)
+
+// Fidelity grades a sharded run against the single-threaded reference.
+type Fidelity int
+
+const (
+	// FidelityExact: flow records are byte-identical to the reference.
+	FidelityExact Fidelity = iota
+	// FidelityEquivalent: the ISSUE-level contract — packet counters and
+	// the multiset of completed flows (ID, tenant, size, start, deadline
+	// outcome) match exactly, but some completion times shifted by a
+	// same-nanosecond arrival-tie reorder (see DESIGN.md "Sharded
+	// execution model"; MaxEndDelta bounds the shift).
+	FidelityEquivalent
+	// FidelityDiverged: the sharded run lost, duplicated, or re-timed
+	// flows beyond a tie reorder — a real bug.
+	FidelityDiverged
+)
+
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityExact:
+		return "exact"
+	case FidelityEquivalent:
+		return "equivalent"
+	default:
+		return "DIVERGED"
+	}
+}
+
+// ScalingPoint is one shard count's measurement in a core-scaling sweep.
+type ScalingPoint struct {
+	// Shards is the partition count (1 = the single-threaded engine).
+	Shards int
+	// Wall is the wall-clock time of the run.
+	Wall time.Duration
+	// Speedup is point[0].Wall / Wall — relative to the sweep's first
+	// (single-threaded) entry.
+	Speedup float64
+	// Fidelity grades this run against the single-threaded reference.
+	Fidelity Fidelity
+	// MaxEndDelta is the largest per-flow completion-time shift vs the
+	// reference (zero when exact; the tie-reorder bound when equivalent).
+	MaxEndDelta sim.Time
+	// Matches reports whether the run upholds the fidelity contract
+	// (exact or equivalent — anything but diverged).
+	Matches bool
+	// Result carries the scheduling-quality metrics of the run.
+	Result Result
+	// Windows and Messages are the coordinator's synchronization
+	// counters (zero for the single-threaded run).
+	Windows, Messages uint64
+	// MaxChanLen is the handoff channel's high-water mark.
+	MaxChanLen int
+	// BarrierWait is the summed per-shard wall-clock barrier wait — the
+	// load-imbalance signal.
+	BarrierWait time.Duration
+}
+
+// RunScaling executes one (scheme, load) scenario at each shard count and
+// reports wall time, speedup over the single-threaded engine, coordinator
+// telemetry, and a fidelity verdict per point. shardCounts should start
+// at 1 so every later point is compared against the reference run; a
+// leading 1 is inserted if missing.
+func RunScaling(cfg Config, scheme Scheme, load float64, shardCounts []int) ([]ScalingPoint, error) {
+	if len(shardCounts) == 0 || shardCounts[0] != 1 {
+		shardCounts = append([]int{1}, shardCounts...)
+	}
+	var points []ScalingPoint
+	var refRecs []stats.FlowRecord
+	var ref Result
+	for i, shards := range shardCounts {
+		runCfg := cfg
+		runCfg.Shards = shards
+		if shards > 1 {
+			// Sharded runs build per-shard pools and engines.
+			runCfg.Pool = nil
+			runCfg.Engine = nil
+		}
+		start := time.Now()
+		res, recs, tel, err := runWithCoordStats(runCfg, scheme, load)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling at %d shards: %w", shards, err)
+		}
+		p := ScalingPoint{
+			Shards:      shards,
+			Wall:        time.Since(start),
+			Result:      res,
+			Windows:     tel.windows,
+			Messages:    tel.messages,
+			MaxChanLen:  tel.maxChanLen,
+			BarrierWait: tel.barrierWait,
+		}
+		if i == 0 {
+			ref, refRecs = res, recs
+			p.Fidelity = FidelityExact
+			p.Speedup = 1
+		} else {
+			p.Fidelity, p.MaxEndDelta = gradeFidelity(ref, refRecs, res, recs)
+			if p.Wall > 0 {
+				p.Speedup = float64(points[0].Wall) / float64(p.Wall)
+			}
+		}
+		p.Matches = p.Fidelity != FidelityDiverged
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// gradeFidelity compares a sharded run's flow records against the
+// single-threaded reference. Exact = identical records. Equivalent =
+// identical counters and identical flows up to completion-time shifts
+// (the same-nanosecond arrival-tie reorder the barrier merge permits);
+// anything else is a divergence.
+func gradeFidelity(ref Result, refRecs []stats.FlowRecord, res Result, recs []stats.FlowRecord) (Fidelity, sim.Time) {
+	if res.Counters != ref.Counters || len(recs) != len(refRecs) {
+		return FidelityDiverged, 0
+	}
+	a := append([]stats.FlowRecord(nil), refRecs...)
+	b := append([]stats.FlowRecord(nil), recs...)
+	byID := func(r []stats.FlowRecord) func(i, j int) bool {
+		return func(i, j int) bool { return r[i].ID < r[j].ID }
+	}
+	sort.Slice(a, byID(a))
+	sort.Slice(b, byID(b))
+	exact := true
+	var maxDelta sim.Time
+	for i := range a {
+		ra, rb := a[i], b[i]
+		delta := rb.End - ra.End
+		if delta < 0 {
+			delta = -delta
+		}
+		ra.End, rb.End = 0, 0
+		if ra != rb {
+			return FidelityDiverged, 0
+		}
+		if delta != 0 {
+			exact = false
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+	}
+	if exact {
+		return FidelityExact, 0
+	}
+	return FidelityEquivalent, maxDelta
+}
+
+// coordTelemetry is the subset of sim.CoordStats the scaling table shows.
+type coordTelemetry struct {
+	windows, messages uint64
+	maxChanLen        int
+	barrierWait       time.Duration
+}
+
+// runWithCoordStats is Run plus the artifacts the scaling sweep grades:
+// flow records for the fidelity check and, when the build produced a
+// sharded cluster, the coordinator counters — both read before closing.
+func runWithCoordStats(cfg Config, scheme Scheme, load float64) (Result, []stats.FlowRecord, coordTelemetry, error) {
+	res, s, err := run(cfg, scheme, load)
+	if err != nil {
+		return Result{}, nil, coordTelemetry{}, err
+	}
+	defer s.Close()
+	recs := append([]stats.FlowRecord(nil), s.FCTs().Records()...)
+	var tel coordTelemetry
+	if cluster, ok := s.(*netsim.Cluster); ok {
+		st := cluster.CoordStats()
+		tel = coordTelemetry{windows: st.Windows, messages: st.Messages, maxChanLen: st.MaxChanLen}
+		for _, w := range st.BarrierWait {
+			tel.barrierWait += w
+		}
+	}
+	return res, recs, tel, nil
+}
+
+// WriteScalingTable renders the sweep as an aligned text table.
+func WriteScalingTable(w io.Writer, points []ScalingPoint) {
+	fmt.Fprintf(w, "%-7s %-12s %-8s %-8s %-9s %-10s %-9s %-8s\n",
+		"shards", "wall", "speedup", "windows", "messages", "chan-peak", "barrier", "fidelity")
+	for _, p := range points {
+		fid := p.Fidelity.String()
+		if p.Fidelity == FidelityEquivalent {
+			fid = fmt.Sprintf("equivalent(ties<=%dns)", int64(p.MaxEndDelta))
+		}
+		fmt.Fprintf(w, "%-7d %-12s %-8.2f %-8d %-9d %-10d %-9s %-8s\n",
+			p.Shards, p.Wall.Round(time.Microsecond), p.Speedup,
+			p.Windows, p.Messages, p.MaxChanLen,
+			p.BarrierWait.Round(time.Microsecond), fid)
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qvisor/internal/netsim"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+)
+
+func scalingTestConfig() Config {
+	cfg := ScaledConfig()
+	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 4, 2, 2
+	cfg.FabricBps = 2e9
+	cfg.CBRFlows = 4
+	cfg.Horizon = 20 * sim.Millisecond
+	return cfg
+}
+
+// TestRunScalingFidelity: every shard count in a scaling sweep must
+// reproduce the single-threaded run's counters and FCT summaries
+// exactly, and sharded points must show real coordinator activity.
+func TestRunScalingFidelity(t *testing.T) {
+	points, err := RunScaling(scalingTestConfig(), QvisorShare, 0.4, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for _, p := range points {
+		if !p.Matches {
+			t.Fatalf("shards=%d diverged from the single-threaded reference: %+v", p.Shards, p.Result.Counters)
+		}
+		if p.Fidelity != FidelityExact {
+			t.Fatalf("shards=%d fidelity = %v (max end delta %v), want exact on this scenario",
+				p.Shards, p.Fidelity, p.MaxEndDelta)
+		}
+		if p.Shards > 1 && (p.Windows == 0 || p.Messages == 0) {
+			t.Fatalf("shards=%d reports no coordinator activity (windows=%d messages=%d)",
+				p.Shards, p.Windows, p.Messages)
+		}
+		if p.Result.Flows == 0 {
+			t.Fatalf("shards=%d completed no flows", p.Shards)
+		}
+	}
+}
+
+// TestRunScalingInsertsReference: a sweep without a leading 1 gets one.
+func TestRunScalingInsertsReference(t *testing.T) {
+	cfg := scalingTestConfig()
+	cfg.Horizon = 5 * sim.Millisecond
+	points, err := RunScaling(cfg, PIFONaive, 0.3, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Shards != 1 || points[1].Shards != 2 {
+		t.Fatalf("unexpected sweep shape: %+v", points)
+	}
+	var sb strings.Builder
+	WriteScalingTable(&sb, points)
+	out := sb.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "exact") {
+		t.Fatalf("table missing expected columns:\n%s", out)
+	}
+}
+
+// TestGradeFidelity pins the three verdict levels on hand-built records.
+func TestGradeFidelity(t *testing.T) {
+	ref := Result{Counters: netsim.Counters{Delivered: 10}}
+	recs := []stats.FlowRecord{
+		{ID: 1, Tenant: "a", Size: 100, Start: 5, End: 50},
+		{ID: 2, Tenant: "a", Size: 200, Start: 7, End: 90},
+	}
+	same := append([]stats.FlowRecord(nil), recs...)
+	if f, d := gradeFidelity(ref, recs, ref, same); f != FidelityExact || d != 0 {
+		t.Fatalf("identical records graded %v (delta %d)", f, d)
+	}
+
+	// A completion-time shift alone (either direction) is equivalent,
+	// bounded by the largest shift.
+	shifted := append([]stats.FlowRecord(nil), recs...)
+	shifted[0].End -= 2
+	shifted[1].End += 3
+	if f, d := gradeFidelity(ref, recs, ref, shifted); f != FidelityEquivalent || d != 3 {
+		t.Fatalf("end-shifted records graded %v (delta %d), want equivalent/3", f, d)
+	}
+
+	// Counter mismatch, record-count mismatch, or any non-End field
+	// change is a divergence.
+	if f, _ := gradeFidelity(ref, recs, Result{}, same); f != FidelityDiverged {
+		t.Fatal("counter mismatch not flagged as divergence")
+	}
+	if f, _ := gradeFidelity(ref, recs, ref, recs[:1]); f != FidelityDiverged {
+		t.Fatal("missing flow not flagged as divergence")
+	}
+	resized := append([]stats.FlowRecord(nil), recs...)
+	resized[1].Size = 999
+	if f, _ := gradeFidelity(ref, recs, ref, resized); f != FidelityDiverged {
+		t.Fatal("size change not flagged as divergence")
+	}
+}

@@ -1,0 +1,62 @@
+// Package leaktest is a dependency-free goroutine-leak check for tests:
+// snapshot the goroutine count before the code under test starts its
+// workers, then assert the count settles back afterwards. The shard
+// coordinator tests use it so a stuck shard goroutine fails the test in
+// milliseconds instead of hanging CI until the job timeout.
+//
+// The check is count-based on purpose — parsing runtime stacks would be
+// more precise but drags in fragile string matching; a count with a
+// settle loop is enough to catch a worker that never exits, which is the
+// failure mode that matters for the barrier-window coordinator.
+package leaktest
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a function
+// that verifies the count has returned to (at most) the snapshot.
+// Because goroutines unwind asynchronously after their work is done, the
+// returned func polls with a short backoff before declaring a leak.
+//
+// Usage:
+//
+//	defer leaktest.Check(t)()
+//
+// t may be any testing.TB.
+func Check(t TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		if err := settle(before, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TB is the subset of testing.TB the checker needs, kept tiny so the
+// package stays dependency-free and usable from helpers.
+type TB interface {
+	Helper()
+	Fatal(args ...any)
+}
+
+// settle waits until the goroutine count drops to at most before,
+// returning an error when it has not within the deadline.
+func settle(before int, deadline time.Duration) error {
+	var now int
+	for wait, waited := time.Microsecond, time.Duration(0); waited < deadline; waited += wait {
+		if now = runtime.NumGoroutine(); now <= before {
+			return nil
+		}
+		time.Sleep(wait)
+		if wait < 10*time.Millisecond {
+			wait *= 2
+		}
+	}
+	return fmt.Errorf("leaktest: %d goroutines still running after %v (baseline %d) — a worker is stuck",
+		now, deadline, before)
+}

@@ -1,0 +1,58 @@
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// fakeTB records Fatal calls instead of ending the test.
+type fakeTB struct{ failed bool }
+
+func (f *fakeTB) Helper()      {}
+func (f *fakeTB) Fatal(...any) { f.failed = true }
+
+func TestNoLeakPasses(t *testing.T) {
+	check := Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check() // the goroutine above has exited (or is unwinding); settle absorbs the race
+}
+
+func TestLeakIsDetected(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	before := runtime.NumGoroutine()
+	go func() { <-stop }() // stuck until the deferred close
+	// Use settle directly with a tiny deadline so the failing path stays
+	// fast; Check's public path uses a CI-safe 2s deadline.
+	if err := settle(before, 50*time.Millisecond); err == nil {
+		t.Fatal("expected the stuck goroutine to be reported")
+	}
+}
+
+func TestCheckReportsThroughTB(t *testing.T) {
+	var ft fakeTB
+	stop := make(chan struct{})
+	check := Check(&ft)
+	go func() { <-stop }()
+	// Swap in a fast deadline by racing the real check against a timer is
+	// flaky; instead verify the wiring: with the goroutine released the
+	// check must pass, leaving the fake TB clean.
+	close(stop)
+	check()
+	if ft.failed {
+		t.Fatal("check failed although the goroutine exited")
+	}
+}
+
+func TestSettleDeadline(t *testing.T) {
+	start := time.Now()
+	// No goroutine count can be <= 0, so settle must time out — quickly.
+	if err := settle(0, 30*time.Millisecond); err == nil {
+		t.Fatal("expected settle to fail for impossible baseline")
+	} else if time.Since(start) > time.Second {
+		t.Fatalf("settle took too long: %v", time.Since(start))
+	}
+}

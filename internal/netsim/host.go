@@ -61,12 +61,14 @@ type sendFlow struct {
 	completed  bool
 }
 
-func (h *Host) startFlow(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
+// startFlow begins one flow. The flow ID is preassigned at build time
+// from the global schedule order, so sharded and single-threaded runs
+// agree on it (and hence on the flow's ECMP path).
+func (h *Host) startFlow(now sim.Time, td *TenantDef, spec workload.FlowSpec, id uint64) {
 	if spec.Rate > 0 {
-		h.startCBR(now, td, spec)
+		h.startCBR(now, td, spec, id)
 		return
 	}
-	id := h.net.flowID()
 	mss := h.net.cfg.MSS
 	npkts := int((spec.Size + int64(mss) - 1) / int64(mss))
 	if npkts == 0 {
@@ -228,9 +230,8 @@ func (sf *sendFlow) complete(now sim.Time) {
 
 // startCBR launches a constant-bit-rate datagram source (the paper's tenant
 // 2: open-loop deadline traffic ranked by EDF).
-func (h *Host) startCBR(now sim.Time, td *TenantDef, spec workload.FlowSpec) {
+func (h *Host) startCBR(now sim.Time, td *TenantDef, spec workload.FlowSpec, id uint64) {
 	n := h.net
-	id := n.flowID()
 	fl := rank.Flow{ID: id, Arrival: now}
 	wire := n.cfg.MSS + n.cfg.HeaderBytes
 	interval := sim.Time(float64(wire*8) / spec.Rate * 1e9)

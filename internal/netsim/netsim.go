@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"qvisor/internal/core"
 	"qvisor/internal/obs"
@@ -120,6 +121,31 @@ type Config struct {
 	RTO sim.Time
 	// Horizon ends the simulation.
 	Horizon sim.Time
+	// Shards splits the simulation into partitions that run in parallel
+	// under a conservative-lookahead coordinator (Build returns a Cluster
+	// when Shards > 1). Each shard owns a contiguous block of leaf pods
+	// (the leaves plus their hosts) and every Spines/Shards-th spine, runs
+	// its own engine and packet pool, and exchanges cross-shard packets at
+	// window barriers whose length is the link propagation delay. Zero or
+	// one keeps the single-threaded engine — the byte-identical reference
+	// path. A sharded run is deterministic (repeatable at any GOMAXPROCS)
+	// and preserves the reference run's counters, flows, and per-flow
+	// packet order; same-nanosecond arrivals from different links are the
+	// one tie the barrier merge may order differently, shifting individual
+	// completion times by nanoseconds (DESIGN.md "Sharded execution
+	// model").
+	//
+	// Constraints in sharded mode: Shards <= Leaves; Controller must be
+	// nil (its drift checks read host state across shards); Engine and
+	// Pool must be nil (each shard builds private ones); and every
+	// tenant's Ranker must either be stateless per Rank call (PFabric,
+	// EDF, LAS) or have all of the tenant's flows sourced inside one
+	// shard — a shared stateful ranker such as STFQ is a data race when
+	// its flows span shards.
+	Shards int
+	// ShardChanCap bounds the cross-shard handoff channel in sharded mode.
+	// Zero means sim.DefaultChanCap.
+	ShardChanCap int
 }
 
 func (c *Config) defaults() error {
@@ -135,6 +161,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Epochs != nil && c.Preprocessor != nil {
 		return fmt.Errorf("netsim: Epochs and Preprocessor are mutually exclusive")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("netsim: negative shard count %d", c.Shards)
 	}
 	if c.PropDelay <= 0 {
 		c.PropDelay = sim.Microsecond
@@ -198,7 +227,9 @@ type Counters struct {
 	CBROnTime uint64
 }
 
-// Network is one simulation instance.
+// Network is one simulation instance — either the whole topology
+// (single-threaded, built by New) or one shard of it (built by a Cluster,
+// which leaves the device slices nil at indexes other shards own).
 type Network struct {
 	cfg    Config
 	eng    *sim.Engine
@@ -208,6 +239,14 @@ type Network struct {
 	spines []*Switch
 	fcts   *stats.Collector
 	count  Counters
+
+	// part is the shard this Network embodies; nil for the whole-topology
+	// single-threaded build.
+	part *partition
+	// inbound holds one arrival ring per cross-shard link this shard
+	// receives on, indexed by global link id; inject pushes handed-off
+	// packets here so their arrival events cost no allocation.
+	inbound []inboundRing
 
 	// roleMetrics shares one sched.Metrics bundle per (device role,
 	// scheduler name), so the scheduler families aggregate across the
@@ -221,8 +260,7 @@ type Network struct {
 	dropFlushed map[dropKey]uint64
 	tenantNames map[pkt.TenantID]string
 
-	nextPktID  uint64
-	nextFlowID uint64
+	nextPktID uint64
 }
 
 // dropKey identifies one per-tenant, per-cause drop counter.
@@ -284,11 +322,29 @@ func (n *Network) schedMetrics(role, scheduler string) *sched.Metrics {
 	return m
 }
 
-// New builds the network and schedules all tenant flows. The returned
-// network is ready to Run.
+// New builds the whole network on one engine and schedules all tenant
+// flows. The returned network is ready to Run. This is the reference
+// path: a Config with Shards <= 1 behaves byte-identically through New
+// regardless of the sharding code (use Build to pick New or NewCluster
+// from the config).
 func New(cfg Config) (*Network, error) {
+	return build(cfg, nil)
+}
+
+// build constructs a Network. With a nil partition it builds the whole
+// topology; with a partition it builds only the devices the shard owns
+// (leaving other slots nil), turns egress ports whose receiving device
+// lives elsewhere into handoff ports, and arms inbound arrival rings for
+// the links this shard receives on. Flow IDs are assigned from the global
+// schedule order — (start time, tenant order, flow order) — so every
+// shard agrees on them and they match the single-threaded assignment
+// exactly; per-flow ECMP therefore picks the same spine in both modes.
+func build(cfg Config, part *partition) (*Network, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
+	}
+	if part != nil && cfg.Controller != nil {
+		return nil, fmt.Errorf("netsim: the controller requires the single-threaded engine (Shards <= 1)")
 	}
 	eng := cfg.Engine
 	if eng == nil {
@@ -307,6 +363,13 @@ func New(cfg Config) (*Network, error) {
 		eng:  eng,
 		pool: pool,
 		fcts: stats.NewCollector(),
+		part: part,
+	}
+	if part != nil {
+		// Disjoint per-shard ID ranges: packet IDs stay globally unique in
+		// merged traces without cross-shard coordination. (Flow IDs come
+		// from the global schedule order below, not from this base.)
+		n.nextPktID = uint64(part.shard) << 48
 	}
 	if cfg.Registry != nil {
 		n.dropStage = make(map[dropKey]uint64)
@@ -322,17 +385,30 @@ func New(cfg Config) (*Network, error) {
 	n.spines = make([]*Switch, cfg.Spines)
 
 	for i := range n.spines {
-		n.spines[i] = newSwitch(n, spineSwitch, i, cfg.Leaves)
+		if part.ownsSpine(i) {
+			n.spines[i] = newSwitch(n, spineSwitch, i, cfg.Leaves)
+		}
 	}
 	for i := range n.leaves {
-		n.leaves[i] = newSwitch(n, leafSwitch, i, cfg.HostsPerLeaf+cfg.Spines)
+		if part.ownsLeaf(i) {
+			n.leaves[i] = newSwitch(n, leafSwitch, i, cfg.HostsPerLeaf+cfg.Spines)
+		}
 	}
 	for h := range n.hosts {
-		n.hosts[h] = newHost(n, h)
+		if part.ownsLeaf(h / cfg.HostsPerLeaf) {
+			n.hosts[h] = newHost(n, h)
+		}
 	}
 
 	// Wire ports: host <-> leaf (access rate), leaf <-> spine (fabric).
+	// Hosts always share their leaf's shard, so access links never cross
+	// shards; fabric links cross when leaf and spine have different
+	// owners, and the egress port then hands off to the coordinator
+	// instead of scheduling a local arrival.
 	for h, host := range n.hosts {
+		if host == nil {
+			continue
+		}
 		leaf := n.leaves[h/cfg.HostsPerLeaf]
 		local := h % cfg.HostsPerLeaf
 		host.up = n.newPort("host", h,
@@ -340,19 +416,40 @@ func New(cfg Config) (*Network, error) {
 		leaf.ports[local] = n.newPort("leaf", leaf.id,
 			fmt.Sprintf("leaf%d→host%d", leaf.id, h), cfg.AccessBps, host.receive)
 	}
-	for li, leaf := range n.leaves {
-		for si, spine := range n.spines {
-			leaf.ports[cfg.HostsPerLeaf+si] = n.newPort("leaf", li,
-				fmt.Sprintf("leaf%d→spine%d", li, si), cfg.FabricBps, spine.receive)
-			spine.ports[li] = n.newPort("spine", si,
-				fmt.Sprintf("spine%d→leaf%d", si, li), cfg.FabricBps, n.leaves[li].receive)
+	if part != nil {
+		n.inbound = make([]inboundRing, 2*cfg.Leaves*cfg.Spines)
+	}
+	for li := range n.leaves {
+		for si := range n.spines {
+			upName := fmt.Sprintf("leaf%d→spine%d", li, si)
+			downName := fmt.Sprintf("spine%d→leaf%d", si, li)
+			switch {
+			case part.ownsLeaf(li) && part.ownsSpine(si):
+				n.leaves[li].ports[cfg.HostsPerLeaf+si] = n.newPort("leaf", li,
+					upName, cfg.FabricBps, n.spines[si].receive)
+				n.spines[si].ports[li] = n.newPort("spine", si,
+					downName, cfg.FabricBps, n.leaves[li].receive)
+			case part.ownsLeaf(li):
+				n.leaves[li].ports[cfg.HostsPerLeaf+si] = n.newRemotePort("leaf", li,
+					upName, cfg.FabricBps, linkLeafSpine(&cfg, li, si), part.spineOwner[si])
+				n.armInbound(linkSpineLeaf(&cfg, si, li), n.leaves[li].receive)
+			case part.ownsSpine(si):
+				n.spines[si].ports[li] = n.newRemotePort("spine", si,
+					downName, cfg.FabricBps, linkSpineLeaf(&cfg, si, li), part.leafOwner[li])
+				n.armInbound(linkLeafSpine(&cfg, li, si), n.spines[si].receive)
+			}
 		}
 	}
 
-	// Schedule tenant traffic.
+	// Schedule tenant traffic (only flows sourced on owned hosts, but
+	// validate and number all of them so shards agree on flow IDs).
+	type flowRef struct {
+		ti, fi int
+	}
+	var refs []flowRef
 	for ti := range cfg.Tenants {
 		td := &cfg.Tenants[ti]
-		for _, spec := range td.Flows {
+		for fi, spec := range td.Flows {
 			if spec.Src < 0 || spec.Src >= hostCount || spec.Dst < 0 || spec.Dst >= hostCount {
 				return nil, fmt.Errorf("netsim: tenant %q flow endpoints (%d,%d) outside %d hosts",
 					td.Name, spec.Src, spec.Dst, hostCount)
@@ -360,11 +457,25 @@ func New(cfg Config) (*Network, error) {
 			if spec.Src == spec.Dst {
 				return nil, fmt.Errorf("netsim: tenant %q flow has src == dst", td.Name)
 			}
-			spec := spec
-			n.eng.At(spec.Start, func(now sim.Time) {
-				n.hosts[spec.Src].startFlow(now, td, spec)
-			})
+			refs = append(refs, flowRef{ti, fi})
 		}
+	}
+	// Number flows the way the single-threaded engine fires their start
+	// events: by start time, ties in (tenant, flow) insertion order.
+	sort.SliceStable(refs, func(i, j int) bool {
+		return cfg.Tenants[refs[i].ti].Flows[refs[i].fi].Start <
+			cfg.Tenants[refs[j].ti].Flows[refs[j].fi].Start
+	})
+	for ord, ref := range refs {
+		td := &cfg.Tenants[ref.ti]
+		spec := td.Flows[ref.fi]
+		if n.hosts[spec.Src] == nil {
+			continue
+		}
+		id := uint64(ord + 1)
+		n.eng.At(spec.Start, func(now sim.Time) {
+			n.hosts[spec.Src].startFlow(now, td, spec, id)
+		})
 	}
 
 	// Controller check loop.
@@ -404,12 +515,28 @@ func (n *Network) Counters() Counters { return n.count }
 // can complete.
 func (n *Network) Run() {
 	n.eng.Run(n.cfg.Horizon)
-	for _, h := range n.hosts {
-		h.stopCBR()
-	}
+	n.stopAllCBR()
 	n.eng.Run(2 * n.cfg.Horizon)
 	n.FlushMetrics()
 }
+
+// stopAllCBR halts every owned host's CBR sources (the drain boundary).
+func (n *Network) stopAllCBR() {
+	for _, h := range n.hosts {
+		if h != nil {
+			h.stopCBR()
+		}
+	}
+}
+
+// Outstanding is the number of packets currently inside this network
+// (queued or on the wire) per the pool's conservation accounting — zero
+// after a fully drained run, and zero always when pooling is disabled.
+func (n *Network) Outstanding() int { return n.pool.Outstanding() }
+
+// Close releases run resources. The single-threaded Network holds none;
+// it exists so Network and Cluster satisfy the same Sim interface.
+func (n *Network) Close() {}
 
 // RunNoDrain executes strictly to the horizon (tests that need exact
 // mid-simulation state).
@@ -429,23 +556,26 @@ func (n *Network) pktID() uint64 {
 	return n.nextPktID
 }
 
-func (n *Network) flowID() uint64 {
-	n.nextFlowID++
-	return n.nextFlowID
-}
-
-// forEachPort visits every output port in stable order: host uplinks, then
-// leaf ports, then spine ports.
+// forEachPort visits every owned output port in stable order: host
+// uplinks, then leaf ports, then spine ports.
 func (n *Network) forEachPort(f func(*Port)) {
 	for _, h := range n.hosts {
-		f(h.up)
+		if h != nil {
+			f(h.up)
+		}
 	}
 	for _, sw := range n.leaves {
+		if sw == nil {
+			continue
+		}
 		for _, p := range sw.ports {
 			f(p)
 		}
 	}
 	for _, sw := range n.spines {
+		if sw == nil {
+			continue
+		}
 		for _, p := range sw.ports {
 			f(p)
 		}

@@ -175,6 +175,24 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// newRemotePort builds a port whose receiving device lives on another
+// shard: queueing, scheduling, and serialization are all local, but when
+// a transmission completes the packet is handed to the shard coordinator
+// stamped with its arrival time (tx end plus propagation delay) instead
+// of becoming a local arrival event. Because that stamp is always at
+// least PropDelay in the future, PropDelay is the conservative lookahead
+// that lets shards run a full window in parallel.
+func (n *Network) newRemotePort(role string, id int, name string, rateBps float64, link uint64, dst int) *Port {
+	pt := n.newPort(role, id, name, rateBps, nil)
+	pt.arrive = nil
+	pt.txDone = func(end sim.Time) {
+		pt.busy = false
+		n.part.handoff(end+n.cfg.PropDelay, link, dst, pt.inflight.pop())
+		pt.kick(end)
+	}
+	return pt
+}
+
 // Queue exposes the port's scheduler for inspection in tests.
 func (pt *Port) Queue() sched.Scheduler { return pt.q }
 

@@ -33,6 +33,13 @@ type PoolStats struct {
 	Puts uint64
 	// News counts Gets that missed the free list and hit the allocator.
 	News uint64
+	// Lent counts packets whose ownership left this pool (Lend) — a
+	// cross-shard handoff's departure side.
+	Lent uint64
+	// Adopted counts packets whose ownership this pool took over (Adopt)
+	// — the handoff's arrival side. An adopted packet is released with a
+	// normal Put and joins this pool's free list.
+	Adopted uint64
 }
 
 // NewPool returns an empty pool.
@@ -73,6 +80,37 @@ func (pl *Pool) Put(p *Packet) {
 	pl.free = append(pl.free, p)
 }
 
+// Lend releases ownership of a live packet without returning it to the
+// free list: the packet is about to cross to another shard's pool, which
+// will Adopt it. After Lend this pool must never see p again — in a
+// pktdebug build a later Put of p here panics. On a nil pool Lend is a
+// no-op (unpooled packets have no owner to transfer).
+//
+// Lend/Adopt keep the conservation invariant additive across shards:
+// each pool's Outstanding is Gets + Adopted - Puts - Lent, so a packet
+// in flight between pools is counted exactly once (by the lender until
+// Adopt runs, then by the adopter). Both calls must happen on their
+// pool's own goroutine; the cross-shard channel provides the
+// happens-before edge between them.
+func (pl *Pool) Lend(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.dbg.onLend(p)
+	pl.stats.Lent++
+}
+
+// Adopt takes ownership of a packet lent by another pool. The packet
+// stays live; the adopting shard releases it with a normal Put when it
+// leaves the network. On a nil pool Adopt is a no-op.
+func (pl *Pool) Adopt(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.dbg.onAdopt(p)
+	pl.stats.Adopted++
+}
+
 // Stats returns a snapshot of the pool's counters (zero value on nil).
 func (pl *Pool) Stats() PoolStats {
 	if pl == nil {
@@ -81,14 +119,17 @@ func (pl *Pool) Stats() PoolStats {
 	return pl.stats
 }
 
-// Outstanding is the number of packets currently checked out: Gets minus
-// Puts. A drained simulation must end at zero — the packet-conservation
-// invariant the netsim tests assert.
+// Outstanding is the number of packets this pool currently owns outside
+// its free list: Gets + Adopted - Puts - Lent. A drained simulation must
+// end at zero — the packet-conservation invariant the netsim tests
+// assert. Summing Outstanding over every shard's pool gives the number
+// of packets inside a sharded network, because a handed-off packet is
+// counted by exactly one pool at a time.
 func (pl *Pool) Outstanding() int {
 	if pl == nil {
 		return 0
 	}
-	return int(pl.stats.Gets - pl.stats.Puts)
+	return int(pl.stats.Gets + pl.stats.Adopted - pl.stats.Puts - pl.stats.Lent)
 }
 
 // FreeLen reports the current free-list length (for tests).

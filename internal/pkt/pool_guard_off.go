@@ -9,6 +9,8 @@ const PoolDebug = false
 // guard.
 type poolDebug struct{}
 
-func (poolDebug) onGet(*Packet) {}
-func (poolDebug) onPut(*Packet) {}
-func (poolDebug) reset()        {}
+func (poolDebug) onGet(*Packet)   {}
+func (poolDebug) onPut(*Packet)   {}
+func (poolDebug) onLend(*Packet)  {}
+func (poolDebug) onAdopt(*Packet) {}
+func (poolDebug) reset()          {}

@@ -31,4 +31,25 @@ func (d *poolDebug) onPut(p *Packet) {
 	delete(d.live, p)
 }
 
+// onLend removes p from the live set: ownership moves to another pool,
+// and a later Put here would be a foreign-packet error.
+func (d *poolDebug) onLend(p *Packet) {
+	if !d.live[p] {
+		panic(fmt.Sprintf("pkt: lending packet %p this pool does not own", p))
+	}
+	delete(d.live, p)
+}
+
+// onAdopt adds p to the live set: this pool now owns the packet and must
+// see exactly one Put (or a further Lend) for it.
+func (d *poolDebug) onAdopt(p *Packet) {
+	if d.live == nil {
+		d.live = make(map[*Packet]bool)
+	}
+	if d.live[p] {
+		panic(fmt.Sprintf("pkt: adopting packet %p this pool already owns", p))
+	}
+	d.live[p] = true
+}
+
 func (d *poolDebug) reset() { d.live = nil }

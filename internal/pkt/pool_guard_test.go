@@ -40,3 +40,51 @@ func TestGuardCleanLifecyclePasses(t *testing.T) {
 		t.Fatalf("outstanding = %d, want 0", pl.Outstanding())
 	}
 }
+
+func TestGuardHandoffLifecyclePasses(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	for i := 0; i < 100; i++ {
+		p := a.Get()
+		a.Lend(p)
+		b.Adopt(p)
+		b.Put(p)
+	}
+	if a.Outstanding() != 0 || b.Outstanding() != 0 {
+		t.Fatalf("outstanding a=%d b=%d, want 0 0", a.Outstanding(), b.Outstanding())
+	}
+}
+
+func TestGuardPutAfterLendPanics(t *testing.T) {
+	// Once lent, the packet belongs to the other shard; returning it to the
+	// lender is the classic use-after-handoff bug.
+	pl := NewPool()
+	p := pl.Get()
+	pl.Lend(p)
+	mustPanic(t, "Put after Lend on the lender", func() { pl.Put(p) })
+}
+
+func TestGuardLendForeignPanics(t *testing.T) {
+	pl := NewPool()
+	mustPanic(t, "Lend of a packet the pool does not own", func() { pl.Lend(&Packet{}) })
+}
+
+func TestGuardDoubleLendPanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	pl.Lend(p)
+	mustPanic(t, "double Lend", func() { pl.Lend(p) })
+}
+
+func TestGuardDoubleAdoptPanics(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Get()
+	a.Lend(p)
+	b.Adopt(p)
+	mustPanic(t, "double Adopt", func() { b.Adopt(p) })
+}
+
+func TestGuardAdoptOfOwnLivePacketPanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	mustPanic(t, "Adopt of an already-owned packet", func() { pl.Adopt(p) })
+}

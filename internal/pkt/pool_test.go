@@ -91,3 +91,128 @@ func TestAllocBudgetPool(t *testing.T) {
 		t.Fatalf("pool Get/Put cycle allocates %.1f objects/op, budget is 0", allocs)
 	}
 }
+
+// TestPoolCrossPoolTransfer walks a packet through a full shard handoff —
+// Get on pool A, Lend, Adopt on pool B, Put on B — and checks the
+// conservation math at every step: each pool's Outstanding counts the
+// packet only while that pool owns it, and the sum across pools is the
+// number of packets in flight.
+func TestPoolCrossPoolTransfer(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Get()
+	if a.Outstanding() != 1 || b.Outstanding() != 0 {
+		t.Fatalf("after Get: a=%d b=%d, want 1 0", a.Outstanding(), b.Outstanding())
+	}
+
+	a.Lend(p)
+	if a.Outstanding() != 0 {
+		t.Fatalf("after Lend: lender outstanding = %d, want 0", a.Outstanding())
+	}
+	// Mid-flight: the packet is on the wire between shards; the adopter has
+	// not seen it yet, so the cross-pool sum dips to zero exactly while
+	// neither pool owns it — the coordinator's channel holds the reference.
+	b.Adopt(p)
+	if b.Outstanding() != 1 {
+		t.Fatalf("after Adopt: adopter outstanding = %d, want 1", b.Outstanding())
+	}
+	if got := a.Outstanding() + b.Outstanding(); got != 1 {
+		t.Fatalf("cross-pool sum = %d, want 1 (packet counted exactly once)", got)
+	}
+
+	b.Put(p)
+	if a.Outstanding() != 0 || b.Outstanding() != 0 {
+		t.Fatalf("after Put: a=%d b=%d, want 0 0", a.Outstanding(), b.Outstanding())
+	}
+	// The packet landed on the adopter's free list, not the lender's.
+	if a.FreeLen() != 0 || b.FreeLen() != 1 {
+		t.Fatalf("free lists a=%d b=%d, want 0 1", a.FreeLen(), b.FreeLen())
+	}
+
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Lent != 1 || sa.Adopted != 0 || sb.Adopted != 1 || sb.Lent != 0 {
+		t.Fatalf("transfer stats: lender=%+v adopter=%+v", sa, sb)
+	}
+}
+
+// TestPoolTransferChain hands the same packet across three pools
+// (A -> B -> C) and returns it on C; every intermediate pool must net to
+// zero and only C's free list grows.
+func TestPoolTransferChain(t *testing.T) {
+	a, b, c := NewPool(), NewPool(), NewPool()
+	p := a.Get()
+	a.Lend(p)
+	b.Adopt(p)
+	b.Lend(p)
+	c.Adopt(p)
+	c.Put(p)
+	for i, pl := range []*Pool{a, b, c} {
+		if pl.Outstanding() != 0 {
+			t.Fatalf("pool %d outstanding = %d, want 0", i, pl.Outstanding())
+		}
+	}
+	if a.FreeLen() != 0 || b.FreeLen() != 0 || c.FreeLen() != 1 {
+		t.Fatalf("free lists = %d %d %d, want 0 0 1", a.FreeLen(), b.FreeLen(), c.FreeLen())
+	}
+	if st := b.Stats(); st.Lent != 1 || st.Adopted != 1 {
+		t.Fatalf("middle pool stats = %+v, want Lent=1 Adopted=1", st)
+	}
+}
+
+// TestPoolLendAdoptNilSafe: nil pools and nil packets are no-ops, matching
+// the rest of the Pool API (a nil pool means "pooling off", where packets
+// have no owner to transfer).
+func TestPoolLendAdoptNilSafe(t *testing.T) {
+	var np *Pool
+	np.Lend(&Packet{})
+	np.Adopt(&Packet{})
+	if np.Outstanding() != 0 {
+		t.Fatal("nil pool outstanding non-zero after Lend/Adopt")
+	}
+	pl := NewPool()
+	pl.Lend(nil)
+	pl.Adopt(nil)
+	if pl.Stats() != (PoolStats{}) {
+		t.Fatalf("Lend(nil)/Adopt(nil) touched stats: %+v", pl.Stats())
+	}
+}
+
+// TestPoolResetClearsTransferCounters: Reset starts a fresh trial, so the
+// transfer counters zero along with the rest of the stats.
+func TestPoolResetClearsTransferCounters(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	p := a.Get()
+	a.Lend(p)
+	b.Adopt(p)
+	b.Put(p)
+	a.Reset()
+	b.Reset()
+	if a.Stats() != (PoolStats{}) || b.Stats() != (PoolStats{}) {
+		t.Fatalf("Reset left transfer stats: a=%+v b=%+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestAllocBudgetTransfer: a warmed handoff cycle (Get, Lend, Adopt, Put)
+// must stay allocation-free — cross-shard handoff rides the same
+// zero-alloc budget as the local hot path.
+func TestAllocBudgetTransfer(t *testing.T) {
+	a, b := NewPool(), NewPool()
+	// Warm both free lists and (under pktdebug) the live-set maps.
+	pw := a.Get()
+	a.Lend(pw)
+	b.Adopt(pw)
+	b.Put(pw)
+	a.Put(a.Get())
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := a.Get()
+		a.Lend(p)
+		b.Adopt(p)
+		b.Put(p)
+		q := b.Get()
+		b.Lend(q)
+		a.Adopt(q)
+		a.Put(q)
+	})
+	if allocs != 0 {
+		t.Fatalf("handoff cycle allocates %.1f objects/op, budget is 0", allocs)
+	}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"qvisor/internal/leaktest"
+)
+
+// tokenShard is a minimal shard for coordinator tests: every injected
+// message fires an event at its timestamp that logs (time, payload) and,
+// while hops remain, forwards a message to the next shard after exactly
+// the lookahead.
+type tokenShard struct {
+	id    int
+	eng   *Engine
+	coord *Coordinator
+	L     Time
+	log   []string
+	seq   uint64
+}
+
+func (s *tokenShard) inject(m Message) {
+	hops := m.Data.(int)
+	s.eng.At(m.At, func(now Time) { s.bounce(now, hops) })
+}
+
+func (s *tokenShard) bounce(now Time, hops int) {
+	s.log = append(s.log, fmt.Sprintf("s%d@%d hops=%d", s.id, now, hops))
+	if hops <= 0 {
+		return
+	}
+	dst := 1 - s.id
+	s.seq++
+	s.coord.Send(Message{
+		At:   now + s.L,
+		Dst:  dst,
+		Link: uint64(s.id),
+		Seq:  s.seq,
+		Data: hops - 1,
+	})
+}
+
+func newTokenPair(t *testing.T, L Time) (*Coordinator, []*tokenShard) {
+	t.Helper()
+	shards := []*tokenShard{
+		{id: 0, eng: New(), L: L},
+		{id: 1, eng: New(), L: L},
+	}
+	cfgs := make([]ShardConfig, len(shards))
+	for i, s := range shards {
+		cfgs[i] = ShardConfig{Engine: s.eng, Inject: s.inject}
+	}
+	c, err := NewCoordinator(CoordConfig{Shards: cfgs, Lookahead: L})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shards {
+		s.coord = c
+	}
+	return c, shards
+}
+
+func TestCoordinatorTokenPassing(t *testing.T) {
+	defer leaktest.Check(t)()
+	const L = 10
+	c, shards := newTokenPair(t, L)
+	defer c.Close()
+	// Seed: shard 0 bounces a 6-hop token starting at t=5.
+	shards[0].eng.At(5, func(now Time) { shards[0].bounce(now, 6) })
+	c.Run(MaxTime - L) // run to quiescence
+
+	want0 := []string{"s0@5 hops=6", "s0@25 hops=4", "s0@45 hops=2", "s0@65 hops=0"}
+	want1 := []string{"s1@15 hops=5", "s1@35 hops=3", "s1@55 hops=1"}
+	if !reflect.DeepEqual(shards[0].log, want0) {
+		t.Fatalf("shard 0 log = %v, want %v", shards[0].log, want0)
+	}
+	if !reflect.DeepEqual(shards[1].log, want1) {
+		t.Fatalf("shard 1 log = %v, want %v", shards[1].log, want1)
+	}
+	st := c.Stats()
+	if st.Messages != 6 {
+		t.Fatalf("messages = %d, want 6", st.Messages)
+	}
+	if st.Windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+}
+
+func TestCoordinatorHorizonAndResume(t *testing.T) {
+	defer leaktest.Check(t)()
+	const L = 10
+	c, shards := newTokenPair(t, L)
+	defer c.Close()
+	shards[0].eng.At(0, func(now Time) { shards[0].bounce(now, 3) })
+	// Stop mid-flight: hop at t=20 lies beyond horizon 15.
+	c.Run(15)
+	if got := len(shards[0].log) + len(shards[1].log); got != 2 {
+		t.Fatalf("events before horizon = %d, want 2", got)
+	}
+	// Resume: the remaining hops run, including events exactly at the
+	// horizon (Engine.Run semantics).
+	c.Run(30)
+	if got := len(shards[0].log) + len(shards[1].log); got != 4 {
+		t.Fatalf("events after resume = %d, want 4", got)
+	}
+}
+
+func TestCoordinatorDeterministicMergeOrder(t *testing.T) {
+	defer leaktest.Check(t)()
+	// Many same-timestamp messages from both shards to shard 0: the
+	// injection order must be (At, Link, Seq) regardless of scheduling.
+	const L = 5
+	run := func() []string {
+		var order []string
+		recv := &struct {
+			eng *Engine
+		}{New()}
+		senderA, senderB := New(), New()
+		cfgs := []ShardConfig{
+			{Engine: recv.eng, Inject: func(m Message) {
+				order = append(order, fmt.Sprintf("at=%d link=%d seq=%d", m.At, m.Link, m.Seq))
+				recv.eng.At(m.At, func(Time) {})
+			}},
+			{Engine: senderA, Inject: func(Message) {}},
+			{Engine: senderB, Inject: func(Message) {}},
+		}
+		c, err := NewCoordinator(CoordConfig{Shards: cfgs, Lookahead: L, ChanCap: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		emit := func(eng *Engine, link uint64) {
+			seq := uint64(0)
+			eng.At(1, func(now Time) {
+				for k := 0; k < 8; k++ {
+					seq++
+					c.Send(Message{At: now + L, Dst: 0, Link: link, Seq: seq, Data: 0})
+				}
+			})
+		}
+		emit(senderB, 7) // deliberately emit the higher link id first
+		emit(senderA, 3)
+		c.Run(100)
+		return order
+	}
+	first := run()
+	if len(first) != 16 {
+		t.Fatalf("got %d injections, want 16", len(first))
+	}
+	// Sorted: link 3 seq 1..8, then link 7 seq 1..8.
+	for i, want := range []string{"at=6 link=3 seq=1", "at=6 link=3 seq=2"} {
+		if first[i] != want {
+			t.Fatalf("order[%d] = %q, want %q", i, first[i], want)
+		}
+	}
+	if first[8] != "at=6 link=7 seq=1" {
+		t.Fatalf("order[8] = %q, want link 7 to start at index 8", first[8])
+	}
+	for i := 0; i < 20; i++ {
+		if again := run(); !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d produced different order:\n%v\nvs\n%v", i, again, first)
+		}
+	}
+}
+
+func TestCoordinatorLookaheadViolationPanics(t *testing.T) {
+	defer leaktest.Check(t)()
+	const L = 10
+	c, shards := newTokenPair(t, L)
+	defer c.Close()
+	panicked := make(chan any, 1)
+	shards[0].eng.At(5, func(now Time) {
+		defer func() { panicked <- recover() }()
+		// Arrives inside the very window that generates it: must panic.
+		c.Send(Message{At: now + 1, Dst: 1, Link: 0, Seq: 1, Data: 0})
+	})
+	c.Run(100)
+	select {
+	case p := <-panicked:
+		if p == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	default:
+		t.Fatal("event did not run")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordConfig{Lookahead: 1}); err == nil {
+		t.Fatal("expected error for zero shards")
+	}
+	if _, err := NewCoordinator(CoordConfig{
+		Shards:    []ShardConfig{{Engine: New(), Inject: func(Message) {}}},
+		Lookahead: 0,
+	}); err == nil {
+		t.Fatal("expected error for zero lookahead")
+	}
+	if _, err := NewCoordinator(CoordConfig{
+		Shards:    []ShardConfig{{Engine: nil, Inject: func(Message) {}}},
+		Lookahead: 1,
+	}); err == nil {
+		t.Fatal("expected error for missing engine")
+	}
+}
+
+func TestCoordinatorCloseIsIdempotentAndLeakFree(t *testing.T) {
+	check := leaktest.Check(t)
+	c, shards := newTokenPair(t, 10)
+	shards[0].eng.At(0, func(now Time) { shards[0].bounce(now, 2) })
+	c.Run(100)
+	c.Close()
+	c.Close() // second Close is a no-op
+	check()
+}
+
+func TestEngineNextAt(t *testing.T) {
+	e := New()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	h := e.At(30, func(Time) {})
+	e.At(50, func(Time) {})
+	if at, ok := e.NextAt(); !ok || at != 30 {
+		t.Fatalf("NextAt = %v,%v want 30,true", at, ok)
+	}
+	// Cancelling the earliest event must make NextAt skip (and discard) it.
+	h.Cancel()
+	if at, ok := e.NextAt(); !ok || at != 50 {
+		t.Fatalf("NextAt after cancel = %v,%v want 50,true", at, ok)
+	}
+	e.Run(100)
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("drained engine reported a pending event")
+	}
+}
+
+// TestCoordinatorAccessors: the shard count and lookahead round-trip.
+func TestCoordinatorAccessors(t *testing.T) {
+	cfgs := make([]ShardConfig, 3)
+	for i := range cfgs {
+		cfgs[i] = ShardConfig{Engine: New(), Inject: func(Message) {}}
+	}
+	c, err := NewCoordinator(CoordConfig{Shards: cfgs, Lookahead: 5 * Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Shards() != 3 {
+		t.Fatalf("Shards = %d, want 3", c.Shards())
+	}
+	if c.Lookahead() != 5*Microsecond {
+		t.Fatalf("Lookahead = %v, want 5us", c.Lookahead())
+	}
+}

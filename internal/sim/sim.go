@@ -157,6 +157,23 @@ func (h *eventHeap) pop() *item {
 // The zero value is ready to use. Engine is not safe for concurrent use;
 // all scheduling must happen from event callbacks or before Run.
 //
+// # Same-timestamp ordering
+//
+// Events scheduled for the same simulated time fire in FIFO order by
+// insertion: every At/After call takes the next value of a monotonic
+// sequence counter, and the heap orders by (time, sequence). This is a
+// contract, not an accident — the sharded coordinator's barrier merge
+// relies on it to make cross-shard arrival order deterministic (arrivals
+// are injected in a globally sorted order, and the engine preserves that
+// order among equal timestamps). Two interactions are worth spelling out:
+//
+//   - Cancel does not disturb the order of the surviving events: a
+//     cancelled item keeps its place in the heap until popped, is then
+//     discarded, and its sequence number is never reused.
+//   - Reset restarts the sequence counter at zero, so a fresh run of the
+//     same schedule reproduces the same tie-break order — which is what
+//     keeps engine reuse across sweep trials byte-identical.
+//
 // Popped and cancelled items are recycled through an internal free list,
 // so a steady-state schedule/fire cycle performs no allocations; Reset
 // rewinds the clock for a fresh run while keeping that free list (and the
@@ -183,6 +200,20 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still queued (including cancelled
 // events not yet discarded).
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// NextAt returns the timestamp of the earliest pending live event and
+// whether one exists. Cancelled events at the top of the queue are
+// discarded (and recycled) on the way, so the answer is exact — this is
+// what the shard coordinator uses to pick the next conservative window.
+func (e *Engine) NextAt() (Time, bool) {
+	for len(e.heap) > 0 {
+		if !e.heap[0].dead {
+			return e.heap[0].at, true
+		}
+		e.recycle(e.heap.pop())
+	}
+	return 0, false
+}
 
 // ErrPastEvent is returned by At when scheduling before the current time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -526,5 +527,88 @@ func TestResetDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// The three tests below pin the same-timestamp FIFO contract the sharded
+// barrier merge relies on (see the Engine doc, "Same-timestamp
+// ordering"): insertion order among equal timestamps survives Cancel,
+// interleaves correctly with re-scheduling, and restarts cleanly on
+// Reset.
+
+func TestTieBreakSurvivesCancel(t *testing.T) {
+	e := New()
+	var order []int
+	var handles []Handle
+	for i := 0; i < 20; i++ {
+		i := i
+		handles = append(handles, e.At(5, func(Time) { order = append(order, i) }))
+	}
+	// Cancel every third event; the survivors must keep their relative
+	// insertion order — a cancelled item's heap slot must not let a later
+	// insertion jump the queue.
+	var want []int
+	for i, h := range handles {
+		if i%3 == 0 {
+			h.Cancel()
+		} else {
+			want = append(want, i)
+		}
+	}
+	// Events scheduled after the cancellations, at the same timestamp,
+	// must fire after all survivors.
+	for i := 20; i < 25; i++ {
+		i := i
+		e.At(5, func(Time) { order = append(order, i) })
+		want = append(want, i)
+	}
+	e.Run(MaxTime)
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order after cancels = %v, want %v", order, want)
+	}
+}
+
+func TestTieBreakCancelThenRescheduleSameTime(t *testing.T) {
+	// Cancelling and re-scheduling "the same" logical event moves it to
+	// the back of its timestamp's FIFO — the re-schedule takes a fresh
+	// sequence number; the old one is burned, never reused.
+	e := New()
+	var order []string
+	a := e.At(7, func(Time) { order = append(order, "a") })
+	e.At(7, func(Time) { order = append(order, "b") })
+	a.Cancel()
+	e.At(7, func(Time) { order = append(order, "a2") })
+	e.Run(MaxTime)
+	want := []string{"b", "a2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTieBreakResetRestartsSequence(t *testing.T) {
+	// After Reset the sequence counter restarts at zero, so replaying the
+	// same schedule — including a cancellation — reproduces the same
+	// tie-break order. The sharded determinism regression depends on
+	// this when engines are reused across runs.
+	run := func(e *Engine) []int {
+		var order []int
+		var hs []Handle
+		for i := 0; i < 10; i++ {
+			i := i
+			hs = append(hs, e.At(3, func(Time) { order = append(order, i) }))
+		}
+		hs[4].Cancel()
+		e.Run(MaxTime)
+		return order
+	}
+	e := New()
+	first := run(e)
+	e.Reset()
+	second := run(e)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("tie-break order changed across Reset: %v vs %v", first, second)
+	}
+	if e.seq != 10 {
+		t.Fatalf("sequence after reset run = %d, want 10 (restarted at zero)", e.seq)
 	}
 }

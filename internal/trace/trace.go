@@ -72,6 +72,10 @@ type Event struct {
 	// Epoch is the policy generation the packet is pinned to, when the
 	// sim runs with an epoch store (zero otherwise).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Shard is the simulation shard that recorded the event (zero in a
+	// single-threaded run). Merged sharded traces sort by (TimeNs, Shard)
+	// so same-nanosecond events keep a stable global order.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Options tune what gets recorded.
@@ -90,6 +94,10 @@ type Options struct {
 	// ring for stream recorders and means DefaultRingSize for
 	// NewFlightRecorder.
 	RingSize int
+	// Shard is stamped on every event this recorder commits — the sharded
+	// simulator gives each shard a private recorder (same filters, its
+	// own Shard) and merges the rings into the parent after the run.
+	Shard int
 }
 
 // DefaultRingSize is the flight-recorder ring capacity when Options
@@ -146,6 +154,15 @@ func newRecorder(opts Options) *Recorder {
 		r.ring = make([]Event, opts.RingSize)
 	}
 	return r
+}
+
+// Options returns the recorder's configuration — the sharded simulator
+// reads it to build per-shard recorders with matching filters.
+func (r *Recorder) Options() Options {
+	if r == nil {
+		return Options{}
+	}
+	return r.opts
 }
 
 // Count returns the number of events recorded (not the number still in
@@ -228,8 +245,13 @@ func eventOf(now sim.Time, kind, where string, p *pkt.Packet) Event {
 }
 
 func (r *Recorder) commit(e Event) {
+	e.Shard = r.opts.Shard
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.put(e)
+}
+
+func (r *Recorder) put(e Event) {
 	if r.ring != nil {
 		r.ring[r.seq%uint64(len(r.ring))] = e
 	}
@@ -237,6 +259,21 @@ func (r *Recorder) commit(e Event) {
 		_ = r.enc.Encode(e)
 	}
 	r.seq++
+}
+
+// Append commits pre-built events verbatim: no filtering, and the events
+// keep the Shard they already carry. The sharded simulator uses it to
+// merge per-shard rings (sorted by time, then shard) into the parent
+// recorder after a run.
+func (r *Recorder) Append(events []Event) {
+	if r == nil || len(events) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range events {
+		r.put(e)
+	}
 }
 
 // Filter selects events from a ring snapshot.
