@@ -41,7 +41,7 @@ func run(args []string, out *os.File) error {
 	var tenants tenantFlags
 	policy := fs.String("policy", "", `operator policy, e.g. "T1 >> T2 + T3"`)
 	fs.Var(&tenants, "tenant", "tenant spec name=algorithm:id[:lo-hi[:levels]] (repeatable)")
-	backend := fs.String("backend", "", "also deploy to a backend: pifo, sp-queues, sp-pifo, aifo, calendar, fifo")
+	backend := fs.String("backend", "", "also deploy to a backend: pifo, sp-queues, sp-pifo, aifo, calendar, bucketq, admission, fifo")
 	queues := fs.Int("queues", 8, "hardware queues for multi-queue backends")
 	base := fs.Int64("base", 0, "lowest output rank")
 	save := fs.String("save", "", "write the joint policy as JSON to this file")
@@ -184,20 +184,9 @@ func parseTenant(s string) (*qvisor.Tenant, error) {
 }
 
 func backendByName(s string) (qvisor.Backend, error) {
-	switch s {
-	case "pifo":
-		return qvisor.BackendPIFO, nil
-	case "sp-queues":
-		return qvisor.BackendSPQueues, nil
-	case "sp-pifo":
-		return qvisor.BackendSPPIFO, nil
-	case "aifo":
-		return qvisor.BackendAIFO, nil
-	case "calendar":
-		return qvisor.BackendCalendar, nil
-	case "fifo":
-		return qvisor.BackendFIFO, nil
-	default:
+	b, err := qvisor.ParseBackend(s)
+	if err != nil {
 		return 0, fmt.Errorf("unknown backend %q", s)
 	}
+	return b, nil
 }

@@ -46,6 +46,7 @@ func TestBackendByName(t *testing.T) {
 		"pifo": qvisor.BackendPIFO, "sp-queues": qvisor.BackendSPQueues,
 		"sp-pifo": qvisor.BackendSPPIFO, "aifo": qvisor.BackendAIFO,
 		"calendar": qvisor.BackendCalendar, "fifo": qvisor.BackendFIFO,
+		"bucketq": qvisor.BackendBucketQ, "admission": qvisor.BackendAdmission,
 	} {
 		got, err := backendByName(name)
 		if err != nil || got != want {

@@ -75,6 +75,10 @@ const (
 	// ViolationCalendarOrder: a batch-mode calendar drained buckets out of
 	// ascending order.
 	ViolationCalendarOrder ViolationKind = "calendar-bucket"
+	// ViolationBucketQOrder: a batch-mode bucket queue broke its
+	// quantization contract (quantized index decreased, or FIFO order
+	// broke within one quantized index).
+	ViolationBucketQOrder ViolationKind = "bucketq-order"
 	// ViolationAdmission: an admission-controlled backend (AIFO or the
 	// combined admission+scheduling backend) dropped packets with no
 	// admission pressure (its no-pressure behaviour must equal FIFO).
@@ -297,13 +301,16 @@ const aggregateDriftFloor = 20
 // inversion count relative to the rank-oblivious FIFO baseline on the
 // identical traces. The ceilings derive from the replay-fidelity
 // measurements recorded in EXPERIMENTS.md: across seeds the aggregate
-// ratios concentrate at ~0.60 (sppifo), ~0.87 (calendar), and ~0.56
-// (admission) of FIFO's count, so ceilings a third above those are far
-// outside sampling noise yet still catch an approximation drifting
-// toward — or past — a scheduler that ignores ranks entirely.
+// ratios concentrate at ~0.60 (sppifo), ~0.87 (calendar), ~0.63
+// (bucketq, whose 128-bucket quantization is 8× finer than the
+// calendar's), and ~0.56 (admission) of FIFO's count, so ceilings a
+// third above those are far outside sampling noise yet still catch an
+// approximation drifting toward — or past — a scheduler that ignores
+// ranks entirely.
 var inversionDriftCeilings = map[string]float64{
 	"sppifo":    0.80,
 	"calendar":  1.00,
+	"bucketq":   0.85,
 	"admission": 0.75,
 }
 

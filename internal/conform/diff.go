@@ -46,6 +46,7 @@ func allBackends() []backendDef {
 		{"drr", true, runDRR},
 		{"sppifo", false, runSPPIFO},
 		{"calendar", false, runCalendar},
+		{"bucketq", false, runBucketQ},
 		{"admission", false, runAdmission},
 	}
 }
@@ -691,6 +692,75 @@ func runCalendar(r *Report, ctx *diffCtx, st *BackendStats) {
 					b, prev, p.ID, p.Rank),
 			})
 			break
+		}
+		prev = b
+	}
+}
+
+// runBucketQ replays the FFS bucket queue the same two ways as the
+// calendar: interleaved for the FIFO-baseline deviation bound, and in
+// batch mode, where its approximation contract is checked exactly — the
+// drain must equal the ideal order up to rank quantization. Concretely,
+// the quantized index floor(rank/width) of successive dequeues must be
+// non-decreasing (no clamp to the horizon: packets past it overflow and
+// re-file, preserving the global quantized order), and within one
+// quantized index packets must leave in arrival order (per-bucket FIFO
+// chains, re-filed in arrival order on rebase).
+func runBucketQ(r *Report, ctx *diffCtx, st *BackendStats) {
+	sc := ctx.sc
+	buckets := 128                     // exercises both FFS bitmap levels (two words + summary)
+	span := sc.Joint.Output.Span() + 2 // +1 for the UnknownWorst rank
+	width := (span + int64(buckets) - 1) / int64(buckets)
+	if width < 1 {
+		width = 1
+	}
+	res, err := replay(sc, true, func(d sched.DropFn) (sched.Scheduler, error) {
+		return sched.NewBucketQ(sched.Config{CapacityBytes: hugeCapacity, OnDrop: d}, buckets, width), nil
+	}, nil)
+	if err != nil {
+		ctx.err = err
+		return
+	}
+	accumulate(st, res)
+	if !checkConservation(r, sc, st.Backend, res) {
+		return
+	}
+	checkInversionBound(r, ctx, st.Backend, res)
+
+	// Batch mode: enqueue everything, then drain.
+	bq := sched.NewBucketQ(sched.Config{CapacityBytes: hugeCapacity}, buckets, width)
+	arrival := make(map[uint64]int, len(sc.Trace))
+	for i := range sc.Trace {
+		p := sc.Trace[i] // local copy; this replay is not pooled
+		arrival[p.ID] = i
+		bq.Enqueue(&p)
+	}
+	prev, prevArr := -1, -1
+	for p := bq.Dequeue(); p != nil; p = bq.Dequeue() {
+		b := 0
+		if p.Rank > 0 {
+			b = int(p.Rank / width)
+		}
+		if b < prev {
+			r.addViolation(Violation{
+				Scenario: sc.Index, Backend: st.Backend, Kind: ViolationBucketQOrder,
+				Detail: violationf("batch drain visited quantized index %d after %d (packet %d rank %d)",
+					b, prev, p.ID, p.Rank),
+			})
+			break
+		}
+		if b > prev {
+			prevArr = -1
+		}
+		if ai := arrival[p.ID]; ai < prevArr {
+			r.addViolation(Violation{
+				Scenario: sc.Index, Backend: st.Backend, Kind: ViolationBucketQOrder,
+				Detail: violationf("batch drain broke FIFO within quantized index %d (packet %d arrived before its predecessor)",
+					b, p.ID),
+			})
+			break
+		} else {
+			prevArr = ai
 		}
 		prev = b
 	}

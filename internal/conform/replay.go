@@ -299,7 +299,7 @@ type ReplayOptions struct {
 	// MaxPackets caps the per-scenario trace length (default 1500).
 	MaxPackets int
 	// Backends restricts the sweep to the named disciplines (nil or
-	// "all" = all eight). Names are matched against ReplayBackendNames.
+	// "all" = all nine). Names are matched against ReplayBackendNames.
 	Backends []string
 }
 
@@ -338,7 +338,7 @@ type replayBackendDef struct {
 	build func(sc *Scenario, cfg sched.Config) (sched.Scheduler, error)
 }
 
-// replayBackends lists the eight scheduling disciplines in scoreboard
+// replayBackends lists the nine scheduling disciplines in scoreboard
 // order: the exact reference first, then the FIFO-family baselines, then
 // the PIFO approximations.
 func replayBackends() []replayBackendDef {
@@ -376,6 +376,15 @@ func replayBackends() []replayBackendDef {
 				width = 1
 			}
 			return sched.NewCalendar(cfg, buckets, width), nil
+		}},
+		{"bucketq", func(sc *Scenario, cfg sched.Config) (sched.Scheduler, error) {
+			buckets := 128
+			span := sc.Joint.Output.Span() + 2
+			width := (span + int64(buckets) - 1) / int64(buckets)
+			if width < 1 {
+				width = 1
+			}
+			return sched.NewBucketQ(cfg, buckets, width), nil
 		}},
 		{"aifo", func(_ *Scenario, cfg sched.Config) (sched.Scheduler, error) {
 			return sched.NewAIFO(sched.AIFOConfig{Config: cfg}), nil
@@ -593,6 +602,7 @@ var profileBackends = map[string]core.Backend{
 	"sppifo":    core.BackendSPPIFO,
 	"aifo":      core.BackendAIFO,
 	"calendar":  core.BackendCalendar,
+	"bucketq":   core.BackendBucketQ,
 	"admission": core.BackendAdmission,
 }
 

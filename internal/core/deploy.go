@@ -41,6 +41,10 @@ const (
 	// quantile bounds fronted by AIFO's rank-aware admission gate —
 	// admission and scheduling co-designed under limited queues.
 	BackendAdmission
+	// BackendBucketQ deploys onto the Eiffel-style hierarchical FFS
+	// bucket queue: O(1) enqueue/dequeue, exact up to rank quantization
+	// at bucket granularity, sized to the joint policy's output range.
+	BackendBucketQ
 	// numBackends bounds the enum for iteration.
 	numBackends
 )
@@ -56,7 +60,7 @@ func Backends() []Backend {
 
 // ParseBackend resolves a backend name as printed by Backend.String
 // ("pifo", "sp-queues", "sp-pifo", "aifo", "calendar", "fifo",
-// "admission"), accepting "sppifo" and "spqueues" as aliases.
+// "admission", "bucketq"), accepting "sppifo" and "spqueues" as aliases.
 func ParseBackend(name string) (Backend, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "pifo":
@@ -73,6 +77,8 @@ func ParseBackend(name string) (Backend, error) {
 		return BackendFIFO, nil
 	case "admission":
 		return BackendAdmission, nil
+	case "bucketq":
+		return BackendBucketQ, nil
 	}
 	return 0, fmt.Errorf("core: unknown backend %q", name)
 }
@@ -94,10 +100,17 @@ func (b Backend) String() string {
 		return "fifo"
 	case BackendAdmission:
 		return "admission"
+	case BackendBucketQ:
+		return "bucketq"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
 }
+
+// bucketQDeployBuckets is the ring size BackendBucketQ deploys with: 1024
+// buckets keeps the quantization granularity at ≤0.1% of the output range
+// while the two-level bitmap still covers the ring in one summary word.
+const bucketQDeployBuckets = 1024
 
 // DeployOptions tune the deployment.
 type DeployOptions struct {
@@ -174,6 +187,21 @@ func (jp *JointPolicy) Deploy(backend Backend, opts DeployOptions) (*Deployment,
 		return &Deployment{
 			Backend:   backend,
 			Scheduler: sched.NewCalendar(opts.Sched, opts.Queues, width),
+		}, nil
+	case BackendBucketQ:
+		// A software structure, not a hardware queue bank: the ring is
+		// fixed at 1024 buckets regardless of opts.Queues, and the width
+		// stretches the joint output range (plus the UnknownWorst rank)
+		// across the horizon so steady traffic never touches the
+		// overflow FIFO.
+		span := jp.Output.Span() + 2
+		width := (span + bucketQDeployBuckets - 1) / bucketQDeployBuckets
+		if width < 1 {
+			width = 1
+		}
+		return &Deployment{
+			Backend:   backend,
+			Scheduler: sched.NewBucketQ(opts.Sched, bucketQDeployBuckets, width),
 		}, nil
 	case BackendSPQueues:
 		return jp.deploySPQueues(opts)

@@ -71,6 +71,98 @@ type Preprocessor struct {
 	action UnknownTenantAction
 	stats  PreprocStats
 	obs    *preprocObs
+
+	// flat is the joint policy compiled to a dense per-tenant transform
+	// array for the batched path (see ApplyBatch); nil when the tenant ID
+	// range is too sparse to justify a dense table.
+	flat *flatTable
+	// dropScratch is ApplyBatch's reusable staging area for dropped
+	// packets, so the batched path stays allocation-free in steady state.
+	dropScratch []*pkt.Packet
+}
+
+// flatTransform is one slot of the dense transform table: Transform's
+// fields pre-resolved (weight defaulted, quantization regime chosen, the
+// degenerate span/levels cases folded into m=0/div=1) so the per-packet
+// rewrite is branch-free arithmetic with no map access.
+type flatTransform struct {
+	lo, hi   int64 // original clamp bounds (for the Clamped counter)
+	span     int64 // hi-lo: upper clamp of d
+	m        int64 // Levels-1: quantization numerator
+	w        int64 // weight, defaulted to 1
+	stride   int64
+	phase    int64
+	offset   int64
+	constOut int64 // precomputed output when the quantizer is degenerate
+	floatQ   bool  // quantize via the monotone float fallback
+	isConst  bool  // degenerate quantizer (span ≤ 0 or Levels ≤ 1)
+	valid    bool  // false = no transform for this tenant slot
+}
+
+// flatTable is the compiled joint policy: slot i holds the transform of
+// tenant min+i.
+type flatTable struct {
+	min   pkt.TenantID
+	slots []flatTransform
+}
+
+// maxFlatTenantSpan bounds the dense table: a tenant ID range wider than
+// this (possible only with adversarially sparse IDs — synthesis assigns
+// them densely) falls back to the map-based per-packet path.
+const maxFlatTenantSpan = 1 << 14
+
+// buildFlatTable compiles the joint policy's transform map into the dense
+// array, or returns nil when the ID range exceeds maxFlatTenantSpan.
+func buildFlatTable(jp *JointPolicy) *flatTable {
+	if jp == nil || len(jp.Transforms) == 0 {
+		return nil
+	}
+	first := true
+	var min, max pkt.TenantID
+	for id := range jp.Transforms {
+		if first {
+			min, max = id, id
+			first = false
+			continue
+		}
+		if id < min {
+			min = id
+		}
+		if id > max {
+			max = id
+		}
+	}
+	if int(max-min) >= maxFlatTenantSpan {
+		return nil
+	}
+	ft := &flatTable{min: min, slots: make([]flatTransform, int(max-min)+1)}
+	for id, tr := range jp.Transforms {
+		s := &ft.slots[id-min]
+		s.lo, s.hi = tr.Lo, tr.Hi
+		s.w = 1
+		if tr.Weight > 0 {
+			s.w = tr.Weight
+		}
+		s.stride, s.phase, s.offset = tr.Stride, tr.Phase, tr.Offset
+		span, m := tr.Hi-tr.Lo, tr.Levels-1
+		if span <= 0 || m <= 0 {
+			// Degenerate quantizer: Quantize pins the level to 0, which
+			// Apply then clamps to Levels-1 when that is lower, so the
+			// output is one constant rank — precompute it with the same
+			// truncating div/mod Apply uses.
+			s.isConst = true
+			lvl := int64(0)
+			if m < 0 {
+				lvl = m
+			}
+			s.constOut = tr.Offset + (lvl/s.w)*tr.Stride + tr.Phase + lvl%s.w
+		} else {
+			s.span, s.m = span, m
+			s.floatQ = m > (1<<62)/(span+1)
+		}
+		s.valid = true
+	}
+	return ft
 }
 
 // Metric families exported by an instrumented pre-processor.
@@ -136,7 +228,7 @@ func (o *preprocObs) rebuild(jp *JointPolicy) {
 
 // NewPreprocessor returns a pre-processor executing the given joint policy.
 func NewPreprocessor(jp *JointPolicy, action UnknownTenantAction) *Preprocessor {
-	return &Preprocessor{jp: jp, action: action}
+	return &Preprocessor{jp: jp, action: action, flat: buildFlatTable(jp)}
 }
 
 // Policy returns the joint policy currently deployed.
@@ -146,6 +238,7 @@ func (pp *Preprocessor) Policy() *JointPolicy { return pp.jp }
 // new transformations — the event-driven reconfiguration of §2 (Idea 2).
 func (pp *Preprocessor) Update(jp *JointPolicy) {
 	pp.jp = jp
+	pp.flat = buildFlatTable(jp)
 	if pp.obs != nil {
 		pp.obs.rebuild(jp)
 	}
@@ -164,7 +257,9 @@ func (pp *Preprocessor) Clone() *Preprocessor {
 	if pp == nil {
 		return nil
 	}
-	return &Preprocessor{jp: pp.jp, action: pp.action, obs: pp.obs}
+	// The flat table is read-only during a run, so clones share it; the
+	// drop scratch is per-clone written state and stays private.
+	return &Preprocessor{jp: pp.jp, action: pp.action, obs: pp.obs, flat: pp.flat}
 }
 
 // Absorb folds another pre-processor's counters into this one — how
@@ -215,6 +310,100 @@ func (pp *Preprocessor) Process(p *pkt.Packet) bool {
 		}
 	}
 	return true
+}
+
+// ApplyBatch rewrites the ranks of a whole batch of packets in one pass,
+// byte-identical to calling Process on each packet in order (same ranks,
+// same stats, same drop decisions) but without per-packet map lookups:
+// tenants resolve through the dense flat table and the quantize+placement
+// arithmetic is branch-free (the clamp rides the clamp-statistics check). It returns the number of packets kept:
+// ps[:kept] holds them in their original relative order, ps[kept:] the
+// dropped packets (unknown tenant under UnknownDrop), also in order, for
+// the caller to release. Steady state allocates nothing.
+//
+// The instrumented (EnableMetrics) and sparse-tenant configurations fall
+// back to per-packet Process calls — identical observable behaviour,
+// amortization lost.
+func (pp *Preprocessor) ApplyBatch(ps []*pkt.Packet) int {
+	if pp.flat == nil || pp.obs != nil {
+		return pp.applyBatchSlow(ps)
+	}
+	t := pp.flat
+	unknownRank := pp.jp.Output.Hi + 1
+	kept := 0
+	for _, p := range ps {
+		i := int(p.Tenant) - int(t.min)
+		if i < 0 || i >= len(t.slots) || !t.slots[i].valid {
+			pp.stats.Unknown++
+			switch pp.action {
+			case UnknownPass:
+			case UnknownDrop:
+				pp.dropScratch = append(pp.dropScratch, p)
+				continue
+			default: // UnknownWorst
+				p.Rank = unknownRank
+			}
+			ps[kept] = p
+			kept++
+			continue
+		}
+		s := &t.slots[i]
+		r := p.Rank
+		// The clamp is folded into the mandatory clamp-statistics check:
+		// in-range ranks (the hot path) take one predicted-not-taken
+		// compare and a subtraction, and out-of-range ranks pin d to the
+		// boundary without ever subtracting (overflow-safe for extreme
+		// ranks, matching Quantize's clamp-before-subtract order).
+		d := r - s.lo
+		if r < s.lo || r > s.hi {
+			pp.stats.Clamped++
+			d = 0
+			if r > s.hi {
+				d = s.span
+			}
+		}
+		if s.isConst {
+			p.Rank = s.constOut
+		} else {
+			var lvl int64
+			if s.floatQ {
+				lvl = int64(float64(d) / float64(s.span) * float64(s.m))
+				if lvl > s.m {
+					lvl = s.m
+				}
+			} else {
+				lvl = d * s.m / s.span
+			}
+			p.Rank = s.offset + (lvl/s.w)*s.stride + s.phase + lvl%s.w
+		}
+		pp.stats.Processed++
+		ps[kept] = p
+		kept++
+	}
+	if len(pp.dropScratch) > 0 {
+		copy(ps[kept:], pp.dropScratch)
+		pp.dropScratch = pp.dropScratch[:0]
+	}
+	return kept
+}
+
+// applyBatchSlow is ApplyBatch's fallback: per-packet Process calls with
+// the same kept/dropped compaction contract.
+func (pp *Preprocessor) applyBatchSlow(ps []*pkt.Packet) int {
+	kept := 0
+	for _, p := range ps {
+		if pp.Process(p) {
+			ps[kept] = p
+			kept++
+		} else {
+			pp.dropScratch = append(pp.dropScratch, p)
+		}
+	}
+	if len(pp.dropScratch) > 0 {
+		copy(ps[kept:], pp.dropScratch)
+		pp.dropScratch = pp.dropScratch[:0]
+	}
+	return kept
 }
 
 // ProcessFrame parses a wire-format QVISOR label at the start of frame,

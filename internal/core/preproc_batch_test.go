@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qvisor/internal/obs"
+	"qvisor/internal/pkt"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+)
+
+// Satellite tests for the batched pre-processor path: ApplyBatch must be
+// byte-identical to calling Process on each packet in order — same output
+// ranks, same stats counters, same drop decisions — across every
+// UnknownTenantAction, on both the dense flat table and the sparse-tenant
+// fallback, and regardless of where batch boundaries fall.
+
+// batchPolicy synthesizes a policy exercising every flat-table regime:
+// weighted sharing (Weight > 1), a strict tier, a single-level tenant
+// (degenerate quantizer → constant output), and a wide span.
+func batchPolicy(t testing.TB) *JointPolicy {
+	t.Helper()
+	tenants := []*Tenant{
+		{ID: 1, Name: "T1", Bounds: rank.Bounds{Lo: 7, Hi: 9}, Levels: 3},
+		{ID: 2, Name: "T2", Bounds: rank.Bounds{Lo: 1, Hi: 3}, Levels: 2},
+		{ID: 3, Name: "T3", Bounds: rank.Bounds{Lo: 0, Hi: 1 << 16}, Levels: 64},
+		{ID: 4, Name: "T4", Bounds: rank.Bounds{Lo: 5, Hi: 5}, Levels: 1},
+	}
+	jp, err := Synthesize(tenants, policy.MustParse("T1 >> T2*2 + T3 >> T4"), SynthOptions{Base: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jp
+}
+
+// sparsePolicy has tenant IDs far enough apart that buildFlatTable refuses
+// a dense table, forcing the per-packet fallback.
+func sparsePolicy(t *testing.T) *JointPolicy {
+	t.Helper()
+	tenants := []*Tenant{
+		{ID: 1, Name: "A", Bounds: rank.Bounds{Lo: 0, Hi: 100}, Levels: 8},
+		{ID: 1 + maxFlatTenantSpan, Name: "B", Bounds: rank.Bounds{Lo: 0, Hi: 100}, Levels: 8},
+	}
+	return mustSynth(t, tenants, "A >> B", SynthOptions{Base: 1})
+}
+
+// mixPackets builds a seeded random packet mix over the policy's tenants
+// plus unknown tenants, with ranks spanning in-bounds, clamped-low,
+// clamped-high, and int64-extreme values.
+func mixPackets(jp *JointPolicy, rng *rand.Rand, n int) []*pkt.Packet {
+	ids := make([]pkt.TenantID, 0, len(jp.Transforms)+2)
+	for id := range jp.Transforms {
+		ids = append(ids, id)
+	}
+	ids = append(ids, 999, pkt.NoTenant) // unknown tenants
+	ps := make([]*pkt.Packet, n)
+	for i := range ps {
+		var r int64
+		switch rng.Intn(8) {
+		case 0:
+			r = rng.Int63n(1 << 40)
+		case 1:
+			r = -rng.Int63n(1 << 40)
+		case 2:
+			r = math.MaxInt64 - rng.Int63n(4)
+		case 3:
+			r = -(int64(1) << 62)
+		default:
+			r = rng.Int63n(1 << 17)
+		}
+		ps[i] = &pkt.Packet{
+			ID:     uint64(i),
+			Tenant: ids[rng.Intn(len(ids))],
+			Rank:   r,
+			Size:   64,
+		}
+	}
+	return ps
+}
+
+// copyPackets deep-copies a batch so both processing paths see identical
+// inputs.
+func copyPackets(ps []*pkt.Packet) []*pkt.Packet {
+	out := make([]*pkt.Packet, len(ps))
+	for i, p := range ps {
+		c := *p
+		out[i] = &c
+	}
+	return out
+}
+
+// referenceBatch is the spec: per-packet Process with ApplyBatch's
+// kept/dropped compaction contract.
+func referenceBatch(pp *Preprocessor, ps []*pkt.Packet) int {
+	kept := 0
+	var dropped []*pkt.Packet
+	for _, p := range ps {
+		if pp.Process(p) {
+			ps[kept] = p
+			kept++
+		} else {
+			dropped = append(dropped, p)
+		}
+	}
+	copy(ps[kept:], dropped)
+	return kept
+}
+
+// TestApplyBatchMatchesProcess: differential check across every unknown-
+// tenant action and several seeds — the batched fast path must reproduce
+// the per-packet path exactly (ranks, order, drop set, stats).
+func TestApplyBatchMatchesProcess(t *testing.T) {
+	jp := batchPolicy(t)
+	if buildFlatTable(jp) == nil {
+		t.Fatal("batchPolicy unexpectedly fell back to the sparse path")
+	}
+	for _, action := range []UnknownTenantAction{UnknownWorst, UnknownPass, UnknownDrop} {
+		for seed := int64(1); seed <= 4; seed++ {
+			got := NewPreprocessor(jp, action)
+			want := NewPreprocessor(jp, action)
+			ps := mixPackets(jp, rand.New(rand.NewSource(seed)), 500)
+			ref := copyPackets(ps)
+
+			keptGot := got.ApplyBatch(ps)
+			keptWant := referenceBatch(want, ref)
+
+			if keptGot != keptWant {
+				t.Fatalf("%v seed %d: kept %d, want %d", action, seed, keptGot, keptWant)
+			}
+			for i := range ps {
+				if ps[i].ID != ref[i].ID || ps[i].Rank != ref[i].Rank {
+					t.Fatalf("%v seed %d: packet[%d] = id %d rank %d, want id %d rank %d",
+						action, seed, i, ps[i].ID, ps[i].Rank, ref[i].ID, ref[i].Rank)
+				}
+			}
+			if got.Stats() != want.Stats() {
+				t.Fatalf("%v seed %d: stats %+v, want %+v", action, seed, got.Stats(), want.Stats())
+			}
+		}
+	}
+}
+
+// TestApplyBatchSparseFallback: a sparse tenant-ID range disables the dense
+// table; ApplyBatch must still match Process exactly via the fallback.
+func TestApplyBatchSparseFallback(t *testing.T) {
+	jp := sparsePolicy(t)
+	pp := NewPreprocessor(jp, UnknownDrop)
+	if pp.flat != nil {
+		t.Fatalf("flat table built over tenant span %d, want sparse fallback", maxFlatTenantSpan)
+	}
+	want := NewPreprocessor(jp, UnknownDrop)
+	ps := mixPackets(jp, rand.New(rand.NewSource(7)), 300)
+	ref := copyPackets(ps)
+	kept := pp.ApplyBatch(ps)
+	keptWant := referenceBatch(want, ref)
+	if kept != keptWant {
+		t.Fatalf("kept %d, want %d", kept, keptWant)
+	}
+	for i := range ps {
+		if ps[i].ID != ref[i].ID || ps[i].Rank != ref[i].Rank {
+			t.Fatalf("packet[%d] = id %d rank %d, want id %d rank %d",
+				i, ps[i].ID, ps[i].Rank, ref[i].ID, ref[i].Rank)
+		}
+	}
+	if pp.Stats() != want.Stats() {
+		t.Fatalf("stats %+v, want %+v", pp.Stats(), want.Stats())
+	}
+}
+
+// TestApplyBatchInstrumentedFallback: an instrumented pre-processor must
+// keep its per-tenant counters exact, so ApplyBatch falls back to Process.
+func TestApplyBatchInstrumentedFallback(t *testing.T) {
+	jp := batchPolicy(t)
+	pp := NewPreprocessor(jp, UnknownWorst)
+	pp.EnableMetrics(obs.NewRegistry(), nil)
+	want := NewPreprocessor(jp, UnknownWorst)
+	ps := mixPackets(jp, rand.New(rand.NewSource(11)), 200)
+	ref := copyPackets(ps)
+	if kept := pp.ApplyBatch(ps); kept != referenceBatch(want, ref) {
+		t.Fatal("instrumented batch diverged from reference in kept count")
+	}
+	for i := range ps {
+		if ps[i].Rank != ref[i].Rank {
+			t.Fatalf("packet[%d] rank %d, want %d", i, ps[i].Rank, ref[i].Rank)
+		}
+	}
+}
+
+// TestApplyBatchBoundaryMetamorphic: splitting one stream into batches at
+// any boundary must not change any packet's output rank or the aggregate
+// stats — batching is an amortization, never a semantic boundary.
+func TestApplyBatchBoundaryMetamorphic(t *testing.T) {
+	jp := batchPolicy(t)
+	base := mixPackets(jp, rand.New(rand.NewSource(21)), 96)
+	whole := NewPreprocessor(jp, UnknownDrop)
+	wholePs := copyPackets(base)
+	whole.ApplyBatch(wholePs)
+	rankOf := make(map[uint64]int64, len(wholePs))
+	for _, p := range wholePs {
+		rankOf[p.ID] = p.Rank
+	}
+	for cut := 0; cut <= len(base); cut += 7 {
+		split := NewPreprocessor(jp, UnknownDrop)
+		ps := copyPackets(base)
+		split.ApplyBatch(ps[:cut])
+		split.ApplyBatch(ps[cut:])
+		for _, p := range ps {
+			if p.Rank != rankOf[p.ID] {
+				t.Fatalf("cut %d: packet %d rank %d, want %d", cut, p.ID, p.Rank, rankOf[p.ID])
+			}
+		}
+		if split.Stats() != whole.Stats() {
+			t.Fatalf("cut %d: stats %+v, want %+v", cut, split.Stats(), whole.Stats())
+		}
+	}
+}
+
+// TestAllocBudgetPreprocBatch pins the batched pre-processor at 0 allocs
+// per batch once the drop scratch has warmed.
+func TestAllocBudgetPreprocBatch(t *testing.T) {
+	jp := batchPolicy(t)
+	pp := NewPreprocessor(jp, UnknownDrop)
+	ps := mixPackets(jp, rand.New(rand.NewSource(31)), 256)
+	batch := make([]*pkt.Packet, len(ps))
+	run := func() {
+		copy(batch, ps)
+		pp.ApplyBatch(batch)
+	}
+	run() // warm the drop scratch
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("ApplyBatch allocates %.1f times per batch, want 0", avg)
+	}
+}
+
+// BenchmarkPreprocBatch measures the batched path against the equivalent
+// per-packet Process loop over the same 256-packet batch.
+func BenchmarkPreprocBatch(b *testing.B) {
+	jp := batchPolicy(b)
+	ps := mixPackets(jp, rand.New(rand.NewSource(41)), 256)
+	batch := make([]*pkt.Packet, len(ps))
+	b.Run("batch", func(b *testing.B) {
+		pp := NewPreprocessor(jp, UnknownWorst)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(batch, ps)
+			pp.ApplyBatch(batch)
+		}
+	})
+	b.Run("process", func(b *testing.B) {
+		pp := NewPreprocessor(jp, UnknownWorst)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(batch, ps)
+			for _, p := range batch {
+				pp.Process(p)
+			}
+		}
+	})
+}

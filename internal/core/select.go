@@ -63,15 +63,17 @@ func (p FidelityProfile) Score() float64 {
 // SupportedBackends lists the deployment backends a device target can
 // realize: every device has at least a FIFO; a sorted queue realizes the
 // ideal PIFO; a bank of priority queues realizes the static SP mapping,
-// the adaptive SP-PIFO, and a calendar; an admission stage realizes AIFO,
-// and combined with a queue bank the admission+scheduling discipline.
+// the adaptive SP-PIFO, a calendar, and the FFS bucket queue (a rotating
+// bucket bank, like the calendar but indexed in O(1)); an admission stage
+// realizes AIFO, and combined with a queue bank the admission+scheduling
+// discipline.
 func (t Target) SupportedBackends() []Backend {
 	out := []Backend{BackendFIFO}
 	if t.Sorted {
 		out = append(out, BackendPIFO)
 	}
 	if t.Queues > 1 {
-		out = append(out, BackendSPQueues, BackendSPPIFO, BackendCalendar)
+		out = append(out, BackendSPQueues, BackendSPPIFO, BackendCalendar, BackendBucketQ)
 	}
 	if t.Admission {
 		out = append(out, BackendAIFO)

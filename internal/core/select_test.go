@@ -40,11 +40,11 @@ func TestSupportedBackends(t *testing.T) {
 		{"sorted", Target{Sorted: true},
 			[]Backend{BackendPIFO, BackendFIFO}},
 		{"queue-bank", Target{Queues: 8},
-			[]Backend{BackendSPQueues, BackendSPPIFO, BackendFIFO, BackendCalendar}},
+			[]Backend{BackendSPQueues, BackendSPPIFO, BackendFIFO, BackendCalendar, BackendBucketQ}},
 		{"admission-1q", Target{Queues: 1, Admission: true},
 			[]Backend{BackendFIFO, BackendAIFO}},
 		{"admission-bank", Target{Queues: 8, Admission: true},
-			[]Backend{BackendSPQueues, BackendSPPIFO, BackendFIFO, BackendCalendar, BackendAIFO, BackendAdmission}},
+			[]Backend{BackendSPQueues, BackendSPPIFO, BackendFIFO, BackendCalendar, BackendAIFO, BackendAdmission, BackendBucketQ}},
 	}
 	for _, c := range cases {
 		got := c.target.SupportedBackends()

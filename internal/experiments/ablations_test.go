@@ -112,8 +112,8 @@ func TestAblationBackends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 6 {
-		t.Fatalf("backends = %d, want 6", len(results))
+	if len(results) != 7 {
+		t.Fatalf("backends = %d, want 7", len(results))
 	}
 	byName := map[string]Result{}
 	for _, br := range results {
@@ -169,7 +169,7 @@ func TestInversionStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 7 {
+	if len(results) != 8 {
 		t.Fatalf("results = %d", len(results))
 	}
 	byName := map[string]InversionResult{}

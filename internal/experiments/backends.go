@@ -22,6 +22,7 @@ func AblationBackends(cfg Config, load float64) ([]BackendResult, error) {
 		core.BackendSPQueues,
 		core.BackendSPPIFO,
 		core.BackendCalendar,
+		core.BackendBucketQ,
 		core.BackendAIFO,
 		core.BackendAdmission,
 	}

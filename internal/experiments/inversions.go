@@ -106,6 +106,13 @@ func InversionStudyRng(count int, rng *rand.Rand) ([]InversionResult, error) {
 			width := (jp.Output.Span() + 31) / 32
 			return sched.NewCalendar(sched.Config{CapacityBytes: 1 << 30, OnDrop: d}, 32, width)
 		}},
+		{"bucketq:128", func(d sched.DropFn) sched.Scheduler {
+			width := (jp.Output.Span() + 127) / 128
+			if width < 1 {
+				width = 1
+			}
+			return sched.NewBucketQ(sched.Config{CapacityBytes: 1 << 30, OnDrop: d}, 128, width)
+		}},
 		{"aifo", func(d sched.DropFn) sched.Scheduler {
 			return sched.NewAIFO(sched.AIFOConfig{Config: sched.Config{CapacityBytes: 256 * 1500, OnDrop: d}})
 		}},

@@ -5,6 +5,7 @@ import (
 
 	"qvisor/internal/pkt"
 	"qvisor/internal/rank"
+	"qvisor/internal/sched"
 	"qvisor/internal/sim"
 	"qvisor/internal/stats"
 	"qvisor/internal/trace"
@@ -23,6 +24,15 @@ type Host struct {
 	up      *Port
 	sending map[uint64]*sendFlow
 	cbrStop bool
+
+	// batch, preRank, and preID are the reusable staging area for
+	// Config.HostPreproc: the send window's packets, with their
+	// pre-transform ranks and IDs kept aside so the flight recorder can
+	// still attribute each rank rewrite after ApplyBatch compacts the
+	// batch.
+	batch   []*pkt.Packet
+	preRank []int64
+	preID   []uint64
 }
 
 func newHost(n *Network, id int) *Host {
@@ -110,14 +120,66 @@ func (sf *sendFlow) trySend(now sim.Time) {
 	if sf.completed {
 		return
 	}
-	win := sf.host.net.cfg.Window
+	n := sf.host.net
+	if n.cfg.HostPreproc && n.cfg.Preprocessor != nil {
+		sf.trySendBatch(now)
+		return
+	}
+	win := n.cfg.Window
 	for sf.inflight < win {
 		idx, retx := sf.nextToSend()
 		if idx < 0 {
 			break
 		}
-		sf.emit(now, idx, retx)
+		p := sf.build(now, idx, retx)
+		sf.host.up.send(now, p)
 	}
+}
+
+// trySendBatch is trySend under Config.HostPreproc: the window's packets
+// are built first, run through the pre-processor in one ApplyBatch call,
+// and only the admitted ones enter the host uplink, already tagged and in
+// the joint rank space. A rejected packet (unknown tenant under
+// UnknownDrop) counts as an admission drop at the host and stays unacked,
+// so the transport's RTO path recovers it exactly as it would a switch
+// drop.
+func (sf *sendFlow) trySendBatch(now sim.Time) {
+	h := sf.host
+	n := h.net
+	win := n.cfg.Window
+	h.batch, h.preRank, h.preID = h.batch[:0], h.preRank[:0], h.preID[:0]
+	for sf.inflight < win {
+		idx, retx := sf.nextToSend()
+		if idx < 0 {
+			break
+		}
+		p := sf.build(now, idx, retx)
+		p.Tagged = true
+		h.batch = append(h.batch, p)
+		h.preRank = append(h.preRank, p.Rank)
+		h.preID = append(h.preID, p.ID)
+	}
+	if len(h.batch) == 0 {
+		return
+	}
+	kept := n.cfg.Preprocessor.ApplyBatch(h.batch)
+	// The kept prefix preserves the build order, so a single cursor over
+	// the pre-transform record recovers each packet's original rank.
+	j := 0
+	for _, p := range h.batch[:kept] {
+		for h.preID[j] != p.ID {
+			j++
+		}
+		n.cfg.Trace.RecordTransform(now, h.name, p, h.preRank[j])
+		j++
+		h.up.send(now, p)
+	}
+	for _, p := range h.batch[kept:] {
+		n.countDrop(p.Tenant, sched.CauseAdmission)
+		n.cfg.Trace.RecordDrop(now, h.name, p, sched.CauseAdmission.String())
+		n.releasePkt(p)
+	}
+	h.batch = h.batch[:0]
 }
 
 func (sf *sendFlow) nextToSend() (int, bool) {
@@ -136,7 +198,9 @@ func (sf *sendFlow) nextToSend() (int, bool) {
 	return -1, false
 }
 
-func (sf *sendFlow) emit(now sim.Time, idx int, retx bool) {
+// build constructs and books one data packet — rank, counters, send-state,
+// timer, emit trace — leaving only the uplink send to the caller.
+func (sf *sendFlow) build(now sim.Time, idx int, retx bool) *pkt.Packet {
 	n := sf.host.net
 	payload := sf.payload(idx)
 	r := sf.td.Ranker.Rank(now, &sf.fl, payload)
@@ -166,7 +230,7 @@ func (sf *sendFlow) emit(now sim.Time, idx int, retx bool) {
 	sf.inflight++
 	sf.armTimer(now)
 	n.cfg.Trace.Record(now, trace.KindEmit, sf.host.name, p)
-	sf.host.up.send(now, p)
+	return p
 }
 
 func (sf *sendFlow) armTimer(now sim.Time) {

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qvisor/internal/core"
+	"qvisor/internal/policy"
+	"qvisor/internal/rank"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+	"qvisor/internal/stats"
+	"qvisor/internal/trace"
+	"qvisor/internal/workload"
+)
+
+// hostPreprocScenario builds a two-tenant cross-leaf workload whose send
+// windows hold several packets, with rank-oblivious (FIFO) host uplinks so
+// moving the rank rewrite from the first switch to the host NIC cannot
+// change uplink service order. Rankers are constructed fresh per call so
+// back-to-back runs never share state.
+func hostPreprocScenario(t *testing.T) (Config, *core.JointPolicy) {
+	t.Helper()
+	pf1 := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	pf2 := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	jp, err := core.Synthesize([]*core.Tenant{
+		{ID: 1, Name: "a", Algorithm: pf1},
+		{ID: 2, Name: "b", Algorithm: pf2},
+	}, policy.MustParse("a >> b"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(src, dst int) []workload.FlowSpec {
+		var fs []workload.FlowSpec
+		for i := 0; i < 6; i++ {
+			fs = append(fs, workload.FlowSpec{
+				Start: sim.Time(i) * sim.Millisecond / 2,
+				Src:   src, Dst: dst,
+				Size: int64(20000 + 7300*i),
+			})
+		}
+		return fs
+	}
+	cfg := tiny([]TenantDef{
+		{ID: 1, Name: "a", Ranker: pf1, Flows: mk(0, 2)},
+		{ID: 2, Name: "b", Ranker: pf2, Flows: mk(1, 3)},
+	}, 30*sim.Millisecond)
+	cfg.SchedulerFor = func(role string, id int, d sched.DropFn) sched.Scheduler {
+		if role == "host" {
+			return sched.NewFIFO(sched.Config{OnDrop: d})
+		}
+		return sched.NewPIFO(sched.Config{OnDrop: d})
+	}
+	return cfg, jp
+}
+
+func runHostPreproc(t *testing.T, hostPre bool) (Counters, []stats.FlowRecord) {
+	t.Helper()
+	cfg, jp := hostPreprocScenario(t)
+	cfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+	cfg.HostPreproc = hostPre
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if out := n.Outstanding(); out != 0 {
+		t.Fatalf("outstanding = %d after drained run, want 0", out)
+	}
+	return n.Counters(), n.FCTs().Records()
+}
+
+// TestHostPreprocEquivalence: with full policy coverage and FIFO host
+// uplinks, rewriting ranks at the host NIC (one ApplyBatch per send
+// window) is observationally identical to rewriting them per-packet at
+// the first switch — same counters, same flow-completion records.
+func TestHostPreprocEquivalence(t *testing.T) {
+	switchC, switchF := runHostPreproc(t, false)
+	hostC, hostF := runHostPreproc(t, true)
+	if switchC != hostC {
+		t.Fatalf("counters diverge:\nswitch %+v\nhost   %+v", switchC, hostC)
+	}
+	if !reflect.DeepEqual(switchF, hostF) {
+		t.Fatalf("FCT records diverge: switch %d records, host %d records\nswitch %+v\nhost   %+v",
+			len(switchF), len(hostF), switchF, hostF)
+	}
+	if switchC.DataSent == 0 || len(switchF) != 12 {
+		t.Fatalf("scenario degenerate: %+v, %d flows", switchC, len(switchF))
+	}
+}
+
+// TestHostPreprocDeterminism: two identical HostPreproc runs agree
+// byte-for-byte.
+func TestHostPreprocDeterminism(t *testing.T) {
+	c1, f1 := runHostPreproc(t, true)
+	c2, f2 := runHostPreproc(t, true)
+	if c1 != c2 {
+		t.Fatalf("counters diverge across identical runs:\n%+v\n%+v", c1, c2)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("FCT records diverge across identical runs")
+	}
+}
+
+// TestHostPreprocTransformAttribution: the flight recorder sees the same
+// (pre-rank → rank) rewrite per packet ID in both deployments; only the
+// location moves from the first switch to the sending host. This pins the
+// cursor-based pre-rank recovery in trySendBatch.
+func TestHostPreprocTransformAttribution(t *testing.T) {
+	collect := func(hostPre bool) (map[uint64][2]int64, map[uint64]string) {
+		cfg, jp := hostPreprocScenario(t)
+		cfg.Preprocessor = core.NewPreprocessor(jp, core.UnknownWorst)
+		cfg.HostPreproc = hostPre
+		rec := trace.NewFlightRecorder(trace.Options{RingSize: 1 << 16})
+		cfg.Trace = rec
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		ranks := make(map[uint64][2]int64)
+		where := make(map[uint64]string)
+		ev, _ := rec.Snapshot(trace.AllEvents)
+		for _, e := range ev {
+			if e.Kind != trace.KindTransform || e.PktKind != "data" {
+				continue
+			}
+			ranks[e.ID] = [2]int64{e.PreRank, e.Rank}
+			where[e.ID] = e.Where
+		}
+		return ranks, where
+	}
+	swRanks, swWhere := collect(false)
+	hoRanks, hoWhere := collect(true)
+	if len(swRanks) == 0 {
+		t.Fatal("no data transform events recorded")
+	}
+	if !reflect.DeepEqual(swRanks, hoRanks) {
+		t.Fatalf("transform rewrites diverge: switch %d, host %d", len(swRanks), len(hoRanks))
+	}
+	for id, w := range swWhere {
+		if !strings.HasPrefix(w, "leaf") {
+			t.Fatalf("switch-mode transform of %d at %q, want a leaf", id, w)
+		}
+	}
+	for id, w := range hoWhere {
+		if !strings.HasPrefix(w, "host") {
+			t.Fatalf("host-mode transform of %d at %q, want a host", id, w)
+		}
+	}
+}
+
+// TestHostPreprocUnknownDrop: a tenant outside the joint policy is
+// rejected by ApplyBatch at the host NIC — an admission drop before the
+// packet spends any uplink capacity. The flow never completes, the
+// transport keeps retrying via RTO, and packet conservation still holds.
+func TestHostPreprocUnknownDrop(t *testing.T) {
+	pfA := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	jp, err := core.Synthesize([]*core.Tenant{
+		{ID: 1, Name: "a", Algorithm: pfA},
+	}, policy.MustParse("a"), core.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfB := &rank.PFabric{MaxFlowBytes: 1 << 20}
+	cfg := tiny([]TenantDef{
+		{ID: 1, Name: "a", Ranker: pfA, Flows: []workload.FlowSpec{
+			{Start: 0, Src: 0, Dst: 2, Size: 30000},
+		}},
+		{ID: 2, Name: "b", Ranker: pfB, Flows: []workload.FlowSpec{
+			{Start: 0, Src: 1, Dst: 3, Size: 30000},
+		}},
+	}, 10*sim.Millisecond)
+	pp := core.NewPreprocessor(jp, core.UnknownDrop)
+	cfg.Preprocessor = pp
+	cfg.HostPreproc = true
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if got := n.FCTs().Tenant("a"); len(got) != 1 {
+		t.Fatalf("known tenant completed %d flows, want 1", len(got))
+	}
+	if got := n.FCTs().Tenant("b"); len(got) != 0 {
+		t.Fatalf("unknown tenant completed %d flows, want 0", len(got))
+	}
+	c := n.Counters()
+	if c.Dropped == 0 {
+		t.Fatal("unknown tenant produced no admission drops")
+	}
+	if c.Retransmits == 0 {
+		t.Fatal("RTO never fired for the dropped tenant's flow")
+	}
+	if st := pp.Stats(); st.Unknown == 0 {
+		t.Fatalf("preprocessor saw no unknown packets: %+v", st)
+	}
+	if out := n.Outstanding(); out != 0 {
+		t.Fatalf("outstanding = %d after run, want 0 (host drop leaked)", out)
+	}
+}

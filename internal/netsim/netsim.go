@@ -62,6 +62,16 @@ type Config struct {
 	// switch (QVISOR deployed). Nil simulates the raw single-tenant
 	// scheduler.
 	Preprocessor *core.Preprocessor
+	// HostPreproc moves the pre-processor to the sending host's NIC for
+	// data packets: each send window is run through one
+	// Preprocessor.ApplyBatch call (dense-table, branch-free batch path)
+	// before entering the host uplink, instead of per-packet Process at
+	// the first switch — the §3.3 deployment variant where the rank
+	// rewrite happens in the hypervisor/NIC. Unknown-tenant rejections
+	// become admission drops at the host, before the packet spends any
+	// uplink capacity. Acks and CBR datagrams still transform at the
+	// first switch. Ignored without a Preprocessor.
+	HostPreproc bool
 	// Epochs, when non-nil, supplies the rank transformation per-packet
 	// from an RCU-style policy-generation store instead of a fixed
 	// Preprocessor: each packet pins the current epoch at its first

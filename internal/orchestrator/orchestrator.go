@@ -133,6 +133,10 @@ func backendFor(t core.Target) core.Backend {
 		return core.BackendAdmission
 	case t.Admission:
 		return core.BackendAIFO
+	case t.Queues >= 64:
+		// A queue bank that deep is a software scheduler (smart NIC, DPDK
+		// host), where the O(1) FFS bucket queue beats a static SP split.
+		return core.BackendBucketQ
 	case t.Queues > 1:
 		return core.BackendSPQueues
 	default:

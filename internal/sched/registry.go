@@ -17,7 +17,13 @@ var factories = map[string]Factory{
 	"aifo":      func(cfg Config) Scheduler { return NewAIFO(AIFOConfig{Config: cfg}) },
 	"drr":       func(cfg Config) Scheduler { return NewDRR(DRRConfig{Config: cfg}) },
 	"admission": func(cfg Config) Scheduler { return NewAdmission(AdmissionConfig{Config: cfg}) },
+	"bucketq":   func(cfg Config) Scheduler { return NewBucketQ(cfg, DefaultBucketQBuckets, 1) },
 }
+
+// DefaultBucketQBuckets is the ring size a bare "bucketq" spec gets: 1024
+// single-rank buckets, deep enough that typical joint-policy output spans
+// fit the horizon without touching the overflow FIFO.
+const DefaultBucketQBuckets = 1024
 
 // New builds a scheduler by name. Recognized names:
 //
@@ -29,6 +35,9 @@ var factories = map[string]Factory{
 //	admission:N       same, over N strict-priority queues
 //	sppifo:N          SP-PIFO over N strict-priority queues
 //	calendar:N:W      calendar queue, N buckets of rank width W
+//	bucketq           FFS bucket queue, 1024 buckets of rank width 1
+//	bucketq:B         same, over B buckets (1 ≤ B ≤ 4096)
+//	bucketq:B,H       B buckets covering a rank horizon of H (width ⌈H/B⌉)
 //
 // Unknown names return an error listing the choices.
 func New(name string, cfg Config) (Scheduler, error) {
@@ -62,8 +71,29 @@ func New(name string, cfg Config) (Scheduler, error) {
 			}
 		}
 		return nil, fmt.Errorf("sched: bad calendar spec %q (want calendar:N:W)", name)
+	case "bucketq":
+		if len(parts) == 2 {
+			sub := strings.Split(parts[1], ",")
+			b, err := strconv.Atoi(sub[0])
+			if err == nil && b >= 1 && b <= maxBucketQBuckets {
+				switch len(sub) {
+				case 1:
+					return NewBucketQ(cfg, b, 1), nil
+				case 2:
+					h, err := strconv.ParseInt(sub[1], 10, 64)
+					if err == nil && h >= 1 {
+						width := (h + int64(b) - 1) / int64(b)
+						if width < 1 {
+							width = 1
+						}
+						return NewBucketQ(cfg, b, width), nil
+					}
+				}
+			}
+		}
+		return nil, fmt.Errorf("sched: bad bucketq spec %q (want bucketq:B or bucketq:B,H)", name)
 	}
-	return nil, fmt.Errorf("sched: unknown scheduler %q (choices: %s, admission:N, sppifo:N, calendar:N:W)",
+	return nil, fmt.Errorf("sched: unknown scheduler %q (choices: %s, admission:N, sppifo:N, calendar:N:W, bucketq:B[,H])",
 		name, strings.Join(Names(), ", "))
 }
 

@@ -28,6 +28,7 @@ func resetCases() []struct {
 		}},
 		{"drr", func() Scheduler { return NewDRR(DRRConfig{}) }},
 		{"admission", func() Scheduler { return NewAdmission(AdmissionConfig{}) }},
+		{"bucketq", func() Scheduler { return NewBucketQ(Config{}, 128, 8) }},
 	}
 }
 

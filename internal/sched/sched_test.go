@@ -558,8 +558,8 @@ func TestNamesSorted(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("Names() not sorted: %v", names)
 	}
-	if len(names) != 5 {
-		t.Fatalf("Names() = %v, want 5 entries", names)
+	if len(names) != 6 {
+		t.Fatalf("Names() = %v, want 6 entries", names)
 	}
 }
 

@@ -136,6 +136,8 @@ const (
 	BackendCalendar = core.BackendCalendar
 	// BackendFIFO deploys onto a plain FIFO (no prioritization).
 	BackendFIFO = core.BackendFIFO
+	// BackendBucketQ deploys onto the Eiffel-style O(1) FFS bucket queue.
+	BackendBucketQ = core.BackendBucketQ
 	// BackendAdmission deploys onto the combined admission+scheduling
 	// discipline: strict-priority queues with dynamic quantile bounds
 	// behind a rank-aware admission gate.
@@ -156,6 +158,12 @@ const (
 // "T1 >> T2 > T3 + T4 >> T5" (§3.1: ">>" strict priority, ">" best-effort
 // preference, "+" sharing).
 func ParsePolicy(s string) (*Spec, error) { return policy.Parse(s) }
+
+// ParseBackend resolves a backend name ("pifo", "sp-queues", "sp-pifo",
+// "aifo", "calendar", "fifo", "bucketq", "admission") to its Backend
+// value, accepting the spelling Backend.String prints plus the "sppifo"
+// and "spqueues" aliases.
+func ParseBackend(name string) (Backend, error) { return core.ParseBackend(name) }
 
 // Synthesize compiles per-tenant policies and an operator spec into the
 // joint scheduling function (§3.2).
@@ -227,7 +235,7 @@ func PlanFabric(jp *JointPolicy, devices []Device) (*FabricPlan, error) {
 }
 
 // NewScheduler constructs a scheduler by name: pifo, fifo, aifo, sppifo:N,
-// or calendar:N:W.
+// calendar:N:W, or bucketq:B[,H].
 func NewScheduler(name string, cfg SchedConfig) (Scheduler, error) {
 	return sched.New(name, cfg)
 }
