@@ -39,6 +39,7 @@ import (
 	"qvisor/internal/prof"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/stats"
 	"qvisor/internal/trace"
 )
@@ -68,6 +69,9 @@ func run(args []string) error {
 	tracePerfetto := fs.String("trace-perfetto", "",
 		"write a Chrome trace-event JSON of the recorded packet events (load in ui.perfetto.dev)")
 	traceSample := fs.Uint64("trace-sample", 64, "record only flows with ID %% N == 0 (with -trace-perfetto)")
+	sloOn := fs.Bool("slo", false, "run the online fidelity watchdog and print its report on stderr")
+	sloSample := fs.Uint64("slo-sample", slo.DefaultSampleN,
+		"watchdog flow sampling: mirror only flows with ID %% N == 0 (1 = every packet)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +126,18 @@ func run(args []string) error {
 		}()
 	}
 
+	if *sloOn {
+		// One watchdog spans every run of the experiment (sweeps aggregate
+		// across cells; the window ring folds restarted clocks into earlier
+		// windows), and the report lands on stderr after the tables.
+		cfg.Watch = slo.New(slo.Config{SampleN: *sloSample})
+		defer func() {
+			if werr := slo.WriteReport(os.Stderr, cfg.Watch.Snapshot()); werr != nil {
+				fmt.Fprintln(os.Stderr, "qvisor-eval: slo report:", werr)
+			}
+		}()
+	}
+
 	loads, err := parseLoads(*loadsFlag)
 	if err != nil {
 		return err
@@ -139,6 +155,13 @@ func run(args []string) error {
 			// shared ring; serialize so the trace timeline stays readable.
 			rc.Workers = 1
 			fmt.Fprintln(os.Stderr, "qvisor-eval: -trace-perfetto forces -workers=1 for a coherent timeline")
+		}
+		if *sloOn && *workers != 1 {
+			// The watchdog is mutex-safe, but concurrent runs interleave
+			// their clocks in the shared window ring; serialize so the
+			// sweep's SLI report is reproducible.
+			rc.Workers = 1
+			fmt.Fprintln(os.Stderr, "qvisor-eval: -slo forces -workers=1 for a reproducible report")
 		}
 		start := time.Now()
 		if *progress {

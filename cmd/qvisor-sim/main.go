@@ -18,6 +18,7 @@ import (
 	"qvisor/internal/experiments"
 	"qvisor/internal/prof"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/trace"
 )
 
@@ -57,6 +58,9 @@ func run(args []string) error {
 	tracePerfetto := fs.String("trace-perfetto", "",
 		"write a Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 	traceSample := fs.Uint64("trace-sample", 1, "record only flows with ID %% N == 0")
+	sloOn := fs.Bool("slo", false, "run the online fidelity watchdog and print its report")
+	sloSample := fs.Uint64("slo-sample", slo.DefaultSampleN,
+		"watchdog flow sampling: mirror only flows with ID %% N == 0 (1 = every packet)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +115,9 @@ func run(args []string) error {
 	} else if *tracePerfetto != "" {
 		cfg.Trace = trace.NewFlightRecorder(topts)
 	}
+	if *sloOn {
+		cfg.Watch = slo.New(slo.Config{SampleN: *sloSample})
+	}
 
 	r, err := experiments.Run(cfg, s, *load)
 	if err != nil {
@@ -146,6 +153,11 @@ func run(args []string) error {
 		for _, ps := range r.TopPorts {
 			fmt.Printf("  %-16s util=%5.1f%%  tx=%d pkts / %d bytes  maxq=%dB\n",
 				ps.Name, 100*ps.Utilization, ps.TxPackets, ps.TxBytes, ps.MaxQueuedBytes)
+		}
+	}
+	if cfg.Watch != nil {
+		if err := slo.WriteReport(os.Stdout, cfg.Watch.Snapshot()); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -24,7 +24,12 @@
 //	qvisorctl [-server URL] check
 //	qvisorctl [-server URL] compile <queues> [sorted|rewrite|admission ...]
 //	qvisorctl [-server URL] metrics
+//	qvisorctl [-server URL] slo [watch] [interval=<duration>]
 //	qvisorctl [-server URL] trace [tenant=<id>] [kind=<kind> ...] [limit=<n>]
+//
+// slo prints the fidelity watchdog's report (GET /v1/slo); slo watch
+// polls on the snapshot's revision ETag and reprints whenever sampled
+// events have advanced it.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 
 	"qvisor/internal/api"
 	"qvisor/internal/pkt"
+	"qvisor/internal/slo"
 )
 
 func main() {
@@ -306,6 +312,51 @@ func run(args []string) error {
 		}
 		fmt.Print(text)
 		return nil
+	case "slo":
+		watch := false
+		interval := time.Second
+		for _, arg := range rest[1:] {
+			if arg == "watch" {
+				watch = true
+			} else if val, ok := strings.CutPrefix(arg, "interval="); ok {
+				d, err := time.ParseDuration(val)
+				if err != nil || d <= 0 {
+					return fmt.Errorf("bad interval %q", val)
+				}
+				interval = d
+			} else {
+				return fmt.Errorf("usage: slo [watch] [interval=<duration>]")
+			}
+		}
+		snap, err := c.SLO(ctx)
+		if err != nil {
+			return err
+		}
+		if err := slo.WriteReport(os.Stdout, snap); err != nil {
+			return err
+		}
+		if !watch {
+			return nil
+		}
+		// Poll on the snapshot revision: unchanged watchdogs answer 304
+		// and print nothing. Ctrl-C ends the watch.
+		rev := snap.Revision
+		for {
+			time.Sleep(interval)
+			pollCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+			snap, changed, err := c.SLOIfChanged(pollCtx, rev)
+			cancel()
+			if err != nil {
+				return err
+			}
+			if !changed {
+				continue
+			}
+			rev = snap.Revision
+			if err := slo.WriteReport(os.Stdout, snap); err != nil {
+				return err
+			}
+		}
 	case "trace":
 		f := api.AllTrace
 		for _, arg := range rest[1:] {

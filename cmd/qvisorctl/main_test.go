@@ -10,6 +10,7 @@ import (
 	"qvisor/internal/policy"
 	"qvisor/internal/rank"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/trace"
 )
 
@@ -55,6 +56,9 @@ func TestRunRequiresSubcommand(t *testing.T) {
 		{"trace", "tenant=x"},             // bad tenant
 		{"trace", "limit=-1"},             // bad limit
 		{"trace", "bogus=1"},              // unknown filter key
+		{"slo", "bogus"},                  // unknown slo arg
+		{"slo", "interval=x"},             // bad interval
+		{"slo", "interval=-1s"},           // non-positive interval
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) accepted", args)
@@ -90,6 +94,36 @@ func TestTraceSubcommand(t *testing.T) {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+// TestSLOSubcommand drives the slo subcommand against a live server
+// with an attached watchdog that has seen some sampled traffic.
+func TestSLOSubcommand(t *testing.T) {
+	ctl, _, err := core.NewController([]*core.Tenant{
+		{ID: 1, Name: "web", Algorithm: &rank.PFabric{}},
+	}, policy.MustParse("web"), core.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewServer(ctl, func() sim.Time { return 0 })
+	w := slo.New(slo.Config{SampleN: 1})
+	pw := w.PortWatch()
+	p := &pkt.Packet{ID: 1, Flow: 0, Tenant: 1, Rank: 7, Size: 100}
+	pw.OnEnqueue(0, p)
+	pw.OnDequeue(10, p)
+	srv.AttachSLO(w)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if err := run([]string{"-server", ts.URL, "slo"}); err != nil {
+		t.Errorf("run(slo): %v", err)
+	}
+	// Without a watchdog the endpoint 404s and the error surfaces.
+	plain := httptest.NewServer(api.NewServer(ctl, nil))
+	defer plain.Close()
+	if err := run([]string{"-server", plain.URL, "slo"}); err == nil {
+		t.Error("run(slo) against a watchdog-less server succeeded")
 	}
 }
 

@@ -34,6 +34,8 @@ import (
 	"qvisor/internal/api"
 	"qvisor/internal/core"
 	"qvisor/internal/obs"
+	"qvisor/internal/pkt"
+	"qvisor/internal/slo"
 	"qvisor/internal/trace"
 )
 
@@ -62,6 +64,10 @@ func run(args []string) error {
 	metricsPath := fs.String("metrics", "", `write a JSON metrics snapshot on shutdown ("-" = stdout)`)
 	traceRing := fs.Int("trace-ring", trace.DefaultRingSize,
 		"flight-recorder ring capacity for GET /v1/trace (0 disables the endpoint)")
+	sloOn := fs.Bool("slo", true,
+		"attach the fidelity watchdog: GET /v1/slo and burn-rate /v1/healthz")
+	sloSample := fs.Uint64("slo-sample", slo.DefaultSampleN,
+		"watchdog flow sampling: mirror only flows with ID %% N == 0 (1 = every packet)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +112,17 @@ func run(args []string) error {
 		// colocated data planes (embedded simulations, tests) can share it
 		// and GET /v1/trace serves a live, initially empty ring.
 		apiSrv.AttachTrace(trace.NewFlightRecorder(trace.Options{RingSize: *traceRing}))
+	}
+	if *sloOn {
+		// Like the trace ring: the daemon moves no packets itself, so the
+		// watchdog starts empty and reports OK. Colocated data planes share
+		// it, and /v1/healthz upgrades from a liveness probe to burn-rate
+		// health the moment sampled events arrive.
+		names := make(map[pkt.TenantID]string, len(defs))
+		for _, d := range defs {
+			names[d.ID] = d.Name
+		}
+		apiSrv.AttachSLO(slo.New(slo.Config{SampleN: *sloSample, Tenants: names}))
 	}
 	srv := &http.Server{
 		Handler:           apiSrv,

@@ -29,7 +29,9 @@
 //	GET    /v1/analyze              worst-case interference analysis
 //	GET    /v1/metrics              Prometheus text exposition (internal/obs)
 //	GET    /v1/trace                flight-recorder ring snapshot (internal/trace)
-//	GET    /v1/healthz              liveness
+//	GET    /v1/slo                  live fidelity SLIs + burn-rate health (internal/slo)
+//	GET    /v1/healthz              liveness; burn-rate health when a watchdog
+//	                                is attached (503 on "page")
 //
 // Deprecated routes keep working as thin shims over the same controller
 // operations; they answer with "Deprecation: true" and a Link header
@@ -59,6 +61,14 @@
 // limit filter the snapshot; the response carries an ETag derived from
 // the recorder's event sequence number, so If-None-Match turns an
 // unchanged poll into a 304.
+//
+// GET /v1/slo serves the attached fidelity watchdog's live snapshot (see
+// Server.AttachSLO and internal/slo): shadow-oracle SLIs, per-tenant
+// latency/drop/throughput SLIs, and multi-window burn-rate health. The
+// ETag is the watchdog revision (count of sampled events), giving the
+// same cheap-poll contract as /v1/trace. When a watchdog is attached,
+// GET /v1/healthz reports the overall state ("ok"/"warn"/"page") with
+// per-SLO detail, answering 503 while paging.
 package api
 
 import (

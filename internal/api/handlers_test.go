@@ -11,8 +11,10 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"qvisor/internal/core"
 	"qvisor/internal/obs"
@@ -263,6 +265,99 @@ func TestMetricsGolden(t *testing.T) {
 	resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
 		t.Fatalf("Content-Type = %q, want %q", ct, obs.ExpositionContentType)
+	}
+}
+
+// TestMetricsLateRegistrationGolden pins the exposition's ordering
+// contract for metrics registered AFTER the first scrape: families that
+// appear late (here the shard coordinator's qvisor_sim_* telemetry,
+// which only exists once a sharded run flushes) must slot into the
+// sorted family list with their HELP/TYPE lines, and repeated scrapes
+// of the unchanged registry must be byte-identical. Regenerate with
+// `go test -run TestMetricsLateRegistrationGolden -update`.
+func TestMetricsLateRegistrationGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	tenants := []*core.Tenant{
+		{ID: 1, Name: "web", Algorithm: &rank.PFabric{}},
+		{ID: 2, Name: "deadline", Algorithm: &rank.EDF{}},
+	}
+	ctl, pp, err := core.NewController(tenants, policy.MustParse("web >> deadline"),
+		core.ControllerOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		pp.Process(&pkt.Packet{Tenant: 1, Rank: int64(i * 100)})
+	}
+
+	var now sim.Time
+	srv := NewServer(ctl, func() sim.Time { now += sim.Millisecond; return now })
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	early, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(early, "qvisor_sim_") {
+		t.Fatal("sim telemetry present before any flush — test premise broken")
+	}
+
+	// Late registration: a sharded run's coordinator stats flush into the
+	// live registry mid-flight (satellite: sim.CoordStats -> obs).
+	st := sim.CoordStats{Windows: 7, Messages: 42, MaxChanLen: 3,
+		BarrierWait: []time.Duration{time.Microsecond, 2 * time.Microsecond}}
+	st.Export(reg, sim.CoordStats{})
+	// Second flush exports deltas only: counters must not double.
+	st.Export(reg, st)
+
+	got, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatal("back-to-back scrapes of an unchanged registry differ")
+	}
+	// Families must read sorted even though qvisor_sim_* registered last.
+	var fams []string
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fams = append(fams, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Fatalf("families not sorted after late registration: %v", fams)
+	}
+	for _, want := range []string{
+		"qvisor_sim_windows_total 7",
+		"qvisor_sim_messages_total 42",
+		"qvisor_sim_chan_highwater 3",
+		`qvisor_sim_barrier_wait_ns_total{shard="0"} 1000`,
+		`qvisor_sim_barrier_wait_ns_total{shard="1"} 2000`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "metrics_late.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("late-registration exposition drifted from %s (re-run with -update if intended):\n--- got ---\n%s", golden, got)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"qvisor/internal/orchestrator"
 	"qvisor/internal/policy"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/trace"
 )
 
@@ -28,6 +29,7 @@ type Server struct {
 	clock  func() sim.Time
 	mux    *http.ServeMux
 	tracer *trace.Recorder
+	watch  *slo.Watchdog
 }
 
 // NewServer wraps a controller. The controller's simulated-time arguments
@@ -58,6 +60,7 @@ func NewServer(ctl *core.Controller, clock func() sim.Time) *Server {
 	mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux = mux
 	return s
 }
@@ -140,10 +143,6 @@ func readJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
-}
-
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {

@@ -93,6 +93,44 @@ func (r *RefPIFO) Enqueue(p *pkt.Packet) bool {
 	return true
 }
 
+// MinRank returns the lowest queued rank — the packet an ideal PIFO
+// would dequeue next. ok is false when the queue is empty. The online
+// watchdog (internal/slo) compares this against what the production
+// backend actually dequeued to count scheduling inversions.
+func (r *RefPIFO) MinRank() (rank int64, ok bool) {
+	if len(r.entries) == 0 {
+		return 0, false
+	}
+	return r.entries[0].p.Rank, true
+}
+
+// MaxRank returns the highest queued rank — the packet an ideal PIFO
+// would evict first under overflow. ok is false when the queue is empty.
+func (r *RefPIFO) MaxRank() (rank int64, ok bool) {
+	if len(r.entries) == 0 {
+		return 0, false
+	}
+	return r.entries[len(r.entries)-1].p.Rank, true
+}
+
+// RemoveByID removes and returns the queued packet with the given packet
+// ID, or (nil, false) when no such packet is queued. The scan is linear:
+// the oracle trades speed for obviousness, and its watchdog-shadow use
+// keeps the queue to the sampled subset of one port's buffer.
+func (r *RefPIFO) RemoveByID(id uint64) (*pkt.Packet, bool) {
+	for i, e := range r.entries {
+		if e.p.ID != id {
+			continue
+		}
+		copy(r.entries[i:], r.entries[i+1:])
+		r.entries[len(r.entries)-1] = refEntry{}
+		r.entries = r.entries[:len(r.entries)-1]
+		r.bytes -= e.p.Size
+		return e.p, true
+	}
+	return nil, false
+}
+
 // Dequeue removes and returns the lowest-(rank, arrival) packet, or nil.
 func (r *RefPIFO) Dequeue() *pkt.Packet {
 	if len(r.entries) == 0 {

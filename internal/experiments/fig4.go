@@ -18,6 +18,7 @@ import (
 	"qvisor/internal/rank"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/stats"
 	"qvisor/internal/trace"
 	"qvisor/internal/workload"
@@ -115,6 +116,10 @@ type Config struct {
 	Levels int64
 	// Trace, when non-nil, records packet events during the run.
 	Trace *trace.Recorder
+	// Watch, when non-nil, is the online fidelity watchdog (internal/slo)
+	// observing the run: shadow-oracle sampling, per-tenant SLIs, and
+	// burn-rate health. Sharded runs fork and re-merge it like Trace.
+	Watch *slo.Watchdog
 	// Workload selects the pFabric tenant's flow-size distribution:
 	// "datamining" (paper default) or "websearch".
 	Workload string
@@ -321,6 +326,7 @@ func run(cfg Config, scheme Scheme, load float64) (Result, netsim.Sim, error) {
 		Tenants:      tenants,
 		Horizon:      cfg.Horizon,
 		Trace:        cfg.Trace,
+		Watch:        cfg.Watch,
 		Registry:     cfg.Registry,
 		Pool:         cfg.Pool,
 		Engine:       cfg.Engine,

@@ -8,6 +8,7 @@ import (
 	"qvisor/internal/obs"
 	"qvisor/internal/pkt"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/stats"
 	"qvisor/internal/trace"
 )
@@ -60,12 +61,13 @@ const (
 // barriers in a deterministic global order, so a cluster run is
 // reproducible regardless of GOMAXPROCS or goroutine scheduling.
 type Cluster struct {
-	cfg   Config
-	nets  []*Network
-	coord *sim.Coordinator
-	seqs  []uint64 // per-shard handoff sequence counters
-	preps []*core.Preprocessor
-	fcts  *stats.Collector
+	cfg     Config
+	nets    []*Network
+	coord   *sim.Coordinator
+	seqs    []uint64 // per-shard handoff sequence counters
+	preps   []*core.Preprocessor
+	watches []*slo.Watchdog
+	fcts    *stats.Collector
 
 	flushed sim.CoordStats // coordinator counters already published
 	merged  bool
@@ -117,6 +119,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		scfg := cfg
 		scfg.Preprocessor = cfg.Preprocessor.Clone()
 		c.preps[i] = scfg.Preprocessor
+		if cfg.Watch != nil {
+			scfg.Watch = cfg.Watch.Shard(i)
+			c.watches = append(c.watches, scfg.Watch)
+		}
 		if cfg.Trace != nil {
 			topts := cfg.Trace.Options()
 			topts.Shard = i
@@ -222,6 +228,11 @@ func (c *Cluster) finish() {
 			c.cfg.Preprocessor.Absorb(pp.Stats())
 		}
 	}
+	// Watchdog SLI state merges into the parent by absolute window index;
+	// the merge is commutative, so shard order cannot change the result.
+	for _, w := range c.watches {
+		c.cfg.Watch.Absorb(w)
+	}
 	c.FlushMetrics()
 }
 
@@ -237,6 +248,10 @@ func (c *Cluster) FlushMetrics() {
 		return
 	}
 	st := c.coord.Stats()
+	// The generic coordinator families (qvisor_sim_*) publish alongside
+	// the netsim-specific shard gauges below, sharing the same delta
+	// baseline so both stay monotonic across repeated flushes.
+	st.Export(reg, c.flushed)
 	reg.Counter(MetricShardWindows,
 		"Parallel windows executed by the shard coordinator.").Add(st.Windows - c.flushed.Windows)
 	reg.Counter(MetricShardMessages,

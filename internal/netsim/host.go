@@ -177,6 +177,7 @@ func (sf *sendFlow) trySendBatch(now sim.Time) {
 	for _, p := range h.batch[kept:] {
 		n.countDrop(p.Tenant, sched.CauseAdmission)
 		n.cfg.Trace.RecordDrop(now, h.name, p, sched.CauseAdmission.String())
+		n.cfg.Watch.OnDrop(now, p, sched.CauseAdmission)
 		n.releasePkt(p)
 	}
 	h.batch = h.batch[:0]
@@ -348,6 +349,7 @@ func (h *Host) receive(now sim.Time, p *pkt.Packet) {
 	n := h.net
 	n.count.Delivered++
 	n.cfg.Trace.Record(now, trace.KindDeliver, h.name, p)
+	n.cfg.Watch.OnDeliver(now, p)
 	switch p.Kind {
 	case pkt.Ack:
 		if sf, ok := h.sending[p.Flow]; ok {

@@ -20,6 +20,7 @@ import (
 	"qvisor/internal/rank"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/stats"
 	"qvisor/internal/trace"
 	"qvisor/internal/workload"
@@ -95,6 +96,15 @@ type Config struct {
 	// stream. With sampling configured, unsampled flows cost one modulo
 	// per event site and no allocation.
 	Trace *trace.Recorder
+	// Watch, when non-nil, is the online fidelity watchdog
+	// (internal/slo): every port mirrors a flow-consistent sample of its
+	// traffic into a shadow oracle, and hosts report sampled deliveries
+	// and admission drops. In sharded mode the cluster forks one child
+	// watchdog per shard and merges them back into Watch after Run, the
+	// same lifecycle as Trace — so the caller reads SLIs from Watch in
+	// both modes, and the merged snapshot is byte-identical to a
+	// single-threaded run of the same traffic.
+	Watch *slo.Watchdog
 	// Registry, when non-nil, exports fabric telemetry (internal/obs):
 	// per-role tx/drop counters, per-port utilization and high-water-mark
 	// gauges, and the sched.Metrics families (aggregated per device role)

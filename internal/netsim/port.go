@@ -5,6 +5,7 @@ import (
 	"qvisor/internal/pkt"
 	"qvisor/internal/sched"
 	"qvisor/internal/sim"
+	"qvisor/internal/slo"
 	"qvisor/internal/trace"
 )
 
@@ -29,6 +30,11 @@ type Port struct {
 	inflight pktRing
 	txDone   sim.Event
 	arrive   sim.Event
+
+	// watch mirrors a sampled subset of this port's queue into the
+	// fidelity watchdog's shadow oracle; nil (a no-op on every call)
+	// when the network runs without one.
+	watch *slo.PortWatch
 
 	// Telemetry.
 	txBytes   uint64
@@ -77,10 +83,12 @@ func (n *Network) newPort(role string, id int, name string, rateBps float64, del
 	// sched.Scheduler): nothing downstream sees them again. The cause
 	// reported by the scheduler flows into the trace and the per-tenant
 	// drop-cause counters.
+	pt.watch = n.cfg.Watch.PortWatch()
 	drop := sched.DropFn(func(p *pkt.Packet, cause sched.DropCause) {
 		n.countDrop(p.Tenant, cause)
 		pt.drops++
 		n.cfg.Trace.RecordDrop(n.eng.Now(), name, p, cause.String())
+		pt.watch.OnDrop(n.eng.Now(), p, cause)
 		n.releasePkt(p)
 	})
 	pt.arrive = func(now sim.Time) {
@@ -112,6 +120,7 @@ func (pt *Port) send(now sim.Time, p *pkt.Packet) {
 		return
 	}
 	pt.net.cfg.Trace.Record(now, trace.KindEnqueue, pt.name, p)
+	pt.watch.OnEnqueue(now, p)
 	if b := pt.q.Bytes(); b > pt.maxQueued {
 		pt.maxQueued = b
 	}
@@ -128,6 +137,7 @@ func (pt *Port) kick(now sim.Time) {
 		return
 	}
 	pt.net.cfg.Trace.Record(now, trace.KindDequeue, pt.name, p)
+	pt.watch.OnDequeue(now, p)
 	pt.busy = true
 	tx := txTime(p.Size, pt.rateBps)
 	pt.txBytes += uint64(p.Size)

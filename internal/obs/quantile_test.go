@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the plain order-statistic quantile: the value at rank
+// ceil(q*n) (1-based), matching the estimator's target-rank convention.
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(q * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1]
+}
+
+// TestQuantileProperty checks the estimator's bucket guarantee against
+// exact quantiles of sampled data: for every distribution and q, the
+// estimate must land in the same log2 bucket as the exact order
+// statistic — within (lower, upper] of BucketIndex(exact) — which bounds
+// the estimate within a factor of two of the truth.
+func TestQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() int64{
+		"uniform":  func() int64 { return rng.Int63n(1_000_000) },
+		"heavy":    func() int64 { v := rng.Int63n(1 << 20); return v * v >> 16 },
+		"constant": func() int64 { return 4096 },
+		"small":    func() int64 { return rng.Int63n(3) },
+		"bimodal": func() int64 {
+			if rng.Intn(2) == 0 {
+				return 10 + rng.Int63n(10)
+			}
+			return 1_000_000 + rng.Int63n(1000)
+		},
+	}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range dists {
+		for _, n := range []int{1, 10, 1000, 20000} {
+			h := &Histogram{}
+			samples := make([]int64, n)
+			for i := range samples {
+				v := gen()
+				samples[i] = v
+				h.Observe(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range qs {
+				exact := exactQuantile(samples, q)
+				est := h.Quantile(q)
+				bi := BucketIndex(exact)
+				lo := 0.0
+				if bi > 0 {
+					lo = BucketUpperBound(bi - 1)
+				}
+				hi := BucketUpperBound(bi)
+				if est < lo || est > hi {
+					t.Errorf("%s n=%d q=%g: estimate %g outside exact value %d's bucket (%g, %g]",
+						name, n, q, est, exact, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileEdgeCases pins the contract at the boundaries.
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	// q outside [0,1] clamps.
+	h.Observe(100)
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("q=-1 (%g) should clamp to q=0 (%g)", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("q=2 (%g) should clamp to q=1 (%g)", got, h.Quantile(1))
+	}
+	// Values ≤ 1 sit in bucket 0, which interpolates inside (0, 1].
+	h2 := &Histogram{}
+	h2.Observe(1)
+	if got := h2.Quantile(1); got <= 0 || got > 1 {
+		t.Errorf("all-ones quantile = %g, want in (0, 1]", got)
+	}
+	// Overflow bucket reports the last finite bound, never +Inf.
+	h3 := &Histogram{}
+	h3.Observe(1 << 62)
+	if got := h3.Quantile(0.99); math.IsInf(got, 1) || got != BucketUpperBound(HistogramBuckets-1) {
+		t.Errorf("overflow quantile = %g, want last finite bound %g",
+			got, BucketUpperBound(HistogramBuckets-1))
+	}
+}
+
+// TestBucketsQuantileMatchesHistogram checks the exported array estimator
+// agrees with the Histogram method — single-writer stages that count
+// buckets locally must get identical estimates.
+func TestBucketsQuantileMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := &Histogram{}
+	counts := make([]uint64, HistogramBuckets+1)
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		h.Observe(v)
+		counts[BucketIndex(v)]++
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if hq, bq := h.Quantile(q), BucketsQuantile(counts, q); hq != bq {
+			t.Errorf("q=%g: Histogram.Quantile=%g, BucketsQuantile=%g", q, hq, bq)
+		}
+	}
+	// Longer-than-layout arrays truncate rather than panic.
+	long := make([]uint64, HistogramBuckets+10)
+	copy(long, counts)
+	if got, want := BucketsQuantile(long, 0.5), BucketsQuantile(counts, 0.5); got != want {
+		t.Errorf("truncated long array: got %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"strconv"
+
+	"qvisor/internal/obs"
+)
+
+// Metric families for coordinator telemetry. Until these existed the
+// coordinator's counters were computed but unreachable from the metrics
+// endpoint; netsim.Cluster.FlushMetrics publishes them alongside its
+// shard gauges so -metrics snapshots and /v1/metrics carry them.
+const (
+	// MetricSimWindows counts parallel windows executed.
+	MetricSimWindows = "qvisor_sim_windows_total"
+	// MetricSimMessages counts cross-shard handoff messages.
+	MetricSimMessages = "qvisor_sim_messages_total"
+	// MetricSimBarrierWait is cumulative wall-clock barrier wait, in
+	// nanoseconds, labeled by shard.
+	MetricSimBarrierWait = "qvisor_sim_barrier_wait_ns_total"
+	// MetricSimChanHighwater is the handoff-channel high-water mark.
+	MetricSimChanHighwater = "qvisor_sim_chan_highwater"
+)
+
+// Export publishes the coordinator counters into reg as deltas against
+// prev — pass the previously exported stats (the zero value on first
+// call) so counters stay monotonic across repeated flushes. A nil
+// registry is a no-op.
+func (s CoordStats) Export(reg *obs.Registry, prev CoordStats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricSimWindows,
+		"Parallel simulation windows executed by the shard coordinator.").
+		Add(s.Windows - prev.Windows)
+	reg.Counter(MetricSimMessages,
+		"Cross-shard handoff messages exchanged.").
+		Add(s.Messages - prev.Messages)
+	reg.Gauge(MetricSimChanHighwater,
+		"High-water mark of the cross-shard handoff channel.").
+		Set(float64(s.MaxChanLen))
+	for i, bw := range s.BarrierWait {
+		var p int64
+		if i < len(prev.BarrierWait) {
+			p = prev.BarrierWait[i].Nanoseconds()
+		}
+		reg.Counter(MetricSimBarrierWait,
+			"Cumulative wall-clock time shards spent waiting at window barriers, by shard.",
+			obs.L("shard", strconv.Itoa(i))).
+			Add(uint64(bw.Nanoseconds() - p))
+	}
+}

@@ -1,0 +1,57 @@
+package slo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteReport renders a snapshot as the human-readable report printed by
+// `qvisorctl slo` and the CLIs' -slo flags.
+func WriteReport(out io.Writer, s Snapshot) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fidelity watchdog: %s (rev %d, 1-in-%d sampling, t=%dns)\n",
+		strings.ToUpper(string(s.State)), s.Revision, s.SampleN, s.NowNs)
+
+	g := s.Global
+	fmt.Fprintf(&b, "  sampled: %d enq / %d deq / %d drop / %d delivered\n",
+		g.SampledEnqueues, g.SampledDequeues, g.SampledDrops, g.SampledDelivered)
+	fmt.Fprintf(&b, "  inversions: %d (%.2f per 10k deq), displacement p50=%.0f p99=%.0f max=%d\n",
+		g.Inversions, g.InversionsPer10k, g.DisplacementP50, g.DisplacementP99, g.MaxDisplacement)
+	fmt.Fprintf(&b, "  drop divergence: %d (%.2f per 10k drops), slow dequeues: %d\n",
+		g.DropDiverged, g.DropDivergedPer10k, g.SlowDequeues)
+
+	if len(s.Health) > 0 {
+		fmt.Fprintf(&b, "  %-16s %-5s %8s %11s %11s\n",
+			"slo", "state", "budget", "burn(short)", "burn(long)")
+		for _, h := range s.Health {
+			fmt.Fprintf(&b, "  %-16s %-5s %8.4f %11.2f %11.2f\n",
+				h.Name, h.State, h.Budget, h.BurnShort, h.BurnLong)
+		}
+	}
+
+	for _, t := range s.Tenants {
+		fmt.Fprintf(&b, "  tenant %-10s delay p50/p99/p999 = %.0f/%.0f/%.0f ns, share %.3f",
+			t.Tenant, t.DelayP50Ns, t.DelayP99Ns, t.DelayP999Ns, t.AchievedShare)
+		if t.EntitledShare > 0 {
+			fmt.Fprintf(&b, " (entitled %.3f)", t.EntitledShare)
+		}
+		if len(t.Drops) > 0 {
+			causes := make([]string, 0, len(t.Drops))
+			for c := range t.Drops {
+				causes = append(causes, c)
+			}
+			sort.Strings(causes)
+			parts := make([]string, 0, len(causes))
+			for _, c := range causes {
+				parts = append(parts, fmt.Sprintf("%s=%d", c, t.Drops[c]))
+			}
+			fmt.Fprintf(&b, ", drops %s", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+	}
+
+	_, err := io.WriteString(out, b.String())
+	return err
+}

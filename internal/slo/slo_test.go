@@ -1,0 +1,383 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+	"qvisor/internal/sim"
+)
+
+func mk(id, flow uint64, tenant pkt.TenantID, rank int64) *pkt.Packet {
+	return &pkt.Packet{ID: id, Flow: flow, Tenant: tenant, Rank: rank, Size: 1000}
+}
+
+func TestNilWatchdogIsNoOp(t *testing.T) {
+	var w *Watchdog
+	var pw *PortWatch
+	pw.OnEnqueue(0, mk(1, 0, 1, 5))
+	pw.OnDequeue(0, mk(1, 0, 1, 5))
+	pw.OnDrop(0, mk(1, 0, 1, 5), sched.CauseOverflow)
+	w.OnDeliver(0, mk(1, 0, 1, 5))
+	w.OnDrop(0, mk(1, 0, 1, 5), sched.CauseAdmission)
+	w.Absorb(nil)
+	if w.PortWatch() != nil {
+		t.Error("nil watchdog handed out a port watch")
+	}
+	if w.Shard(0) != nil {
+		t.Error("nil watchdog forked a shard child")
+	}
+	snap := w.Snapshot()
+	if snap.State != StateOK || snap.Revision != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestSamplingPredicate(t *testing.T) {
+	w := New(Config{SampleN: 4, WindowNs: 1000})
+	pw := w.PortWatch()
+	// Flows 0, 4, 8 are sampled; 1, 2, 3 are not.
+	for flow := uint64(0); flow < 9; flow++ {
+		pw.OnEnqueue(10, mk(flow+1, flow, 1, 5))
+	}
+	if got := w.Snapshot().Global.SampledEnqueues; got != 3 {
+		t.Errorf("sampled enqueues = %d, want 3 (flows 0, 4, 8)", got)
+	}
+	// SampleN = 1 samples everything.
+	w1 := New(Config{SampleN: 1, WindowNs: 1000})
+	pw1 := w1.PortWatch()
+	for flow := uint64(0); flow < 9; flow++ {
+		pw1.OnEnqueue(10, mk(flow+1, flow, 1, 5))
+	}
+	if got := w1.Snapshot().Global.SampledEnqueues; got != 9 {
+		t.Errorf("SampleN=1 sampled enqueues = %d, want 9", got)
+	}
+}
+
+func TestInversionDetection(t *testing.T) {
+	w := New(Config{SampleN: 1, WindowNs: 1000})
+	pw := w.PortWatch()
+	// Queue ranks 10 and 50; dequeue rank 50 first — one inversion with
+	// displacement 40.
+	pw.OnEnqueue(0, mk(1, 0, 1, 10))
+	pw.OnEnqueue(0, mk(2, 0, 1, 50))
+	pw.OnDequeue(5, mk(2, 0, 1, 50))
+	pw.OnDequeue(10, mk(1, 0, 1, 10))
+	g := w.Snapshot().Global
+	if g.Inversions != 1 {
+		t.Fatalf("inversions = %d, want 1", g.Inversions)
+	}
+	if g.MaxDisplacement != 40 {
+		t.Errorf("max displacement = %d, want 40", g.MaxDisplacement)
+	}
+	if g.InversionsPer10k != 5000 {
+		t.Errorf("inversions per 10k = %g, want 5000 (1 of 2 dequeues)", g.InversionsPer10k)
+	}
+	// Displacement p99 lands in 40's log2 bucket (32, 64].
+	if g.DisplacementP99 <= 32 || g.DisplacementP99 > 64 {
+		t.Errorf("displacement p99 = %g, want in (32, 64]", g.DisplacementP99)
+	}
+	// In-order dequeues count no inversions.
+	w2 := New(Config{SampleN: 1, WindowNs: 1000})
+	pw2 := w2.PortWatch()
+	pw2.OnEnqueue(0, mk(1, 0, 1, 10))
+	pw2.OnEnqueue(0, mk(2, 0, 1, 50))
+	pw2.OnDequeue(5, mk(1, 0, 1, 10))
+	pw2.OnDequeue(10, mk(2, 0, 1, 50))
+	if g := w2.Snapshot().Global; g.Inversions != 0 {
+		t.Errorf("in-order dequeues counted %d inversions", g.Inversions)
+	}
+	// Equal ranks never invert (strict inequality — tie-order independent).
+	w3 := New(Config{SampleN: 1, WindowNs: 1000})
+	pw3 := w3.PortWatch()
+	pw3.OnEnqueue(0, mk(1, 0, 1, 10))
+	pw3.OnEnqueue(0, mk(2, 0, 1, 10))
+	pw3.OnDequeue(5, mk(2, 0, 1, 10))
+	if g := w3.Snapshot().Global; g.Inversions != 0 {
+		t.Errorf("equal-rank dequeue counted %d inversions", g.Inversions)
+	}
+}
+
+func TestDropDivergence(t *testing.T) {
+	w := New(Config{SampleN: 1, WindowNs: 1000})
+	pw := w.PortWatch()
+	// Queue a bad packet (rank 90), then drop a good arrival (rank 5):
+	// the ideal PIFO would have evicted rank 90 instead — divergence.
+	pw.OnEnqueue(0, mk(1, 0, 1, 90))
+	pw.OnDrop(5, mk(2, 0, 1, 5), sched.CauseOverflow)
+	if g := w.Snapshot().Global; g.DropDiverged != 1 || g.SampledDrops != 1 {
+		t.Errorf("diverged=%d drops=%d, want 1, 1", g.DropDiverged, g.SampledDrops)
+	}
+	// Evicting the worst queued packet is exactly what the ideal does —
+	// no divergence (strict inequality again).
+	w2 := New(Config{SampleN: 1, WindowNs: 1000})
+	pw2 := w2.PortWatch()
+	pw2.OnEnqueue(0, mk(1, 0, 1, 10))
+	pw2.OnEnqueue(0, mk(2, 0, 1, 90))
+	pw2.OnDrop(5, mk(2, 0, 1, 90), sched.CauseEvicted)
+	if g := w2.Snapshot().Global; g.DropDiverged != 0 {
+		t.Errorf("worst-eviction counted %d divergences", g.DropDiverged)
+	}
+	if pw2.ShadowLen() != 1 {
+		t.Errorf("shadow length after eviction = %d, want 1", pw2.ShadowLen())
+	}
+}
+
+func TestPerTenantSLIs(t *testing.T) {
+	w := New(Config{
+		SampleN:  1,
+		WindowNs: 1000,
+		Tenants:  map[pkt.TenantID]string{1: "pfabric", 2: "edf"},
+		Entitlements: map[pkt.TenantID]float64{
+			1: 0.75,
+			2: 0.25,
+		},
+	})
+	pw := w.PortWatch()
+	// Tenant 1: delay 100ns; tenant 2: delay 3000ns.
+	pw.OnEnqueue(0, mk(1, 0, 1, 10))
+	pw.OnDequeue(100, mk(1, 0, 1, 10))
+	pw.OnEnqueue(0, mk(2, 0, 2, 10))
+	pw.OnDequeue(3000, mk(2, 0, 2, 10))
+	// Deliveries: 3000 bytes tenant 1, 1000 bytes tenant 2.
+	for i := uint64(0); i < 3; i++ {
+		w.OnDeliver(100, mk(10+i, 0, 1, 0))
+	}
+	w.OnDeliver(100, mk(20, 0, 2, 0))
+	w.OnDrop(200, mk(30, 0, 2, 0), sched.CauseAdmission)
+
+	snap := w.Snapshot()
+	if len(snap.Tenants) != 2 {
+		t.Fatalf("tenant count = %d, want 2", len(snap.Tenants))
+	}
+	t1, t2 := snap.Tenants[0], snap.Tenants[1]
+	if t1.Tenant != "pfabric" || t2.Tenant != "edf" {
+		t.Fatalf("tenant order/names = %q, %q", t1.Tenant, t2.Tenant)
+	}
+	if t1.DelayP99Ns <= 64 || t1.DelayP99Ns > 128 {
+		t.Errorf("pfabric delay p99 = %g, want in 100's bucket (64, 128]", t1.DelayP99Ns)
+	}
+	if t2.DelayP99Ns <= 2048 || t2.DelayP99Ns > 4096 {
+		t.Errorf("edf delay p99 = %g, want in 3000's bucket (2048, 4096]", t2.DelayP99Ns)
+	}
+	if t1.AchievedShare != 0.75 || t2.AchievedShare != 0.25 {
+		t.Errorf("achieved shares = %g, %g; want 0.75, 0.25", t1.AchievedShare, t2.AchievedShare)
+	}
+	if t1.EntitledShare != 0.75 || t2.EntitledShare != 0.25 {
+		t.Errorf("entitled shares = %g, %g", t1.EntitledShare, t2.EntitledShare)
+	}
+	if t2.Drops["admission"] != 1 {
+		t.Errorf("edf admission drops = %v, want 1", t2.Drops)
+	}
+	if len(t1.Drops) != 0 {
+		t.Errorf("pfabric drops = %v, want none", t1.Drops)
+	}
+}
+
+// fill drives inversions at a controlled rate: every sampled dequeue is
+// an inversion when bad is true.
+func fill(pw *PortWatch, start sim.Time, n int, bad bool) {
+	id := uint64(start) * 1_000_000
+	for i := 0; i < n; i++ {
+		now := start + sim.Time(i)
+		lowID, highID := id, id+1
+		id += 2
+		pw.OnEnqueue(now, mk(lowID, 0, 1, 10))
+		pw.OnEnqueue(now, mk(highID, 0, 1, 50))
+		if bad {
+			pw.OnDequeue(now, mk(highID, 0, 1, 50))
+			pw.OnDequeue(now, mk(lowID, 0, 1, 10))
+		} else {
+			pw.OnDequeue(now, mk(lowID, 0, 1, 10))
+			pw.OnDequeue(now, mk(highID, 0, 1, 50))
+		}
+	}
+}
+
+func TestBurnRateStates(t *testing.T) {
+	cfg := Config{SampleN: 1, WindowNs: 1000, ShortWindows: 5, LongWindows: 60}
+	// Healthy traffic: everything in order → OK on every SLO.
+	w := New(cfg)
+	pw := w.PortWatch()
+	fill(pw, 0, 500, false)
+	snap := w.Snapshot()
+	if snap.State != StateOK {
+		t.Fatalf("healthy state = %s, want ok", snap.State)
+	}
+	if len(snap.Health) != 3 {
+		t.Fatalf("health entries = %d, want 3", len(snap.Health))
+	}
+	// 50% inversions ≫ 10 × the 1% budget on both horizons → PAGE.
+	w2 := New(cfg)
+	pw2 := w2.PortWatch()
+	fill(pw2, 0, 500, true)
+	snap2 := w2.Snapshot()
+	if snap2.State != StatePage {
+		t.Fatalf("inverted state = %s, want page", snap2.State)
+	}
+	var inv SLOHealth
+	for _, h := range snap2.Health {
+		if h.Name == SLOInversions {
+			inv = h
+		}
+	}
+	if inv.State != StatePage {
+		t.Errorf("inversion SLO state = %s, want page (burn %g/%g)",
+			inv.State, inv.BurnShort, inv.BurnLong)
+	}
+	if inv.ShortRate != 0.5 || inv.LongRate != 0.5 {
+		t.Errorf("inversion rates = %g/%g, want 0.5/0.5", inv.ShortRate, inv.LongRate)
+	}
+	// A long-healthy run with a short bad burst must NOT page: the long
+	// horizon vetoes (multi-window guard). Bad burst confined to the
+	// short horizon, healthy history filling the long one.
+	w3 := New(cfg)
+	pw3 := w3.PortWatch()
+	fill(pw3, 0, 55_000/2, false)  // windows 0..27: healthy
+	fill(pw3, 56_000, 2_000, true) // windows 56..57: all inversions
+	snap3 := w3.Snapshot()
+	for _, h := range snap3.Health {
+		if h.Name == SLOInversions && h.State == StatePage {
+			t.Errorf("short burst paged despite healthy long horizon (burn %g/%g)",
+				h.BurnShort, h.BurnLong)
+		}
+	}
+}
+
+func TestWindowRingRetirement(t *testing.T) {
+	// Ring of 4 windows of 1000ns. Events 10 windows apart: the old
+	// window must fall out of the burn horizons but stay in cumulative
+	// counters.
+	w := New(Config{SampleN: 1, WindowNs: 1000, ShortWindows: 2, LongWindows: 4})
+	pw := w.PortWatch()
+	// Window 0: one inversion.
+	pw.OnEnqueue(500, mk(1, 0, 1, 10))
+	pw.OnEnqueue(500, mk(2, 0, 1, 50))
+	pw.OnDequeue(600, mk(2, 0, 1, 50))
+	pw.OnDequeue(700, mk(1, 0, 1, 10))
+	// Window 10: one clean dequeue, pushing window 0 out of retention.
+	pw.OnEnqueue(10_500, mk(3, 0, 1, 10))
+	pw.OnDequeue(10_600, mk(3, 0, 1, 10))
+	snap := w.Snapshot()
+	// Cumulative counters keep the whole run.
+	if snap.Global.SampledDequeues != 3 || snap.Global.Inversions != 1 {
+		t.Errorf("cumulative deq=%d inv=%d, want 3, 1",
+			snap.Global.SampledDequeues, snap.Global.Inversions)
+	}
+	// The burn horizons only see the live windows: 1 dequeue, 0 errors.
+	for _, h := range snap.Health {
+		if h.Name == SLOInversions && h.LongRate != 0 {
+			t.Errorf("retired window leaked into burn horizon: %+v", h)
+		}
+	}
+}
+
+func TestShardAbsorbMatchesSingle(t *testing.T) {
+	cfg := Config{SampleN: 1, WindowNs: 1000,
+		Tenants: map[pkt.TenantID]string{1: "a", 2: "b"}}
+
+	// Reference: one watchdog sees all events.
+	single := New(cfg)
+	sp := single.PortWatch()
+	fill(sp, 0, 100, true)
+	single.OnDeliver(50, mk(900, 0, 2, 0))
+	single.OnDrop(60, mk(901, 0, 2, 0), sched.CauseFault)
+
+	// Sharded: the same events split across two children, absorbed in
+	// both orders.
+	for _, order := range [][2]int{{0, 1}, {1, 0}} {
+		parent := New(cfg)
+		c0, c1 := parent.Shard(0), parent.Shard(1)
+		p0 := c0.PortWatch()
+		fill(p0, 0, 100, true)
+		c1.OnDeliver(50, mk(900, 0, 2, 0))
+		c1.OnDrop(60, mk(901, 0, 2, 0), sched.CauseFault)
+		kids := [2]*Watchdog{c0, c1}
+		parent.Absorb(kids[order[0]])
+		parent.Absorb(kids[order[1]])
+
+		got, err := json.Marshal(parent.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(single.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("absorb order %v: merged snapshot differs\n got: %s\nwant: %s",
+				order, got, want)
+		}
+	}
+}
+
+func TestSnapshotRevisionAsETag(t *testing.T) {
+	w := New(Config{SampleN: 1, WindowNs: 1000})
+	pw := w.PortWatch()
+	if w.Revision() != 0 {
+		t.Fatalf("fresh revision = %d", w.Revision())
+	}
+	pw.OnEnqueue(0, mk(1, 0, 1, 10))
+	r1 := w.Revision()
+	pw.OnDequeue(5, mk(1, 0, 1, 10))
+	r2 := w.Revision()
+	if !(r1 > 0 && r2 > r1) {
+		t.Errorf("revision not monotonic: %d, %d", r1, r2)
+	}
+	if snap := w.Snapshot(); snap.Revision != r2 {
+		t.Errorf("snapshot revision = %d, want %d", snap.Revision, r2)
+	}
+}
+
+func TestShadowCopiesNotAliased(t *testing.T) {
+	// The shadow must hold copies: mutating (or recycling) the
+	// simulator's packet after enqueue must not corrupt the mirror.
+	w := New(Config{SampleN: 1, WindowNs: 1000})
+	pw := w.PortWatch()
+	p := mk(1, 0, 1, 10)
+	pw.OnEnqueue(0, p)
+	p.Rank = 9999 // simulator recycles the buffer
+	p.ID = 77
+	pw.OnDequeue(5, mk(2, 0, 1, 20)) // against shadow min: still 10
+	if g := w.Snapshot().Global; g.Inversions != 1 || g.MaxDisplacement != 10 {
+		t.Errorf("aliased shadow: inversions=%d maxDisp=%d, want 1, 10",
+			g.Inversions, g.MaxDisplacement)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	w := New(Config{SampleN: 1, WindowNs: 1000,
+		Tenants:      map[pkt.TenantID]string{1: "pfabric"},
+		Entitlements: map[pkt.TenantID]float64{1: 0.5}})
+	pw := w.PortWatch()
+	fill(pw, 0, 10, true)
+	w.OnDrop(50, mk(500, 0, 1, 0), sched.CauseAdmission)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, w.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fidelity watchdog: PAGE", "inversion_rate",
+		"queueing_delay", "pfabric", "admission=1", "entitled 0.500"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	w := New(Config{})
+	cfg := w.Config()
+	if cfg.SampleN != DefaultSampleN || cfg.WindowNs != DefaultWindowNs ||
+		cfg.ShortWindows != DefaultShortWindows || cfg.LongWindows != DefaultLongWindows ||
+		cfg.PageBurn != DefaultPageBurn {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	// Long horizon never shorter than short.
+	w2 := New(Config{ShortWindows: 10, LongWindows: 3})
+	if c := w2.Config(); c.LongWindows != 10 {
+		t.Errorf("LongWindows = %d, want clamped to 10", c.LongWindows)
+	}
+}

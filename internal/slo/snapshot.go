@@ -1,0 +1,280 @@
+package slo
+
+import (
+	"sort"
+
+	"qvisor/internal/obs"
+	"qvisor/internal/pkt"
+	"qvisor/internal/sched"
+)
+
+func bucketsQuantile(counts []uint64, q float64) float64 {
+	return obs.BucketsQuantile(counts, q)
+}
+
+func tenantID(i int) pkt.TenantID { return pkt.TenantID(i) }
+
+func dropCauseName(cause int) string { return sched.DropCause(cause).String() }
+
+// State is a health verdict, ordered ok < warn < page.
+type State string
+
+// Health states. PAGE means both burn horizons exceed PageBurn; WARN
+// means both exceed WarnBurn.
+const (
+	StateOK   State = "ok"
+	StateWarn State = "warn"
+	StatePage State = "page"
+)
+
+func (s State) rank() int {
+	switch s {
+	case StatePage:
+		return 2
+	case StateWarn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Worse returns the worse of two states.
+func (s State) Worse(o State) State {
+	if o.rank() > s.rank() {
+		return o
+	}
+	return s
+}
+
+// SLO names.
+const (
+	SLOInversions = "inversion_rate"
+	SLODivergence = "drop_divergence"
+	SLODelay      = "queueing_delay"
+)
+
+// SLOHealth is one SLO's burn-rate verdict.
+type SLOHealth struct {
+	// Name identifies the SLO (SLOInversions, SLODivergence, SLODelay).
+	Name string `json:"name"`
+	// State is the verdict for this SLO.
+	State State `json:"state"`
+	// Budget is the error budget: the sustainable error fraction.
+	Budget float64 `json:"budget"`
+	// ShortRate and LongRate are the observed error fractions over the
+	// short and long horizons.
+	ShortRate float64 `json:"short_rate"`
+	LongRate  float64 `json:"long_rate"`
+	// BurnShort and BurnLong are rate/budget: 1.0 burns the budget
+	// exactly at the sustainable pace.
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+}
+
+// GlobalSLI is the deployment-wide fidelity signal.
+type GlobalSLI struct {
+	SampledEnqueues  uint64 `json:"sampled_enqueues"`
+	SampledDequeues  uint64 `json:"sampled_dequeues"`
+	SampledDrops     uint64 `json:"sampled_drops"`
+	SampledDelivered uint64 `json:"sampled_delivered"`
+	// Inversions counts sampled dequeues where the ideal PIFO held a
+	// strictly better-ranked packet; InversionsPer10k normalizes per
+	// 10k sampled dequeues.
+	Inversions       uint64  `json:"inversions"`
+	InversionsPer10k float64 `json:"inversions_per_10k"`
+	// Rank displacement of those inversions (dequeued rank − ideal
+	// rank).
+	DisplacementP50 float64 `json:"rank_displacement_p50"`
+	DisplacementP99 float64 `json:"rank_displacement_p99"`
+	MaxDisplacement int64   `json:"rank_displacement_max"`
+	// DropDiverged counts sampled drops where the ideal would have
+	// evicted a strictly worse queued packet instead.
+	DropDiverged       uint64  `json:"drop_diverged"`
+	DropDivergedPer10k float64 `json:"drop_diverged_per_10k"`
+	// SlowDequeues counts sampled dequeues over the delay budget.
+	SlowDequeues uint64 `json:"slow_dequeues"`
+}
+
+// TenantSLI is one tenant's service levels.
+type TenantSLI struct {
+	Tenant string `json:"tenant"`
+	// Queueing-delay quantiles in simulated nanoseconds (per hop).
+	DelayP50Ns  float64 `json:"delay_p50_ns"`
+	DelayP99Ns  float64 `json:"delay_p99_ns"`
+	DelayP999Ns float64 `json:"delay_p999_ns"`
+	DelayMeanNs float64 `json:"delay_mean_ns"`
+	// SampledDequeues is the quantiles' sample size.
+	SampledDequeues uint64 `json:"sampled_dequeues"`
+	// Drops by sched.DropCause name; zero causes are omitted.
+	Drops map[string]uint64 `json:"drops,omitempty"`
+	// Delivered traffic and the achieved share of all delivered bytes.
+	DeliveredBytes   uint64  `json:"delivered_bytes"`
+	DeliveredPackets uint64  `json:"delivered_packets"`
+	AchievedShare    float64 `json:"achieved_share"`
+	// EntitledShare echoes Config.Entitlements (0 when undeclared).
+	EntitledShare float64 `json:"entitled_share,omitempty"`
+}
+
+// Snapshot is a consistent, JSON-serializable view of the watchdog. Two
+// runs that observed the same sampled events produce byte-identical
+// encodings regardless of shard count — every field is derived from
+// shard-merge-commutative integers.
+type Snapshot struct {
+	// Revision counts sampled events processed; it only grows, so it
+	// doubles as the /v1/slo ETag.
+	Revision uint64 `json:"revision"`
+	// NowNs is the latest event time observed, WindowNs the base window.
+	NowNs    int64  `json:"now_ns"`
+	WindowNs int64  `json:"window_ns"`
+	SampleN  uint64 `json:"sample_n"`
+	// State is the worst per-SLO state.
+	State   State       `json:"state"`
+	Global  GlobalSLI   `json:"global"`
+	Tenants []TenantSLI `json:"tenants,omitempty"`
+	Health  []SLOHealth `json:"health"`
+}
+
+// sloDef wires one SLO to its window counters.
+type sloDef struct {
+	name   string
+	budget float64
+	err    func(*window) uint64
+	tot    func(*window) uint64
+}
+
+func (w *Watchdog) sloDefs() []sloDef {
+	return []sloDef{
+		{SLOInversions, w.cfg.InversionBudget,
+			func(x *window) uint64 { return x.inv },
+			func(x *window) uint64 { return x.deq }},
+		{SLODivergence, w.cfg.DivergenceBudget,
+			func(x *window) uint64 { return x.div },
+			func(x *window) uint64 { return x.arr }},
+		{SLODelay, w.cfg.DelayBudgetFraction,
+			func(x *window) uint64 { return x.slow },
+			func(x *window) uint64 { return x.deq }},
+	}
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Snapshot computes the current SLIs and burn-rate health. Safe to call
+// concurrently with the hooks; a nil watchdog yields a zero snapshot.
+func (w *Watchdog) Snapshot() Snapshot {
+	if w == nil {
+		return Snapshot{State: StateOK}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	snap := Snapshot{
+		Revision: w.rev,
+		NowNs:    w.lastNs,
+		WindowNs: w.cfg.WindowNs,
+		SampleN:  w.cfg.SampleN,
+		State:    StateOK,
+		Global: GlobalSLI{
+			SampledEnqueues:    w.sampledEnq,
+			SampledDequeues:    w.sampledDeq,
+			SampledDrops:       w.sampledDrop,
+			SampledDelivered:   w.sampledDeliver,
+			Inversions:         w.inversions,
+			InversionsPer10k:   1e4 * ratio(w.inversions, w.sampledDeq),
+			MaxDisplacement:    w.maxDisp,
+			DropDiverged:       w.dropDiverged,
+			DropDivergedPer10k: 1e4 * ratio(w.dropDiverged, w.sampledDrop),
+			SlowDequeues:       w.slowDeq,
+		},
+	}
+	if w.dispCount > 0 {
+		snap.Global.DisplacementP50 = bucketsQuantile(w.dispBuckets[:], 0.50)
+		snap.Global.DisplacementP99 = bucketsQuantile(w.dispBuckets[:], 0.99)
+	}
+
+	// Burn-rate health over the live windows. A window is live iff its
+	// absolute index is within ring retention of the cursor.
+	var short, long window
+	n := int64(len(w.win))
+	for i := range w.win {
+		x := &w.win[i]
+		if x.idx < 0 || x.idx <= w.curIdx-n {
+			continue
+		}
+		long.add(x)
+		if x.idx > w.curIdx-int64(w.cfg.ShortWindows) {
+			short.add(x)
+		}
+	}
+	for _, def := range w.sloDefs() {
+		h := SLOHealth{Name: def.name, State: StateOK, Budget: def.budget,
+			ShortRate: ratio(def.err(&short), def.tot(&short)),
+			LongRate:  ratio(def.err(&long), def.tot(&long)),
+		}
+		h.BurnShort = h.ShortRate / def.budget
+		h.BurnLong = h.LongRate / def.budget
+		switch {
+		case h.BurnShort >= w.cfg.PageBurn && h.BurnLong >= w.cfg.PageBurn:
+			h.State = StatePage
+		case h.BurnShort >= w.cfg.WarnBurn && h.BurnLong >= w.cfg.WarnBurn:
+			h.State = StateWarn
+		}
+		snap.State = snap.State.Worse(h.State)
+		snap.Health = append(snap.Health, h)
+	}
+
+	// Tenant table, sorted by tenant ID so the order is stable across
+	// runs and shard counts.
+	ids := make([]int, 0, len(w.tenants))
+	for id := range w.tenants {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var totalB uint64
+	for _, t := range w.tenants {
+		totalB += t.deliveredB
+	}
+	for _, idInt := range ids {
+		id := tenantID(idInt)
+		t := w.tenants[id]
+		ts := TenantSLI{
+			Tenant:           w.tenantName(id),
+			SampledDequeues:  t.delayCount,
+			DeliveredBytes:   t.deliveredB,
+			DeliveredPackets: t.deliveredP,
+			AchievedShare:    ratio(t.deliveredB, totalB),
+			EntitledShare:    w.cfg.Entitlements[id],
+		}
+		if t.delayCount > 0 {
+			ts.DelayP50Ns = bucketsQuantile(t.delayBuckets[:], 0.50)
+			ts.DelayP99Ns = bucketsQuantile(t.delayBuckets[:], 0.99)
+			ts.DelayP999Ns = bucketsQuantile(t.delayBuckets[:], 0.999)
+			ts.DelayMeanNs = float64(t.delaySum) / float64(t.delayCount)
+		}
+		for cause, nDrop := range t.drops {
+			if nDrop == 0 {
+				continue
+			}
+			if ts.Drops == nil {
+				ts.Drops = make(map[string]uint64, len(t.drops))
+			}
+			ts.Drops[dropCauseName(cause)] = nDrop
+		}
+		snap.Tenants = append(snap.Tenants, ts)
+	}
+	return snap
+}
+
+// Revision returns the current revision without computing a snapshot.
+func (w *Watchdog) Revision() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rev
+}
